@@ -1,0 +1,51 @@
+//! Exact analysis of population protocols on the standard population.
+//!
+//! The paper's Theorem 6 observes that a population configuration is just a
+//! multiset of states — representable with `|Q|` counters of `⌈log n⌉` bits
+//! — and that stable computation is decidable by reachability over the
+//! finite configuration graph. This crate makes that analysis concrete and
+//! executable:
+//!
+//! * [`reach`] — enumerate the configurations reachable from an initial
+//!   configuration and the transition relation between them (the paper's
+//!   transition graph `G(A, P)`);
+//! * [`scc`] — Tarjan's strongly connected components; a configuration is
+//!   *final* iff its component has no outgoing edges (Lemma 1: fair
+//!   computations end up cycling inside a final component);
+//! * [`verify`] — the stable-computation decision procedure: does protocol
+//!   `A` stably compute output `y` on input `x`? (Every reachable final
+//!   component must be output-uniform with value `y`.)
+//! * [`markov`] — the §6.2 Markov-chain view of conjugating automata:
+//!   transition probabilities under uniform random pairing, expected time
+//!   to reach the output-committed set, and absorption probabilities —
+//!   the polynomial-time algorithm inside Theorem 11;
+//! * [`linalg`] — the dense linear solver behind [`markov`].
+//!
+//! # Example
+//!
+//! Verify exhaustively (not statistically!) that the count-to-3 protocol
+//! stably computes its predicate for every input of size 6:
+//!
+//! ```
+//! use pp_analysis::verify::verify_predicate;
+//! use pp_protocols::CountThreshold;
+//!
+//! for ones in 0..=6u64 {
+//!     let inputs = [(true, ones), (false, 6 - ones)];
+//!     let report = verify_predicate(CountThreshold::new(3), inputs, ones >= 3);
+//!     assert!(report.holds(), "failed at ones={ones}: {report:?}");
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod linalg;
+pub mod markov;
+pub mod reach;
+pub mod scc;
+pub mod verify;
+
+pub use markov::MarkovAnalysis;
+pub use reach::ConfigGraph;
+pub use verify::{verify_all_inputs, verify_predicate, StableComputation, Verdict};

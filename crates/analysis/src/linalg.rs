@@ -1,0 +1,227 @@
+//! Dense linear algebra: Gaussian elimination with partial pivoting.
+//!
+//! Sized for the Markov-chain analyses of [`crate::markov`], whose systems
+//! have one unknown per transient configuration — small-`n` populations
+//! only, exactly as in the paper's §6.2 polynomial-time simulation.
+
+/// A dense row-major matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// A zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// The identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+/// Error from [`solve`]: the system is (numerically) singular.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SingularMatrix;
+
+impl std::fmt::Display for SingularMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "matrix is singular to working precision")
+    }
+}
+
+impl std::error::Error for SingularMatrix {}
+
+/// Solves `A · X = B` for `X` by Gaussian elimination with partial
+/// pivoting, where `B` may have several columns. Consumes copies of the
+/// inputs (they are modified in place internally).
+///
+/// # Errors
+///
+/// Returns [`SingularMatrix`] if a pivot smaller than `1e-12` is
+/// encountered.
+///
+/// # Panics
+///
+/// Panics if `A` is not square or dimensions mismatch.
+pub fn solve(a: &Matrix, b: &Matrix) -> Result<Matrix, SingularMatrix> {
+    assert_eq!(a.rows(), a.cols(), "coefficient matrix must be square");
+    assert_eq!(a.rows(), b.rows(), "dimension mismatch");
+    let n = a.rows();
+    let k = b.cols();
+    let mut m = a.clone();
+    let mut x = b.clone();
+
+    for col in 0..n {
+        // Partial pivot.
+        let (pivot_row, pivot_val) = (col..n)
+            .map(|r| (r, m[(r, col)].abs()))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("nonempty range");
+        if pivot_val < 1e-12 {
+            return Err(SingularMatrix);
+        }
+        if pivot_row != col {
+            for c in 0..n {
+                let t = m[(col, c)];
+                m[(col, c)] = m[(pivot_row, c)];
+                m[(pivot_row, c)] = t;
+            }
+            for c in 0..k {
+                let t = x[(col, c)];
+                x[(col, c)] = x[(pivot_row, c)];
+                x[(pivot_row, c)] = t;
+            }
+        }
+        // Eliminate below.
+        let p = m[(col, col)];
+        for r in col + 1..n {
+            let f = m[(r, col)] / p;
+            if f == 0.0 {
+                continue;
+            }
+            for c in col..n {
+                let v = m[(col, c)];
+                m[(r, c)] -= f * v;
+            }
+            for c in 0..k {
+                let v = x[(col, c)];
+                x[(r, c)] -= f * v;
+            }
+        }
+    }
+
+    // Back-substitute.
+    for col in (0..n).rev() {
+        let p = m[(col, col)];
+        for c in 0..k {
+            let mut v = x[(col, c)];
+            for j in col + 1..n {
+                v -= m[(col, j)] * x[(j, c)];
+            }
+            x[(col, c)] = v / p;
+        }
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_2x2() {
+        let mut a = Matrix::zeros(2, 2);
+        a[(0, 0)] = 2.0;
+        a[(0, 1)] = 1.0;
+        a[(1, 0)] = 1.0;
+        a[(1, 1)] = 3.0;
+        let mut b = Matrix::zeros(2, 1);
+        b[(0, 0)] = 5.0;
+        b[(1, 0)] = 10.0;
+        let x = solve(&a, &b).unwrap();
+        assert!((x[(0, 0)] - 1.0).abs() < 1e-9);
+        assert!((x[(1, 0)] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn solves_with_pivoting() {
+        // Leading zero forces a row swap.
+        let mut a = Matrix::zeros(2, 2);
+        a[(0, 0)] = 0.0;
+        a[(0, 1)] = 1.0;
+        a[(1, 0)] = 1.0;
+        a[(1, 1)] = 0.0;
+        let mut b = Matrix::zeros(2, 1);
+        b[(0, 0)] = 7.0;
+        b[(1, 0)] = 3.0;
+        let x = solve(&a, &b).unwrap();
+        assert!((x[(0, 0)] - 3.0).abs() < 1e-9);
+        assert!((x[(1, 0)] - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multiple_right_hand_sides() {
+        let a = Matrix::identity(3);
+        let mut b = Matrix::zeros(3, 2);
+        for i in 0..3 {
+            b[(i, 0)] = i as f64;
+            b[(i, 1)] = 10.0 * i as f64;
+        }
+        let x = solve(&a, &b).unwrap();
+        assert_eq!(x, b);
+    }
+
+    #[test]
+    fn singular_detected() {
+        let mut a = Matrix::zeros(2, 2);
+        a[(0, 0)] = 1.0;
+        a[(0, 1)] = 2.0;
+        a[(1, 0)] = 2.0;
+        a[(1, 1)] = 4.0;
+        let b = Matrix::zeros(2, 1);
+        assert_eq!(solve(&a, &b), Err(SingularMatrix));
+    }
+
+    #[test]
+    fn random_system_residual_is_small() {
+        // Fixed pseudo-random 6x6 system; check A·x ≈ b.
+        let n = 6;
+        let mut a = Matrix::zeros(n, n);
+        let mut b = Matrix::zeros(n, 1);
+        let mut seed = 42u64;
+        let mut rnd = || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((seed >> 33) as f64) / (u32::MAX as f64) - 0.5
+        };
+        for i in 0..n {
+            for j in 0..n {
+                a[(i, j)] = rnd();
+            }
+            a[(i, i)] += 3.0; // diagonally dominant => nonsingular
+            b[(i, 0)] = rnd();
+        }
+        let x = solve(&a, &b).unwrap();
+        for i in 0..n {
+            let mut dot = 0.0;
+            for j in 0..n {
+                dot += a[(i, j)] * x[(j, 0)];
+            }
+            assert!((dot - b[(i, 0)]).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,391 @@
+//! Markov-chain analysis of conjugating automata (§6.2, Theorem 11).
+//!
+//! Under uniform random pairing the configuration graph becomes a finite
+//! Markov chain: from a configuration with counts `c`, the ordered pair of
+//! states `(p, q)` is drawn with probability `c_p(c_q − [p = q]) / n(n−1)`.
+//! The paper's Theorem 11 observes that a polynomial-time machine can build
+//! this chain and read answers off its terminal components; this module
+//! does exactly that, and additionally computes **expected convergence
+//! times** — the expected number of interactions until the population
+//! reaches an *output-committed* configuration (one from which the output
+//! assignment can never change again), which is the quantity bounded by
+//! Theorem 8.
+
+use pp_core::Protocol;
+
+use crate::linalg::{solve, Matrix};
+use crate::reach::ConfigGraph;
+use crate::scc::tarjan_slices;
+
+/// Exact Markov-chain analysis of a protocol from one initial
+/// configuration.
+#[derive(Debug)]
+pub struct MarkovAnalysis<P: Protocol> {
+    graph: ConfigGraph<P>,
+    /// Probability rows: `trans[i]` lists `(j, prob)` with probabilities
+    /// summing to 1 (self-loops included).
+    trans: Vec<Vec<(usize, f64)>>,
+    /// Whether each node is output-committed.
+    committed: Vec<bool>,
+    /// Output class of each committed node (index into `classes`).
+    class_of: Vec<Option<usize>>,
+    /// Distinct committed output histograms.
+    classes: Vec<Vec<(P::Output, u64)>>,
+}
+
+impl<P: Protocol> MarkovAnalysis<P> {
+    /// Builds the chain from a symbol-count input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the population is smaller than 2 or exploration exceeds
+    /// the default configuration bound.
+    pub fn analyze<I>(protocol: P, inputs: I) -> Self
+    where
+        I: IntoIterator<Item = (P::Input, u64)>,
+    {
+        Self::from_graph(ConfigGraph::explore(protocol, inputs))
+    }
+
+    /// Builds the chain from a pre-explored configuration graph.
+    pub fn from_graph(graph: ConfigGraph<P>) -> Self {
+        let n_nodes = graph.len();
+
+        // Transition probabilities. Every pair transition was computed
+        // during exploration, so cached lookups cannot miss.
+        let mut trans: Vec<Vec<(usize, f64)>> = Vec::with_capacity(n_nodes);
+        let mut index: std::collections::HashMap<_, usize> = std::collections::HashMap::new();
+        for i in 0..n_nodes {
+            index.insert(graph.config(i).clone(), i);
+        }
+        for i in 0..n_nodes {
+            let counts = graph.config(i).to_counts();
+            let n = counts.population();
+            let total = (n * (n - 1)) as f64;
+            let support: Vec<_> = counts.support().collect();
+            let mut row: Vec<(usize, f64)> = Vec::new();
+            let add = |j: usize, p: f64, row: &mut Vec<(usize, f64)>| {
+                match row.iter_mut().find(|(jj, _)| *jj == j) {
+                    Some((_, acc)) => *acc += p,
+                    None => row.push((j, p)),
+                }
+            };
+            for &(p, cp) in &support {
+                for &(q, cq) in &support {
+                    let weight = if p == q {
+                        cp * (cp - 1)
+                    } else {
+                        cp * cq
+                    };
+                    if weight == 0 {
+                        continue;
+                    }
+                    let prob = weight as f64 / total;
+                    let (p2, q2) = graph
+                        .runtime()
+                        .cached_transition(p, q)
+                        .expect("transition memoized during exploration");
+                    if (p2, q2) == (p, q) {
+                        add(i, prob, &mut row);
+                        continue;
+                    }
+                    let mut next = counts.clone();
+                    next.ensure_len(
+                        (p2.index().max(q2.index()) + 1).max(next.as_slice().len()),
+                    );
+                    next.apply((p, q), (p2, q2));
+                    let j = index[&next.to_canonical()];
+                    add(j, prob, &mut row);
+                }
+            }
+            trans.push(row);
+        }
+
+        // Output-committed nodes: the whole forward cone shares one output
+        // histogram. Computed per SCC in downstream-first order.
+        let succ: Vec<Vec<usize>> = (0..n_nodes).map(|i| graph.successors(i).to_vec()).collect();
+        let scc = tarjan_slices(&succ);
+        let ncomp = scc.len();
+        let mut comp_hist: Vec<Option<Vec<(pp_core::registry::OutputId, u64)>>> =
+            vec![None; ncomp];
+        let mut comp_committed = vec![false; ncomp];
+        // Tarjan assigns component indices in reverse topological order:
+        // every edge goes from a higher component index to a lower one, so
+        // increasing index order is downstream-first.
+        for c in 0..ncomp {
+            let members = &scc.members[c];
+            let h0 = graph.output_histogram(members[0]);
+            let uniform = members.iter().all(|&v| graph.output_histogram(v) == h0);
+            let mut ok = uniform;
+            if ok {
+                'outer: for &v in members {
+                    for &w in &succ[v] {
+                        let cw = scc.component[w];
+                        if cw == c {
+                            continue;
+                        }
+                        if !comp_committed[cw]
+                            || comp_hist[cw].as_ref() != Some(&h0)
+                        {
+                            ok = false;
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+            comp_committed[c] = ok;
+            comp_hist[c] = Some(h0);
+        }
+
+        let committed: Vec<bool> = (0..n_nodes)
+            .map(|v| comp_committed[scc.component[v]])
+            .collect();
+
+        // Output classes over committed nodes.
+        let mut classes: Vec<Vec<(P::Output, u64)>> = Vec::new();
+        let mut class_of: Vec<Option<usize>> = vec![None; n_nodes];
+        for v in 0..n_nodes {
+            if !committed[v] {
+                continue;
+            }
+            let hist: Vec<(P::Output, u64)> = graph
+                .output_histogram(v)
+                .into_iter()
+                .map(|(o, k)| (graph.runtime().output_value(o).clone(), k))
+                .collect();
+            let c = match classes.iter().position(|h| *h == hist) {
+                Some(c) => c,
+                None => {
+                    classes.push(hist);
+                    classes.len() - 1
+                }
+            };
+            class_of[v] = Some(c);
+        }
+
+        Self { graph, trans, committed, class_of, classes }
+    }
+
+    /// The underlying configuration graph.
+    pub fn graph(&self) -> &ConfigGraph<P> {
+        &self.graph
+    }
+
+    /// Probability row of node `i` (sums to 1, self-loops included).
+    pub fn transition_row(&self, i: usize) -> &[(usize, f64)] {
+        &self.trans[i]
+    }
+
+    /// Whether node `i` is output-committed: no reachable configuration
+    /// (including itself) has a different output assignment.
+    pub fn is_committed(&self, i: usize) -> bool {
+        self.committed[i]
+    }
+
+    /// The distinct committed output histograms.
+    pub fn classes(&self) -> &[Vec<(P::Output, u64)>] {
+        &self.classes
+    }
+
+    /// Expected number of interactions, starting from the initial
+    /// configuration, until the population is output-committed.
+    ///
+    /// Returns `None` if commitment is not almost-sure (some fair region
+    /// never commits — the protocol is not always-convergent from this
+    /// input).
+    pub fn expected_steps_to_commit(&self) -> Option<f64> {
+        if self.committed[0] {
+            return Some(0.0);
+        }
+        // Almost-sure commitment ⇔ every bottom (final) SCC is committed;
+        // equivalently, from every transient node some committed node is
+        // reachable. Check via the transient-only system being solvable:
+        // first verify reachability explicitly.
+        let transient: Vec<usize> =
+            (0..self.trans.len()).filter(|&v| !self.committed[v]).collect();
+        if !self.commitment_almost_sure(&transient) {
+            return None;
+        }
+        let pos: std::collections::HashMap<usize, usize> =
+            transient.iter().enumerate().map(|(k, &v)| (v, k)).collect();
+        let m = transient.len();
+        let mut a = Matrix::identity(m);
+        let mut b = Matrix::zeros(m, 1);
+        for (k, &v) in transient.iter().enumerate() {
+            b[(k, 0)] = 1.0;
+            for &(j, p) in &self.trans[v] {
+                if let Some(&kj) = pos.get(&j) {
+                    a[(k, kj)] -= p;
+                }
+            }
+        }
+        let x = solve(&a, &b).ok()?;
+        Some(x[(pos[&0], 0)])
+    }
+
+    /// Probability, from the initial configuration, of committing to each
+    /// output class, aligned with [`classes`](Self::classes).
+    ///
+    /// For an always-convergent protocol the probabilities sum to 1.
+    pub fn commit_probabilities(&self) -> Vec<f64> {
+        let ncls = self.classes.len();
+        if ncls == 0 {
+            return Vec::new();
+        }
+        if let Some(c) = self.class_of[0] {
+            let mut out = vec![0.0; ncls];
+            out[c] = 1.0;
+            return out;
+        }
+        let transient: Vec<usize> =
+            (0..self.trans.len()).filter(|&v| !self.committed[v]).collect();
+        let pos: std::collections::HashMap<usize, usize> =
+            transient.iter().enumerate().map(|(k, &v)| (v, k)).collect();
+        let m = transient.len();
+        let mut a = Matrix::identity(m);
+        let mut b = Matrix::zeros(m, ncls);
+        for (k, &v) in transient.iter().enumerate() {
+            for &(j, p) in &self.trans[v] {
+                match pos.get(&j) {
+                    Some(&kj) => a[(k, kj)] -= p,
+                    None => {
+                        let c = self.class_of[j].expect("non-transient node has a class");
+                        b[(k, c)] += p;
+                    }
+                }
+            }
+        }
+        match solve(&a, &b) {
+            Ok(x) => (0..ncls).map(|c| x[(pos[&0], c)]).collect(),
+            Err(_) => vec![f64::NAN; ncls],
+        }
+    }
+
+    fn commitment_almost_sure(&self, transient: &[usize]) -> bool {
+        // Backward reachability from committed nodes over transient ones.
+        let n = self.trans.len();
+        let mut can_reach = self.committed.clone();
+        // Iterate to fixpoint (graphs are small).
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &v in transient {
+                if can_reach[v] {
+                    continue;
+                }
+                if self.trans[v].iter().any(|&(j, p)| p > 0.0 && can_reach[j]) {
+                    can_reach[v] = true;
+                    changed = true;
+                }
+            }
+        }
+        (0..n).all(|v| can_reach[v])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_core::{seeded_rng, FnProtocol, Simulation};
+
+    fn epidemic() -> impl Protocol<State = bool, Input = bool, Output = bool> + Clone {
+        FnProtocol::new(
+            |&b: &bool| b,
+            |&q: &bool| q,
+            |&p: &bool, &q: &bool| (p || q, p || q),
+        )
+    }
+
+    #[test]
+    fn epidemic_rows_are_stochastic() {
+        let m = MarkovAnalysis::analyze(epidemic(), [(true, 1), (false, 3)]);
+        for i in 0..m.graph().len() {
+            let s: f64 = m.transition_row(i).iter().map(|&(_, p)| p).sum();
+            assert!((s - 1.0).abs() < 1e-12, "row {i} sums to {s}");
+        }
+    }
+
+    #[test]
+    fn epidemic_expected_time_matches_closed_form() {
+        // With k infected of n, P(next infects) = 2k(n−k)/(n(n−1)):
+        // an ordered pair spreads iff it contains one infected and one
+        // healthy agent (either role). E[T] = Σ_{k=1}^{n−1} n(n−1)/(2k(n−k)).
+        let n = 6u64;
+        let m = MarkovAnalysis::analyze(epidemic(), [(true, 1), (false, n - 1)]);
+        let expect: f64 = (1..n)
+            .map(|k| (n * (n - 1)) as f64 / (2 * k * (n - k)) as f64)
+            .sum();
+        let got = m.expected_steps_to_commit().unwrap();
+        assert!((got - expect).abs() < 1e-9, "got {got}, want {expect}");
+    }
+
+    #[test]
+    fn expected_time_agrees_with_monte_carlo() {
+        let n = 8u64;
+        let m = MarkovAnalysis::analyze(epidemic(), [(true, 1), (false, n - 1)]);
+        let exact = m.expected_steps_to_commit().unwrap();
+        let trials: u64 = if cfg!(debug_assertions) { 600 } else { 3000 };
+        let mut total = 0u64;
+        for seed in 0..trials {
+            let mut sim = Simulation::from_counts(epidemic(), [(true, 1), (false, n - 1)]);
+            let mut rng = seeded_rng(seed);
+            total += sim.run_until_consensus(&true, 1_000_000, &mut rng).unwrap();
+        }
+        let mean = total as f64 / trials as f64;
+        let ratio = mean / exact;
+        assert!((0.9..1.1).contains(&ratio), "MC {mean:.1} vs exact {exact:.1}");
+    }
+
+    #[test]
+    fn committed_detection() {
+        let m = MarkovAnalysis::analyze(epidemic(), [(true, 1), (false, 2)]);
+        // Only the all-infected configuration is committed (any healthy
+        // agent may still flip, changing the histogram).
+        let committed: Vec<usize> =
+            (0..m.graph().len()).filter(|&i| m.is_committed(i)).collect();
+        assert_eq!(committed.len(), 1);
+        assert_eq!(m.graph().config(committed[0]).pairs().len(), 1);
+    }
+
+    #[test]
+    fn oscillator_never_commits() {
+        let osc = FnProtocol::new(
+            |&(): &()| false,
+            |&q: &bool| q,
+            |&p: &bool, &q: &bool| (!p, !q),
+        );
+        let m = MarkovAnalysis::analyze(osc, [((), 3)]);
+        assert_eq!(m.expected_steps_to_commit(), None);
+    }
+
+    #[test]
+    fn coin_commit_probabilities_sum_to_one() {
+        // The schism protocol from verify.rs: outcome depends on schedule.
+        let coin = FnProtocol::new(
+            |&(): &()| 0u8,
+            |&q: &u8| q,
+            |&p: &u8, &q: &u8| match (p, q) {
+                (0, 0) => (1, 2),
+                (1, 0) => (1, 1),
+                (2, 0) => (2, 2),
+                (0, 1) => (1, 1),
+                (0, 2) => (2, 2),
+                other => other,
+            },
+        );
+        let m = MarkovAnalysis::analyze(coin, [((), 4)]);
+        let probs = m.commit_probabilities();
+        assert!(m.classes().len() >= 2);
+        let sum: f64 = probs.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9, "probabilities sum to {sum}");
+        assert!(probs.iter().all(|&p| p >= -1e-12));
+    }
+
+    #[test]
+    fn already_committed_initial_config() {
+        let m = MarkovAnalysis::analyze(epidemic(), [(true, 4)]);
+        assert_eq!(m.expected_steps_to_commit(), Some(0.0));
+        let probs = m.commit_probabilities();
+        assert_eq!(probs, vec![1.0]);
+    }
+}

@@ -1,0 +1,256 @@
+//! Reachable-configuration enumeration: the transition graph `G(A, P)`
+//! restricted to the configurations reachable from a given initial one.
+
+use std::collections::HashMap;
+
+use pp_core::config::{CanonicalConfig, CountConfig};
+use pp_core::registry::{DenseRuntime, OutputId, StateId};
+use pp_core::Protocol;
+
+/// The reachable part of the transition graph of a protocol on the
+/// standard population, with configurations as multisets of states.
+///
+/// Node `0` is always the initial configuration.
+#[derive(Debug)]
+pub struct ConfigGraph<P: Protocol> {
+    runtime: DenseRuntime<P>,
+    configs: Vec<CanonicalConfig>,
+    /// Deduplicated successor lists (excluding self-loops produced by no-op
+    /// transitions — a configuration can always "go to itself").
+    succ: Vec<Vec<usize>>,
+}
+
+/// Default bound on explored configurations, protecting against state-space
+/// explosion.
+pub const DEFAULT_CONFIG_BOUND: usize = 2_000_000;
+
+impl<P: Protocol> ConfigGraph<P> {
+    /// Explores all configurations reachable from the symbol-count input
+    /// `inputs`, with the default exploration bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the population has fewer than 2 agents or exploration
+    /// exceeds the bound.
+    pub fn explore<I>(protocol: P, inputs: I) -> Self
+    where
+        I: IntoIterator<Item = (P::Input, u64)>,
+    {
+        Self::explore_bounded(protocol, inputs, DEFAULT_CONFIG_BOUND)
+    }
+
+    /// Explores with an explicit bound on the number of configurations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the population has fewer than 2 agents or exploration
+    /// exceeds `bound` configurations.
+    pub fn explore_bounded<I>(protocol: P, inputs: I, bound: usize) -> Self
+    where
+        I: IntoIterator<Item = (P::Input, u64)>,
+    {
+        let mut rt = DenseRuntime::new(protocol);
+        let mut init = CountConfig::empty();
+        for (x, k) in inputs {
+            let s = rt.intern_input(&x);
+            init.add(s, k);
+        }
+        assert!(init.population() >= 2, "population must have at least 2 agents");
+        Self::explore_from(rt, init, bound)
+    }
+
+    /// Explores from an explicit initial configuration (e.g. one with a
+    /// designated leader state).
+    ///
+    /// # Panics
+    ///
+    /// Panics if exploration exceeds `bound` configurations.
+    pub fn explore_from(
+        mut rt: DenseRuntime<P>,
+        init: CountConfig,
+        bound: usize,
+    ) -> Self {
+        let mut configs: Vec<CanonicalConfig> = Vec::new();
+        let mut index: HashMap<CanonicalConfig, usize> = HashMap::new();
+        let mut succ: Vec<Vec<usize>> = Vec::new();
+        let mut work: Vec<usize> = Vec::new();
+
+        let c0 = init.to_canonical();
+        index.insert(c0.clone(), 0);
+        configs.push(c0);
+        succ.push(Vec::new());
+        work.push(0);
+
+        while let Some(i) = work.pop() {
+            let counts = configs[i].to_counts();
+            let support: Vec<(StateId, u64)> = counts.support().collect();
+            let mut outs: Vec<usize> = Vec::new();
+            for &(p, cp) in &support {
+                for &(q, cq) in &support {
+                    if p == q && cp < 2 {
+                        continue;
+                    }
+                    let _ = cq;
+                    let (p2, q2) = rt.transition(p, q);
+                    if (p2, q2) == (p, q) {
+                        continue; // no-op: self-loop, not recorded
+                    }
+                    let mut next = counts.clone();
+                    next.ensure_len(rt.state_count());
+                    next.apply((p, q), (p2, q2));
+                    let canon = next.to_canonical();
+                    let j = match index.get(&canon) {
+                        Some(&j) => j,
+                        None => {
+                            let j = configs.len();
+                            assert!(
+                                j < bound,
+                                "configuration exploration exceeded bound {bound}"
+                            );
+                            index.insert(canon.clone(), j);
+                            configs.push(canon);
+                            succ.push(Vec::new());
+                            work.push(j);
+                            j
+                        }
+                    };
+                    if j != i && !outs.contains(&j) {
+                        outs.push(j);
+                    }
+                }
+            }
+            outs.sort_unstable();
+            succ[i] = outs;
+        }
+
+        Self { runtime: rt, configs, succ }
+    }
+
+    /// Number of reachable configurations.
+    pub fn len(&self) -> usize {
+        self.configs.len()
+    }
+
+    /// Whether the graph is empty (never: the initial configuration is
+    /// always present).
+    pub fn is_empty(&self) -> bool {
+        self.configs.is_empty()
+    }
+
+    /// The configuration at node `i` (node 0 is the initial configuration).
+    pub fn config(&self, i: usize) -> &CanonicalConfig {
+        &self.configs[i]
+    }
+
+    /// Successor node indices of node `i` (deduplicated, no self-loops).
+    pub fn successors(&self, i: usize) -> &[usize] {
+        &self.succ[i]
+    }
+
+    /// The dense protocol runtime used during exploration.
+    pub fn runtime(&self) -> &DenseRuntime<P> {
+        &self.runtime
+    }
+
+    /// The output histogram of node `i` as `(output id, agent count)`.
+    pub fn output_histogram(&self, i: usize) -> Vec<(OutputId, u64)> {
+        let mut hist: Vec<(OutputId, u64)> = Vec::new();
+        for &(s, c) in self.configs[i].pairs() {
+            let o = self.runtime.output_of(s);
+            match hist.iter_mut().find(|(oo, _)| *oo == o) {
+                Some((_, acc)) => *acc += c,
+                None => hist.push((o, c)),
+            }
+        }
+        hist.sort_unstable_by_key(|&(o, _)| o);
+        hist
+    }
+
+    /// If all agents in node `i` share an output, that output id.
+    pub fn consensus_output(&self, i: usize) -> Option<OutputId> {
+        let h = self.output_histogram(i);
+        if h.len() == 1 {
+            Some(h[0].0)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_core::FnProtocol;
+
+    fn epidemic() -> impl Protocol<State = bool, Input = bool, Output = bool> {
+        FnProtocol::new(
+            |&b: &bool| b,
+            |&q: &bool| q,
+            |&p: &bool, &q: &bool| (p || q, p || q),
+        )
+    }
+
+    #[test]
+    fn epidemic_reachable_configs_are_infection_levels() {
+        // From (1 infected, 4 healthy): reachable = 1..=5 infected.
+        let g = ConfigGraph::explore(epidemic(), [(true, 1), (false, 4)]);
+        assert_eq!(g.len(), 5);
+        // The fully-infected configuration has no successors.
+        let terminal = (0..g.len())
+            .filter(|&i| g.successors(i).is_empty())
+            .collect::<Vec<_>>();
+        assert_eq!(terminal.len(), 1);
+        assert_eq!(g.config(terminal[0]).population(), 5);
+        let h = g.output_histogram(terminal[0]);
+        assert_eq!(h.len(), 1);
+        assert_eq!(h[0].1, 5);
+    }
+
+    #[test]
+    fn healthy_population_is_inert() {
+        let g = ConfigGraph::explore(epidemic(), [(false, 6)]);
+        assert_eq!(g.len(), 1);
+        assert!(g.successors(0).is_empty());
+        assert!(g.consensus_output(0).is_some());
+    }
+
+    #[test]
+    fn same_state_pair_requires_two_agents() {
+        // A protocol where (a, a) interactions matter: token merging.
+        let merge = FnProtocol::new(
+            |&(): &()| 1u8,
+            |&q: &u8| q,
+            |&p: &u8, &q: &u8| if p == 1 && q == 1 { (2, 0) } else { (p, q) },
+        );
+        // One agent in state 1, one in state 0 (via crafted inputs): no
+        // (1,1) pair possible.
+        let mut rt = DenseRuntime::new(merge);
+        let s1 = rt.intern(1u8);
+        let s0 = rt.intern(0u8);
+        let mut init = CountConfig::empty();
+        init.add(s1, 1);
+        init.add(s0, 1);
+        let g = ConfigGraph::explore_from(rt, init, 1000);
+        assert_eq!(g.len(), 1, "no transition should fire with a single token");
+    }
+
+    #[test]
+    fn output_histogram_orders_by_output_id() {
+        let g = ConfigGraph::explore(epidemic(), [(true, 2), (false, 2)]);
+        let h = g.output_histogram(0);
+        let total: u64 = h.iter().map(|&(_, c)| c).sum();
+        assert_eq!(total, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeded bound")]
+    fn bound_is_enforced() {
+        // Count-to-many has lots of configurations; tiny bound trips.
+        let count = FnProtocol::new(
+            |&b: &bool| u32::from(b),
+            |&q: &u32| q >= 50,
+            |&p: &u32, &q: &u32| if p + q >= 50 { (50, 50) } else { (p + q, 0) },
+        );
+        let _ = ConfigGraph::explore_bounded(count, [(true, 12), (false, 0)], 8);
+    }
+}

@@ -1,0 +1,189 @@
+//! Strongly connected components (Tarjan, iterative) and final-component
+//! detection.
+//!
+//! Lemma 1 of the paper: the configurations occurring infinitely often in a
+//! fair computation form exactly a *final* strongly connected component of
+//! the transition graph (one with no edges leaving it). Deciding stable
+//! computation therefore reduces to inspecting final components.
+
+/// The strongly connected components of a directed graph given by
+/// successor lists.
+#[derive(Debug, Clone)]
+pub struct SccDecomposition {
+    /// `component[v]` is the component index of node `v`; component indices
+    /// are in *reverse topological order* (an edge `u → v` across
+    /// components has `component[u] > component[v]`).
+    pub component: Vec<usize>,
+    /// Members of each component.
+    pub members: Vec<Vec<usize>>,
+    /// Whether each component is final (no edge leaves it).
+    pub is_final: Vec<bool>,
+}
+
+impl SccDecomposition {
+    /// Number of components.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether there are no components (only for the empty graph).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Indices of the final components.
+    pub fn final_components(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.len()).filter(|&c| self.is_final[c])
+    }
+
+    /// Whether node `v` belongs to a final component (i.e. is a *final
+    /// configuration* in the paper's sense).
+    pub fn is_final_node(&self, v: usize) -> bool {
+        self.is_final[self.component[v]]
+    }
+}
+
+/// Computes the SCC decomposition from per-node successor lists
+/// (iterative Tarjan — no recursion, safe for deep graphs).
+pub fn tarjan_slices(succ: &[Vec<usize>]) -> SccDecomposition {
+    let n = succ.len();
+    const UNVISITED: usize = usize::MAX;
+    let mut index = vec![UNVISITED; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut component = vec![UNVISITED; n];
+    let mut members: Vec<Vec<usize>> = Vec::new();
+    let mut counter = 0usize;
+
+    // Explicit DFS stack: (node, next-successor-position).
+    let mut call: Vec<(usize, usize)> = Vec::new();
+
+    for root in 0..n {
+        if index[root] != UNVISITED {
+            continue;
+        }
+        call.push((root, 0));
+        index[root] = counter;
+        low[root] = counter;
+        counter += 1;
+        stack.push(root);
+        on_stack[root] = true;
+
+        while let Some(&mut (v, ref mut pos)) = call.last_mut() {
+            if *pos < succ[v].len() {
+                let w = succ[v][*pos];
+                *pos += 1;
+                if index[w] == UNVISITED {
+                    index[w] = counter;
+                    low[w] = counter;
+                    counter += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    call.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                call.pop();
+                if let Some(&(parent, _)) = call.last() {
+                    low[parent] = low[parent].min(low[v]);
+                }
+                if low[v] == index[v] {
+                    // v is the root of a new component.
+                    let c = members.len();
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w] = false;
+                        component[w] = c;
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    members.push(comp);
+                }
+            }
+        }
+    }
+
+    // Finality: no edge leaves the component.
+    let mut is_final = vec![true; members.len()];
+    for (v, outs) in succ.iter().enumerate() {
+        for &w in outs {
+            if component[v] != component[w] {
+                is_final[component[v]] = false;
+            }
+        }
+    }
+
+    SccDecomposition { component, members, is_final }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_node_no_edges() {
+        let d = tarjan_slices(&[vec![]]);
+        assert_eq!(d.len(), 1);
+        assert!(d.is_final_node(0));
+    }
+
+    #[test]
+    fn chain_has_singleton_components_with_final_sink() {
+        let succ = vec![vec![1], vec![2], vec![]];
+        let d = tarjan_slices(&succ);
+        assert_eq!(d.len(), 3);
+        assert!(d.is_final_node(2));
+        assert!(!d.is_final_node(0));
+        assert!(!d.is_final_node(1));
+        // Edge u→v across components: component[u] > component[v].
+        assert!(d.component[0] > d.component[1]);
+        assert!(d.component[1] > d.component[2]);
+    }
+
+    #[test]
+    fn cycle_is_one_component() {
+        let succ = vec![vec![1], vec![2], vec![0]];
+        let d = tarjan_slices(&succ);
+        assert_eq!(d.len(), 1);
+        assert!(d.is_final_node(0));
+        assert_eq!(d.members[0].len(), 3);
+    }
+
+    #[test]
+    fn cycle_with_escape_is_not_final() {
+        // 0 ↔ 1, plus 1 → 2 (sink).
+        let succ = vec![vec![1], vec![0, 2], vec![]];
+        let d = tarjan_slices(&succ);
+        assert_eq!(d.len(), 2);
+        assert!(!d.is_final_node(0));
+        assert!(!d.is_final_node(1));
+        assert!(d.is_final_node(2));
+    }
+
+    #[test]
+    fn two_final_components() {
+        // 0 → 1 (sink), 0 → 2 ↔ 3.
+        let succ = vec![vec![1, 2], vec![], vec![3], vec![2]];
+        let d = tarjan_slices(&succ);
+        assert_eq!(d.final_components().count(), 2);
+        assert!(d.is_final_node(1));
+        assert!(d.is_final_node(2));
+        assert!(d.is_final_node(3));
+        assert!(!d.is_final_node(0));
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow() {
+        // 100k-node chain: recursion would blow the stack; iteration must not.
+        let n = 100_000;
+        let succ: Vec<Vec<usize>> = (0..n).map(|i| if i + 1 < n { vec![i + 1] } else { vec![] }).collect();
+        let d = tarjan_slices(&succ);
+        assert_eq!(d.len(), n);
+        assert!(d.is_final_node(n - 1));
+    }
+}

@@ -1,0 +1,341 @@
+//! The stable-computation decision procedure.
+//!
+//! A computation converges iff it reaches an output-stable configuration
+//! (§3.2); by Lemma 1, fair computations cycle forever inside a final
+//! strongly connected component, visiting all of it infinitely often. So a
+//! protocol stably computes output `y` on input `x` iff **every final SCC
+//! reachable from `C_x` is output-uniform with value `y`** — which is
+//! decidable by exhaustive search on the (finite) configuration graph.
+//! This module is the executable content of the paper's Theorem 6 argument
+//! (there phrased as an `NL` upper bound via multiset counters).
+
+use pp_core::Protocol;
+
+use crate::reach::ConfigGraph;
+use crate::scc::{tarjan_slices, SccDecomposition};
+
+/// Result of an exact stable-computation analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict<Y> {
+    /// Every fair computation converges to this output on every agent.
+    Stable(Y),
+    /// Every fair computation converges, but different computations may
+    /// stabilize to different outputs (the relation is not single-valued),
+    /// or agents stabilize without consensus.
+    Ambiguous {
+        /// The distinct stable output histograms, as `(output, count)` rows.
+        outcomes: Vec<Vec<(Y, u64)>>,
+    },
+    /// Some fair computation never converges: a reachable final component
+    /// contains configurations with different output assignments.
+    NotConvergent,
+}
+
+impl<Y> Verdict<Y> {
+    /// Whether the verdict is `Stable(_)`.
+    pub fn is_stable(&self) -> bool {
+        matches!(self, Self::Stable(_))
+    }
+}
+
+/// The full analysis result: the explored graph plus the verdict.
+#[derive(Debug)]
+pub struct StableComputation<P: Protocol> {
+    graph: ConfigGraph<P>,
+    scc: SccDecomposition,
+    verdict: Verdict<P::Output>,
+}
+
+impl<P: Protocol> StableComputation<P> {
+    /// Analyzes the protocol from the given symbol-count input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the population is smaller than 2 or exploration exceeds
+    /// the default bound.
+    pub fn analyze<I>(protocol: P, inputs: I) -> Self
+    where
+        I: IntoIterator<Item = (P::Input, u64)>,
+    {
+        let graph = ConfigGraph::explore(protocol, inputs);
+        Self::from_graph(graph)
+    }
+
+    /// Analyzes a pre-explored configuration graph.
+    pub fn from_graph(graph: ConfigGraph<P>) -> Self {
+        let succ: Vec<Vec<usize>> = (0..graph.len()).map(|i| graph.successors(i).to_vec()).collect();
+        let scc = tarjan_slices(&succ);
+
+        // Collect the output histograms of final components, checking
+        // uniformity within each.
+        let mut outcomes: Vec<Vec<(P::Output, u64)>> = Vec::new();
+        let mut not_convergent = false;
+        for c in scc.final_components() {
+            let members = &scc.members[c];
+            let first = graph.output_histogram(members[0]);
+            if members
+                .iter()
+                .any(|&v| graph.output_histogram(v) != first)
+            {
+                not_convergent = true;
+                continue;
+            }
+            let hist: Vec<(P::Output, u64)> = first
+                .into_iter()
+                .map(|(o, k)| (graph.runtime().output_value(o).clone(), k))
+                .collect();
+            if !outcomes.contains(&hist) {
+                outcomes.push(hist);
+            }
+        }
+
+        let verdict = if not_convergent {
+            Verdict::NotConvergent
+        } else if outcomes.len() == 1 && outcomes[0].len() == 1 {
+            Verdict::Stable(outcomes[0][0].0.clone())
+        } else {
+            Verdict::Ambiguous { outcomes }
+        };
+
+        Self { graph, scc, verdict }
+    }
+
+    /// The verdict.
+    pub fn verdict(&self) -> &Verdict<P::Output> {
+        &self.verdict
+    }
+
+    /// The explored configuration graph.
+    pub fn graph(&self) -> &ConfigGraph<P> {
+        &self.graph
+    }
+
+    /// The SCC decomposition of the configuration graph.
+    pub fn scc(&self) -> &SccDecomposition {
+        &self.scc
+    }
+
+    /// Number of reachable configurations.
+    pub fn reachable_configs(&self) -> usize {
+        self.graph.len()
+    }
+
+    /// Number of final components.
+    pub fn final_component_count(&self) -> usize {
+        self.scc.final_components().count()
+    }
+}
+
+/// Report from [`verify_predicate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PredicateReport {
+    /// The expected truth value.
+    pub expected: bool,
+    /// The verdict of the exact analysis.
+    pub verdict: Verdict<bool>,
+    /// Number of reachable configurations examined.
+    pub reachable_configs: usize,
+}
+
+impl PredicateReport {
+    /// Whether the protocol stably computes exactly the expected value.
+    pub fn holds(&self) -> bool {
+        self.verdict == Verdict::Stable(self.expected)
+    }
+}
+
+/// Exhaustively verifies that `protocol` stably computes `expected` (under
+/// the all-agents predicate output convention) on the given symbol-count
+/// input: *every* fair computation from that input must converge to
+/// `expected` on every agent.
+///
+/// # Panics
+///
+/// Panics if the population is smaller than 2 or exploration exceeds the
+/// default configuration bound.
+pub fn verify_predicate<P, I>(protocol: P, inputs: I, expected: bool) -> PredicateReport
+where
+    P: Protocol<Output = bool>,
+    I: IntoIterator<Item = (P::Input, u64)>,
+{
+    let a = StableComputation::analyze(protocol, inputs);
+    PredicateReport {
+        expected,
+        verdict: a.verdict().clone(),
+        reachable_configs: a.reachable_configs(),
+    }
+}
+
+/// Exhaustively verifies a predicate protocol against a ground-truth
+/// function over **every** symbol-count input with `2 ≤ n ≤ max_n`, where
+/// the input alphabet is `0..arity`.
+///
+/// Returns the number of inputs verified, or the first counterexample.
+///
+/// # Errors
+///
+/// Returns `Err((counts, report))` for the first input whose exact
+/// analysis does not yield `Stable(truth(counts))`.
+///
+/// # Panics
+///
+/// Panics if `arity == 0`.
+///
+/// # Example
+///
+/// ```
+/// use pp_analysis::verify::verify_all_inputs;
+/// use pp_protocols::majority;
+///
+/// let checked = verify_all_inputs(
+///     || majority(),
+///     2,
+///     5,
+///     |counts| counts[1] > counts[0],
+/// ).unwrap();
+/// assert_eq!(checked, 18); // all splits with 2 ≤ n ≤ 5
+/// ```
+pub fn verify_all_inputs<P, F, T>(
+    make: F,
+    arity: usize,
+    max_n: u64,
+    truth: T,
+) -> Result<u64, (Vec<u64>, PredicateReport)>
+where
+    P: Protocol<Input = usize, Output = bool>,
+    F: Fn() -> P,
+    T: Fn(&[u64]) -> bool,
+{
+    assert!(arity >= 1, "need at least one input symbol");
+    let mut verified = 0u64;
+    let mut counts = vec![0u64; arity];
+    loop {
+        let n: u64 = counts.iter().sum();
+        if (2..=max_n).contains(&n) {
+            let expected = truth(&counts);
+            let report = verify_predicate(
+                make(),
+                counts.iter().enumerate().map(|(i, &c)| (i, c)),
+                expected,
+            );
+            if !report.holds() {
+                return Err((counts, report));
+            }
+            verified += 1;
+        }
+        let mut i = 0;
+        while i < arity {
+            counts[i] += 1;
+            if counts[i] <= max_n {
+                break;
+            }
+            counts[i] = 0;
+            i += 1;
+        }
+        if i == arity {
+            return Ok(verified);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_core::FnProtocol;
+
+    #[test]
+    fn epidemic_is_stable_true() {
+        let epidemic = FnProtocol::new(
+            |&b: &bool| b,
+            |&q: &bool| q,
+            |&p: &bool, &q: &bool| (p || q, p || q),
+        );
+        let r = verify_predicate(epidemic, [(true, 1), (false, 4)], true);
+        assert!(r.holds(), "{r:?}");
+        assert_eq!(r.reachable_configs, 5);
+    }
+
+    #[test]
+    fn wrong_expectation_fails() {
+        let epidemic = FnProtocol::new(
+            |&b: &bool| b,
+            |&q: &bool| q,
+            |&p: &bool, &q: &bool| (p || q, p || q),
+        );
+        let r = verify_predicate(epidemic, [(true, 1), (false, 4)], false);
+        assert!(!r.holds());
+    }
+
+    #[test]
+    fn nonconsensus_is_ambiguous_not_stable() {
+        // A protocol that never changes state: agents keep their inputs, so
+        // a mixed input never reaches consensus.
+        let inert = FnProtocol::new(
+            |&b: &bool| b,
+            |&q: &bool| q,
+            |&p: &bool, &q: &bool| (p, q),
+        );
+        let a = StableComputation::analyze(inert, [(true, 1), (false, 1)]);
+        match a.verdict() {
+            Verdict::Ambiguous { outcomes } => {
+                assert_eq!(outcomes.len(), 1);
+                assert_eq!(outcomes[0].len(), 2, "two distinct outputs present");
+            }
+            v => panic!("expected ambiguous, got {v:?}"),
+        }
+    }
+
+    #[test]
+    fn nondeterministic_outcome_detected() {
+        // "Gossip coin": when two agents in the initial state s meet, both
+        // commit to the initiator role outcome; the final consensus depends
+        // on scheduling. States: 0 = undecided, 1/2 = committed values;
+        // committed values recruit undecided agents; two different
+        // committed values deadlock (no transition).
+        let coin = FnProtocol::new(
+            |&(): &()| 0u8,
+            |&q: &u8| q,
+            |&p: &u8, &q: &u8| match (p, q) {
+                (0, 0) => (1, 2), // schism!
+                (1, 0) => (1, 1),
+                (2, 0) => (2, 2),
+                (0, 1) => (1, 1),
+                (0, 2) => (2, 2),
+                other => other,
+            },
+        );
+        let a = StableComputation::analyze(coin, [((), 4)]);
+        match a.verdict() {
+            // Mixed committed values persist: outcomes include non-consensus
+            // histograms -> Ambiguous.
+            Verdict::Ambiguous { outcomes } => assert!(outcomes.len() > 1),
+            v => panic!("expected ambiguity, got {v:?}"),
+        }
+    }
+
+    #[test]
+    fn oscillator_is_not_convergent() {
+        // Two outputs alternate forever inside one final SCC: a protocol
+        // where any interaction flips both agents' bits.
+        let osc = FnProtocol::new(
+            |&(): &()| false,
+            |&q: &bool| q,
+            |&p: &bool, &q: &bool| (!p, !q),
+        );
+        let a = StableComputation::analyze(osc, [((), 3)]);
+        assert_eq!(*a.verdict(), Verdict::NotConvergent);
+    }
+
+    #[test]
+    fn analysis_exposes_graph_and_scc() {
+        let epidemic = FnProtocol::new(
+            |&b: &bool| b,
+            |&q: &bool| q,
+            |&p: &bool, &q: &bool| (p || q, p || q),
+        );
+        let a = StableComputation::analyze(epidemic, [(true, 1), (false, 3)]);
+        assert_eq!(a.reachable_configs(), 4);
+        assert_eq!(a.final_component_count(), 1);
+        assert!(a.scc().is_final_node(a.reachable_configs() - 1) || !a.graph().is_empty());
+    }
+}

@@ -1,0 +1,80 @@
+//! Consistency checks between the analysis passes: the stable-computation
+//! verdict, the Markov chain, and the paper's protocol library.
+
+use pp_analysis::verify::{StableComputation, Verdict};
+use pp_analysis::{verify_all_inputs, MarkovAnalysis};
+use pp_protocols::{majority, parity, CountThreshold, PercentThreshold};
+
+#[test]
+fn paper_protocols_verified_for_all_small_inputs() {
+    // Majority.
+    verify_all_inputs(majority, 2, 6, |c| c[1] > c[0])
+        .unwrap_or_else(|(c, r)| panic!("majority at {c:?}: {:?}", r.verdict));
+    // Parity.
+    verify_all_inputs(parity, 2, 6, |c| c[1] % 2 == 1)
+        .unwrap_or_else(|(c, r)| panic!("parity at {c:?}: {:?}", r.verdict));
+}
+
+#[test]
+fn count_threshold_all_k_all_inputs() {
+    for k in 1u32..=4 {
+        for ones in 0u64..=6 {
+            for zeros in 0u64..=(6 - ones) {
+                if ones + zeros < 2 {
+                    continue;
+                }
+                let a = StableComputation::analyze(
+                    CountThreshold::new(k),
+                    [(true, ones), (false, zeros)],
+                );
+                assert_eq!(
+                    *a.verdict(),
+                    Verdict::Stable(ones >= u64::from(k)),
+                    "k={k} ones={ones} zeros={zeros}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn percent_threshold_small_populations() {
+    let p = || PercentThreshold::new(1, 4).unwrap(); // at least 25%
+    for hot in 0u64..=6 {
+        for cold in 0u64..=(6 - hot) {
+            if hot + cold < 2 {
+                continue;
+            }
+            let expected = 4 * hot >= hot + cold;
+            let a = StableComputation::analyze(p(), [(true, hot), (false, cold)]);
+            assert_eq!(
+                *a.verdict(),
+                Verdict::Stable(expected),
+                "hot={hot} cold={cold}"
+            );
+        }
+    }
+}
+
+#[test]
+fn stable_verdict_implies_certain_commitment() {
+    // Whenever the exact verdict is Stable, the Markov chain must commit
+    // almost surely (finite expected time) and all its committed classes
+    // must carry the stable output.
+    for (ones, zeros) in [(1u64, 4u64), (3, 2), (2, 2), (4, 1)] {
+        let a = StableComputation::analyze(majority(), [(0usize, zeros), (1usize, ones)]);
+        let Verdict::Stable(v) = a.verdict() else {
+            panic!("majority must be stable at {ones}/{zeros}");
+        };
+        let m = MarkovAnalysis::analyze(majority(), [(0usize, zeros), (1usize, ones)]);
+        let t = m.expected_steps_to_commit();
+        assert!(t.is_some(), "stable verdict but no almost-sure commitment");
+        for cls in m.classes() {
+            assert_eq!(cls.len(), 1, "committed class must be consensus");
+            assert_eq!(cls[0].0, *v, "committed output must match verdict");
+        }
+        let probs = m.commit_probabilities();
+        let sum: f64 = probs.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9, "commit probabilities sum to {sum}");
+    }
+}

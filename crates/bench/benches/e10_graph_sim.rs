@@ -1,0 +1,78 @@
+//! E10 — Theorem 7 / Fig. 1: the baton simulator runs complete-graph
+//! protocols on arbitrary weakly-connected graphs.
+//!
+//! Majority on the complete graph (bare protocol) vs the transformed
+//! protocol A′ on complete / line / cycle / star / random graphs. The
+//! paper proves correctness, not speed — the measured slowdown factors
+//! quantify the price of generality.
+
+use pp_bench::{fmt, mean, print_header};
+use pp_core::{seeded_rng, AgentSimulation, Simulation};
+use pp_graphs as graphs;
+use pp_protocols::{majority, GraphSimulator};
+
+fn main() {
+    let n = 10usize;
+    let ones = 6usize;
+    let expected = true;
+    println!("\nE10: Theorem 7 — majority via the Fig. 1 simulator, n = {n}, {ones} ones\n");
+    print_header(&["graph", "edges", "runs", "E[stabilize]", "slowdown"], &[16, 6, 5, 14, 10]);
+
+    let inputs: Vec<usize> = (0..n).map(|i| usize::from(i < ones)).collect();
+    let trials = 30u64;
+
+    // Baseline: bare protocol on the complete graph.
+    let mut base_times = Vec::new();
+    for seed in 0..trials {
+        let mut sim = Simulation::from_counts(
+            majority(),
+            [(0usize, (n - ones) as u64), (1usize, ones as u64)],
+        );
+        let mut rng = seeded_rng(seed);
+        let rep = sim.measure_stabilization(&expected, 400_000, &mut rng);
+        base_times.push(rep.stabilized_at.expect("stabilizes") as f64);
+    }
+    let base = mean(&base_times);
+    println!(
+        "{:>16} {:>6} {:>5} {:>14} {:>10}",
+        "bare (complete)",
+        n * (n - 1),
+        trials,
+        fmt(base),
+        fmt(1.0)
+    );
+
+    let mut rng0 = seeded_rng(99);
+    let cases: Vec<(&str, graphs::InteractionGraph)> = vec![
+        ("A' complete", graphs::complete(n)),
+        ("A' line", graphs::undirected_line(n)),
+        ("A' cycle", graphs::undirected_cycle(n)),
+        ("A' star", graphs::star(n)),
+        ("A' random(0.3)", graphs::erdos_renyi_connected(n, 0.3, &mut rng0)),
+    ];
+    for (name, g) in cases {
+        let mut times = Vec::new();
+        for seed in 0..trials {
+            let mut sim = AgentSimulation::from_inputs(
+                GraphSimulator::new(majority()),
+                &inputs,
+                g.scheduler(),
+            );
+            let mut rng = seeded_rng(1000 + seed);
+            let rep = sim.measure_stabilization(&expected, 4_000_000, &mut rng);
+            times.push(rep.stabilized_at.expect("stabilizes") as f64);
+        }
+        let m = mean(&times);
+        println!(
+            "{:>16} {:>6} {:>5} {:>14} {:>10}",
+            name,
+            g.edge_count(),
+            trials,
+            fmt(m),
+            fmt(m / base)
+        );
+    }
+
+    println!("\npaper: A' stably computes the predicate on every weakly-connected graph;");
+    println!("sparser graphs pay a polynomial slowdown (state tokens random-walk)\n");
+}

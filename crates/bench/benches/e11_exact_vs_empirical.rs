@@ -1,0 +1,104 @@
+//! E11 — Theorem 11 / §6.2: the exact Markov-chain analysis agrees with
+//! Monte-Carlo simulation.
+//!
+//! For small populations we build the full configuration chain, solve for
+//! the expected number of interactions until the output-committed set, and
+//! compare with direct simulation (measuring, per run, the interaction at
+//! which the simulated trajectory first entered the committed set —
+//! approximated here by the last output change + confirmation tail).
+
+use pp_analysis::MarkovAnalysis;
+use pp_bench::{fmt, mean, print_header};
+use pp_core::{seeded_rng, FnProtocol, Simulation};
+use pp_protocols::{majority, CountThreshold};
+
+fn epidemic() -> impl pp_core::Protocol<State = bool, Input = bool, Output = bool> + Clone {
+    FnProtocol::new(
+        |&b: &bool| b,
+        |&q: &bool| q,
+        |&p: &bool, &q: &bool| (p || q, p || q),
+    )
+}
+
+fn main() {
+    println!("\nE11: Theorem 11 — exact chain analysis vs Monte-Carlo\n");
+    print_header(
+        &["protocol", "n", "configs", "exact E[T]", "MC E[T]", "ratio"],
+        &[14, 5, 9, 12, 12, 8],
+    );
+
+    // Epidemic: committed = all-infected; MC measures consensus directly.
+    for n in [6u64, 10, 14] {
+        let m = MarkovAnalysis::analyze(epidemic(), [(true, 1), (false, n - 1)]);
+        let exact = m.expected_steps_to_commit().unwrap();
+        let trials = 4000;
+        let mut total = 0u64;
+        for seed in 0..trials {
+            let mut sim = Simulation::from_counts(epidemic(), [(true, 1), (false, n - 1)]);
+            let mut rng = seeded_rng(seed);
+            total += sim.run_until_consensus(&true, u64::MAX, &mut rng).unwrap();
+        }
+        let mc = total as f64 / trials as f64;
+        println!(
+            "{:>14} {:>5} {:>9} {:>12} {:>12} {:>8}",
+            "epidemic",
+            n,
+            m.graph().len(),
+            fmt(exact),
+            fmt(mc),
+            fmt(mc / exact)
+        );
+    }
+
+    // Majority: committed set = configurations from which outputs are
+    // frozen; MC uses last-wrong-output time as a lower-bound proxy.
+    for (zeros, ones) in [(2u64, 3u64), (3, 4), (4, 5)] {
+        let m = MarkovAnalysis::analyze(majority(), [(0usize, zeros), (1usize, ones)]);
+        let exact = m.expected_steps_to_commit().unwrap();
+        let trials = 400;
+        let mut times = Vec::new();
+        for seed in 0..trials {
+            let mut sim = Simulation::from_counts(majority(), [(0usize, zeros), (1usize, ones)]);
+            let mut rng = seeded_rng(seed);
+            let rep = sim.measure_stabilization(&true, 60_000, &mut rng);
+            times.push(rep.stabilized_at.expect("stabilizes") as f64);
+        }
+        let mc = mean(&times);
+        println!(
+            "{:>14} {:>5} {:>9} {:>12} {:>12} {:>8}",
+            "majority",
+            zeros + ones,
+            m.graph().len(),
+            fmt(exact),
+            fmt(mc),
+            fmt(mc / exact)
+        );
+    }
+
+    // Count-to-3.
+    for n in [5u64, 8] {
+        let m = MarkovAnalysis::analyze(CountThreshold::new(3), [(true, 3), (false, n - 3)]);
+        let exact = m.expected_steps_to_commit().unwrap();
+        let trials = 400;
+        let mut times = Vec::new();
+        for seed in 0..trials {
+            let mut sim =
+                Simulation::from_counts(CountThreshold::new(3), [(true, 3), (false, n - 3)]);
+            let mut rng = seeded_rng(seed);
+            let rep = sim.measure_stabilization(&true, 60_000, &mut rng);
+            times.push(rep.stabilized_at.expect("stabilizes") as f64);
+        }
+        println!(
+            "{:>14} {:>5} {:>9} {:>12} {:>12} {:>8}",
+            "count-to-3",
+            n,
+            m.graph().len(),
+            fmt(exact),
+            fmt(mean(&times)),
+            fmt(mean(&times) / exact)
+        );
+    }
+
+    println!("\npaper: the chain analysis is exact for commitment; stabilization (output");
+    println!("last wrong) is earlier, so MC/exact ratios at or below 1 are the expected shape\n");
+}

@@ -1,0 +1,84 @@
+//! E12 — engineering throughput of the simulation engines (criterion).
+//!
+//! Not a paper claim: this table documents the cost of one interaction in
+//! the count-based engine (O(|Q|), independent of n) and the agent-based
+//! engine, so experiment budgets elsewhere can be sized.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pp_core::{seeded_rng, AgentSimulation, Simulation};
+use pp_core::scheduler::UniformPairScheduler;
+use pp_presburger::{compile::compile_parsed, parse};
+use pp_protocols::{majority, CountThreshold, GraphSimulator};
+
+fn bench_count_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("count_engine");
+    for &n in &[1_000u64, 100_000, 10_000_000] {
+        group.throughput(Throughput::Elements(1));
+        group.bench_with_input(BenchmarkId::new("majority_step", n), &n, |b, &n| {
+            let mut sim =
+                Simulation::from_counts(majority(), [(0usize, n / 2), (1usize, n / 2 + 1)]);
+            let mut rng = seeded_rng(1);
+            b.iter(|| sim.step(&mut rng));
+        });
+    }
+    group.bench_function("count_to_5_step_n1e6", |b| {
+        let mut sim =
+            Simulation::from_counts(CountThreshold::new(5), [(true, 10), (false, 999_990)]);
+        let mut rng = seeded_rng(2);
+        b.iter(|| sim.step(&mut rng));
+    });
+    group.bench_function("compiled_formula_step_n1e4", |b| {
+        let proto = compile_parsed(&parse("b < a /\\ a = 1 mod 3").unwrap()).unwrap();
+        let mut sim = Simulation::from_counts(proto, [(0usize, 5_000), (1usize, 5_001)]);
+        let mut rng = seeded_rng(3);
+        b.iter(|| sim.step(&mut rng));
+    });
+    group.finish();
+}
+
+fn bench_leap_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("leap_engine");
+    // Whole epidemic runs: the leaping engine fast-forwards no-ops, so a
+    // full run to quiescence is n−1 leaps regardless of how many
+    // interactions they span.
+    for &n in &[1_000u64, 100_000] {
+        group.bench_with_input(BenchmarkId::new("epidemic_full_run", n), &n, |b, &n| {
+            let mut rng = seeded_rng(9);
+            b.iter(|| {
+                let epidemic = pp_core::FnProtocol::new(
+                    |&b: &bool| b,
+                    |&q: &bool| q,
+                    |&p: &bool, &q: &bool| (p || q, p || q),
+                );
+                let mut sim = Simulation::from_counts(epidemic, [(true, 1), (false, n - 1)]);
+                sim.run_to_quiescence(u64::MAX, &mut rng).expect("quiesces")
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_agent_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("agent_engine");
+    for &n in &[100usize, 10_000] {
+        group.throughput(Throughput::Elements(1));
+        group.bench_with_input(BenchmarkId::new("graphsim_step", n), &n, |b, &n| {
+            let inputs: Vec<usize> = (0..n).map(|i| usize::from(i % 2 == 0)).collect();
+            let mut sim = AgentSimulation::from_inputs(
+                GraphSimulator::new(majority()),
+                &inputs,
+                UniformPairScheduler::new(n),
+            );
+            let mut rng = seeded_rng(4);
+            b.iter(|| sim.step(&mut rng));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_count_engine, bench_leap_engine, bench_agent_engine
+}
+criterion_main!(benches);

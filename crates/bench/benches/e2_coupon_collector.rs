@@ -1,0 +1,79 @@
+//! E2 — §6: once unique, the leader must interact with every other agent:
+//! Θ(n log n) leader interactions, i.e. Θ(n² log n) population
+//! interactions (the leader participates in only 2/n of them).
+//!
+//! Measured directly: draw uniform ordered pairs and count interactions
+//! until a fixed agent has met all others. Compared against
+//! `(n²/2)·H_{n−1}` (coupon collector rescaled by the 2/n participation).
+
+use pp_bench::{fit_exponent, fmt, mean, print_header};
+use pp_core::seeded_rng;
+use rand::Rng;
+
+fn interactions_until_leader_meets_all(n: u64, rng: &mut impl Rng) -> u64 {
+    let mut met = vec![false; n as usize];
+    met[0] = true; // the leader
+    let mut remaining = n - 1;
+    let mut interactions = 0u64;
+    while remaining > 0 {
+        interactions += 1;
+        let u = rng.gen_range(0..n);
+        let mut v = rng.gen_range(0..n - 1);
+        if v >= u {
+            v += 1;
+        }
+        let other = if u == 0 {
+            Some(v)
+        } else if v == 0 {
+            Some(u)
+        } else {
+            None
+        };
+        if let Some(o) = other {
+            if !met[o as usize] {
+                met[o as usize] = true;
+                remaining -= 1;
+            }
+        }
+    }
+    interactions
+}
+
+fn harmonic(n: u64) -> f64 {
+    (1..=n).map(|k| 1.0 / k as f64).sum()
+}
+
+fn main() {
+    println!("\nE2: epidemic/coupon phase — paper: Θ(n² log n) interactions for the");
+    println!("unique leader to meet every agent\n");
+    print_header(
+        &["n", "trials", "measured", "(n²/2)·H(n-1)", "ratio"],
+        &[6, 6, 14, 14, 8],
+    );
+
+    let mut ns = Vec::new();
+    let mut ts = Vec::new();
+    for n in [8u64, 16, 32, 64, 128, 256] {
+        let trials = (4_000_000 / (n * n)).clamp(20, 2000);
+        let mut rng = seeded_rng(2 * n + 1);
+        let times: Vec<f64> = (0..trials)
+            .map(|_| interactions_until_leader_meets_all(n, &mut rng) as f64)
+            .collect();
+        let measured = mean(&times);
+        let analytic = (n * n) as f64 / 2.0 * harmonic(n - 1);
+        println!(
+            "{:>6} {:>6} {:>14} {:>14} {:>8}",
+            n,
+            trials,
+            fmt(measured),
+            fmt(analytic),
+            fmt(measured / analytic)
+        );
+        ns.push(n as f64);
+        ts.push(measured);
+    }
+    println!(
+        "\nfitted exponent vs n: {:.3} (paper: 2 plus a log factor)\n",
+        fit_exponent(&ns, &ts)
+    );
+}

@@ -1,0 +1,45 @@
+//! E4 — Lemma 11(1): the urn process loses (k consecutive timer draws
+//! before a counter token) with probability exactly
+//! `(N−1)/(m·Nᵏ + (N−1−m))`, bounded by `1/(m·N^{k−1})`.
+
+use pp_bench::{fmt, print_header};
+use pp_core::seeded_rng;
+use pp_random::UrnProcess;
+
+fn main() {
+    println!("\nE4: Lemma 11(1) — urn loss probability, measured vs closed form\n");
+    print_header(
+        &["N", "m", "k", "trials", "measured", "analytic", "bound"],
+        &[5, 4, 3, 8, 11, 11, 11],
+    );
+
+    let mut rng = seeded_rng(4);
+    for &k in &[1u32, 2, 3] {
+        for &n in &[8u64, 16, 32] {
+            for &m in &[1u64, 2, 4] {
+                let urn = UrnProcess::new(n, m, k);
+                let analytic = urn.loss_probability();
+                // Pick trials so that we expect ≥ ~50 loss events, capped.
+                let trials = ((80.0 / analytic) as u64).clamp(20_000, 3_000_000);
+                let mut losses = 0u64;
+                for _ in 0..trials {
+                    if !urn.run(&mut rng).won {
+                        losses += 1;
+                    }
+                }
+                let measured = losses as f64 / trials as f64;
+                println!(
+                    "{:>5} {:>4} {:>3} {:>8} {:>11} {:>11} {:>11}",
+                    n,
+                    m,
+                    k,
+                    trials,
+                    fmt(measured),
+                    fmt(analytic),
+                    fmt(urn.loss_probability_bound()),
+                );
+            }
+        }
+    }
+    println!("\npaper: measured ≈ analytic ≤ bound, with loss ∝ N^-(k-1)/m\n");
+}

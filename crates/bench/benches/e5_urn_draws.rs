@@ -1,0 +1,61 @@
+//! E5 — Lemma 11(2,3): expected draw counts of the urn process.
+//!
+//! * `m > 0`: conditioned on winning, `E[draws] ≤ N/m`;
+//! * `m = 0`: `E[draws to lose] = O(Nᵏ)` — compared against the exact
+//!   success-run waiting time `(1 − pᵏ)/(pᵏ(1−p))`, `p = 1/N`.
+
+use pp_bench::{fmt, mean, print_header};
+use pp_core::seeded_rng;
+use pp_random::UrnProcess;
+
+fn main() {
+    println!("\nE5a: Lemma 11(2) — winning draws vs the N/m bound (k = 2)\n");
+    print_header(&["N", "m", "trials", "E[draws|win]", "N/m bound"], &[5, 4, 8, 13, 11]);
+    let mut rng = seeded_rng(5);
+    for &n in &[8u64, 16, 32, 64] {
+        for &m in &[1u64, 2, 4] {
+            let urn = UrnProcess::new(n, m, 2);
+            let trials = 60_000;
+            let mut wins = Vec::new();
+            for _ in 0..trials {
+                let o = urn.run(&mut rng);
+                if o.won {
+                    wins.push(o.draws as f64);
+                }
+            }
+            println!(
+                "{:>5} {:>4} {:>8} {:>13} {:>11}",
+                n,
+                m,
+                wins.len(),
+                fmt(mean(&wins)),
+                fmt(urn.expected_draws_bound()),
+            );
+        }
+    }
+
+    println!("\nE5b: Lemma 11(3) — m = 0: E[draws to k consecutive timers] = O(N^k)\n");
+    print_header(&["N", "k", "trials", "measured", "exact", "N^k"], &[5, 3, 8, 11, 11, 11]);
+    for &n in &[4u64, 8, 16] {
+        for &k in &[1u32, 2, 3] {
+            let urn = UrnProcess::new(n, 0, k);
+            let exact = urn.expected_draws_to_lose();
+            let trials = (40_000_000.0 / exact) as u64;
+            let trials = trials.clamp(500, 200_000);
+            let mut draws = Vec::new();
+            for _ in 0..trials {
+                draws.push(urn.run(&mut rng).draws as f64);
+            }
+            println!(
+                "{:>5} {:>3} {:>8} {:>11} {:>11} {:>11}",
+                n,
+                k,
+                trials,
+                fmt(mean(&draws)),
+                fmt(exact),
+                fmt((n as f64).powi(k as i32)),
+            );
+        }
+    }
+    println!("\npaper: measured ≈ exact = Θ(N^k); winning draws stay under N/m\n");
+}

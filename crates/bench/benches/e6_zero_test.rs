@@ -1,0 +1,100 @@
+//! E6 — Theorem 9: the population zero test.
+//!
+//! 1. With `m > 0` nonzero tokens it falsely reports zero with probability
+//!    `Θ(n^{−k}/m)` (exactly the urn loss probability over `n−1` tokens);
+//! 2. conditioned on a correct outcome it takes `O(n²/m)` interactions;
+//! 3. with `m = 0` it takes `O(n^{k+1})` interactions.
+
+use pp_bench::{fit_exponent, fmt, mean, print_header};
+use pp_core::seeded_rng;
+use pp_random::ZeroTest;
+
+fn main() {
+    let mut rng = seeded_rng(6);
+
+    println!("\nE6a: Theorem 9(1) — false-zero probability (k = 2)\n");
+    print_header(
+        &["n", "m", "trials", "measured", "analytic"],
+        &[5, 4, 8, 11, 11],
+    );
+    for &n in &[8u64, 16, 32] {
+        for &m in &[1u64, 2, 4] {
+            let zt = ZeroTest::new(n, m, 2);
+            let analytic = zt.false_zero_probability();
+            let trials = ((60.0 / analytic) as u64).clamp(20_000, 1_500_000);
+            let mut wrong = 0u64;
+            for _ in 0..trials {
+                if zt.run(&mut rng).reported_zero {
+                    wrong += 1;
+                }
+            }
+            println!(
+                "{:>5} {:>4} {:>8} {:>11} {:>11}",
+                n,
+                m,
+                trials,
+                fmt(wrong as f64 / trials as f64),
+                fmt(analytic),
+            );
+        }
+    }
+
+    println!("\nE6b: Theorem 9(2) — interactions, m > 0 (k = 2): O(n²/m)\n");
+    print_header(
+        &["n", "m", "E[interactions]", "n²/m", "ratio"],
+        &[5, 4, 16, 12, 8],
+    );
+    for &n in &[16u64, 32, 64, 128] {
+        for &m in &[1u64, 4] {
+            let zt = ZeroTest::new(n, m, 2);
+            let trials = 20_000;
+            let mut ok_times = Vec::new();
+            for _ in 0..trials {
+                let o = zt.run(&mut rng);
+                if !o.reported_zero {
+                    ok_times.push(o.interactions as f64);
+                }
+            }
+            let measured = mean(&ok_times);
+            let scale = zt.interaction_scale_nonzero();
+            println!(
+                "{:>5} {:>4} {:>16} {:>12} {:>8}",
+                n,
+                m,
+                fmt(measured),
+                fmt(scale),
+                fmt(measured / scale)
+            );
+        }
+    }
+
+    println!("\nE6c: Theorem 9(2) — interactions, m = 0: O(n^(k+1))\n");
+    print_header(
+        &["n", "k", "E[interactions]", "n^(k+1)", "ratio"],
+        &[5, 3, 16, 12, 8],
+    );
+    let mut ns = Vec::new();
+    let mut ts = Vec::new();
+    for &n in &[8u64, 16, 32, 64] {
+        let k = 2;
+        let zt = ZeroTest::new(n, 0, k);
+        let trials = (30_000_000 / (n * n * n)).clamp(200, 20_000);
+        let times: Vec<f64> =
+            (0..trials).map(|_| zt.run(&mut rng).interactions as f64).collect();
+        let measured = mean(&times);
+        println!(
+            "{:>5} {:>3} {:>16} {:>12} {:>8}",
+            n,
+            k,
+            fmt(measured),
+            fmt(zt.interaction_scale_zero()),
+            fmt(measured / zt.interaction_scale_zero())
+        );
+        ns.push(n as f64);
+        ts.push(measured);
+    }
+    println!(
+        "\nfitted exponent (m = 0 case, k = 2): {:.3} (paper: k+1 = 3)\n",
+        fit_exponent(&ns, &ts)
+    );
+}

@@ -1,0 +1,73 @@
+//! E7 — §6.1 counter operations on a population.
+//!
+//! The multiply-by-`b` / divide-by-`b` loops behind push and pop cost
+//! `O(n² log n + n^{k+1})` expected interactions and err with probability
+//! `O(n^{−k} log n)` per operation. We run `c1 ← 2·c0` (multiply) and
+//! `c1 ← ⌊c0/2⌋` (divide) through the population counter machine across a
+//! population sweep, reporting interaction counts and observed error
+//! rates.
+
+use pp_bench::{fmt, mean, print_header};
+use pp_core::seeded_rng;
+use pp_machines::programs;
+use pp_random::counter_sim::PopulationRunOutcome;
+use pp_random::PopulationCounterMachine;
+
+fn run_op(
+    label: &str,
+    program: pp_machines::CounterMachine,
+    init: &dyn Fn(u64) -> Vec<u128>,
+    k: u32,
+) {
+    for n in [16u64, 32, 64] {
+        let pcm = PopulationCounterMachine::new(program.clone(), n as usize, k, 2);
+        let trials = 400;
+        let mut rng = seeded_rng(7 * n + u64::from(k));
+        let mut interactions = Vec::new();
+        let mut errors = 0u64;
+        for _ in 0..trials {
+            match pcm.run(&init(n), u64::MAX / 2, &mut rng) {
+                PopulationRunOutcome::Halted {
+                    interactions: it, silent_errors, ..
+                } => {
+                    interactions.push(it as f64);
+                    if silent_errors > 0 {
+                        errors += 1;
+                    }
+                }
+                other => panic!("{label}: {other:?}"),
+            }
+        }
+        let scale =
+            (n * n) as f64 * (n as f64).ln() + (n as f64).powi(k as i32 + 1);
+        println!(
+            "{:>14} {:>3} {:>6} {:>14} {:>14} {:>8} {:>10}",
+            label,
+            k,
+            n,
+            fmt(mean(&interactions)),
+            fmt(scale),
+            fmt(mean(&interactions) / scale),
+            fmt(errors as f64 / trials as f64),
+        );
+    }
+}
+
+fn main() {
+    println!("\nE7: §6.1 counter ops — multiply/divide by b on the population");
+    println!("paper: O(n² log n + n^(k+1)) interactions, error O(n^-k log n)\n");
+    print_header(
+        &["op", "k", "n", "measured", "n²lnn+n^k+1", "ratio", "err rate"],
+        &[14, 3, 6, 14, 14, 8, 10],
+    );
+
+    // Multiply: value n/4 doubled (population capacity 2(n−2) suffices).
+    run_op("mul by 2", programs::cm_double(), &|n| vec![u128::from(n / 4), 0], 2);
+    // Divide: value n/2 halved with remainder.
+    run_op("div by 2", programs::cm_divmod(2), &|n| vec![u128::from(n / 2), 0, 0], 2);
+    // Same ops at k = 3 (lower error, higher zero-test cost).
+    run_op("mul by 2", programs::cm_double(), &|n| vec![u128::from(n / 4), 0], 3);
+    run_op("div by 2", programs::cm_divmod(2), &|n| vec![u128::from(n / 2), 0, 0], 3);
+
+    println!("\npaper shape: error rate drops by ~n per unit of k; time grows by ~n\n");
+}

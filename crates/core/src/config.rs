@@ -1,0 +1,344 @@
+//! Population configurations.
+//!
+//! A configuration maps each agent to a protocol state (§3.1). Because
+//! agents are anonymous and, on the complete interaction graph, protocols
+//! depend only on the *multiset* of states (§3.5), the workhorse
+//! representation is [`CountConfig`]: a vector of state counts. For general
+//! interaction graphs, agent identity matters to the schedule and
+//! [`AgentConfig`] stores one state per agent.
+
+use crate::registry::StateId;
+
+/// A complete-graph configuration represented as the multiset of agent
+/// states: `counts[s]` agents are in state `s`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CountConfig {
+    counts: Vec<u64>,
+    n: u64,
+}
+
+impl CountConfig {
+    /// Builds a configuration from `(state, multiplicity)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resulting population is empty.
+    pub fn from_pairs<I: IntoIterator<Item = (StateId, u64)>>(pairs: I) -> Self {
+        let mut cfg = Self { counts: Vec::new(), n: 0 };
+        for (s, k) in pairs {
+            cfg.add(s, k);
+        }
+        assert!(cfg.n > 0, "population must be non-empty");
+        cfg
+    }
+
+    /// An empty configuration (population of zero agents); use
+    /// [`add`](Self::add) to populate it.
+    pub fn empty() -> Self {
+        Self { counts: Vec::new(), n: 0 }
+    }
+
+    /// Adds `k` agents in state `s`.
+    pub fn add(&mut self, s: StateId, k: u64) {
+        if k == 0 {
+            return;
+        }
+        self.ensure_len(s.index() + 1);
+        self.counts[s.index()] += k;
+        self.n += k;
+    }
+
+    /// Removes `k` agents in state `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `k` agents are in state `s`.
+    pub fn remove(&mut self, s: StateId, k: u64) {
+        let c = &mut self.counts[s.index()];
+        assert!(*c >= k, "removing {k} agents from state with count {c}");
+        *c -= k;
+        self.n -= k;
+    }
+
+    /// Population size `n`.
+    #[inline]
+    pub fn population(&self) -> u64 {
+        self.n
+    }
+
+    /// Number of agents currently in state `s`.
+    #[inline]
+    pub fn count(&self, s: StateId) -> u64 {
+        self.counts.get(s.index()).copied().unwrap_or(0)
+    }
+
+    /// Grows the dense count vector to cover at least `len` states.
+    pub fn ensure_len(&mut self, len: usize) {
+        if self.counts.len() < len {
+            self.counts.resize(len, 0);
+        }
+    }
+
+    /// Applies one interaction: an initiator in state `p` and a responder in
+    /// state `q` move to `p2` and `q2`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration does not contain the required agents
+    /// (two distinct agents: if `p == q`, at least two agents in that state).
+    #[inline]
+    pub fn apply(&mut self, (p, q): (StateId, StateId), (p2, q2): (StateId, StateId)) {
+        if p == q {
+            debug_assert!(self.count(p) >= 2, "need two agents in state {p:?}");
+        } else {
+            debug_assert!(self.count(p) >= 1 && self.count(q) >= 1);
+        }
+        self.ensure_len(p2.index().max(q2.index()) + 1);
+        self.counts[p.index()] -= 1;
+        self.counts[q.index()] -= 1;
+        self.counts[p2.index()] += 1;
+        self.counts[q2.index()] += 1;
+    }
+
+    /// Iterates over `(state, count)` pairs with non-zero count.
+    pub fn support(&self) -> impl Iterator<Item = (StateId, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (StateId(i as u32), c))
+    }
+
+    /// The raw dense count slice (indexed by state id).
+    pub fn as_slice(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Canonicalizes into a hashable, order-normalized form.
+    pub fn to_canonical(&self) -> CanonicalConfig {
+        CanonicalConfig::from_counts(self)
+    }
+
+    /// Picks the state of the agent with *global index* `idx` under the
+    /// canonical ordering (agents sorted by state id). Used for weighted
+    /// sampling: drawing `idx` uniformly from `0..n` draws a uniform agent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= n`.
+    #[inline]
+    pub fn state_of_index(&self, mut idx: u64) -> StateId {
+        for (i, &c) in self.counts.iter().enumerate() {
+            if idx < c {
+                return StateId(i as u32);
+            }
+            idx -= c;
+        }
+        panic!("agent index out of range");
+    }
+}
+
+/// A canonical (sorted, deduplicated) multiset representation of a
+/// configuration, suitable as a hash-map key in exact analyses.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CanonicalConfig(Vec<(StateId, u64)>);
+
+impl CanonicalConfig {
+    /// Canonicalizes a count configuration.
+    pub fn from_counts(cfg: &CountConfig) -> Self {
+        Self(cfg.support().collect())
+    }
+
+    /// Reconstructs the dense count representation.
+    pub fn to_counts(&self) -> CountConfig {
+        CountConfig::from_pairs(self.0.iter().copied())
+    }
+
+    /// The `(state, count)` pairs in increasing state order.
+    pub fn pairs(&self) -> &[(StateId, u64)] {
+        &self.0
+    }
+
+    /// Population size.
+    pub fn population(&self) -> u64 {
+        self.0.iter().map(|&(_, c)| c).sum()
+    }
+}
+
+/// A configuration for populations on arbitrary interaction graphs: one
+/// state per (named) agent.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct AgentConfig {
+    states: Vec<StateId>,
+}
+
+impl AgentConfig {
+    /// Builds a configuration from per-agent states.
+    pub fn new(states: Vec<StateId>) -> Self {
+        Self { states }
+    }
+
+    /// Population size `n`.
+    pub fn population(&self) -> usize {
+        self.states.len()
+    }
+
+    /// State of agent `a`.
+    #[inline]
+    pub fn state(&self, a: u32) -> StateId {
+        self.states[a as usize]
+    }
+
+    /// Applies one interaction along edge `(u, v)`.
+    #[inline]
+    pub fn apply(&mut self, (u, v): (u32, u32), (p2, q2): (StateId, StateId)) {
+        self.states[u as usize] = p2;
+        self.states[v as usize] = q2;
+    }
+
+    /// Iterates over agent states in agent order.
+    pub fn iter(&self) -> impl Iterator<Item = StateId> + '_ {
+        self.states.iter().copied()
+    }
+
+    /// Collapses to the multiset view (forgetting agent identity).
+    pub fn to_counts(&self) -> CountConfig {
+        let mut cfg = CountConfig::empty();
+        for &s in &self.states {
+            cfg.add(s, 1);
+        }
+        cfg
+    }
+}
+
+impl FromIterator<StateId> for AgentConfig {
+    fn from_iter<T: IntoIterator<Item = StateId>>(iter: T) -> Self {
+        Self::new(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(i: u32) -> StateId {
+        StateId(i)
+    }
+
+    #[test]
+    fn from_pairs_accumulates() {
+        let cfg = CountConfig::from_pairs([(s(0), 3), (s(2), 1), (s(0), 2)]);
+        assert_eq!(cfg.population(), 6);
+        assert_eq!(cfg.count(s(0)), 5);
+        assert_eq!(cfg.count(s(1)), 0);
+        assert_eq!(cfg.count(s(2)), 1);
+        assert_eq!(cfg.count(s(99)), 0);
+    }
+
+    #[test]
+    fn apply_moves_two_agents() {
+        let mut cfg = CountConfig::from_pairs([(s(0), 2), (s(1), 1)]);
+        cfg.apply((s(0), s(1)), (s(2), s(0)));
+        assert_eq!(cfg.population(), 3);
+        assert_eq!(cfg.count(s(0)), 2);
+        assert_eq!(cfg.count(s(1)), 0);
+        assert_eq!(cfg.count(s(2)), 1);
+    }
+
+    #[test]
+    fn apply_same_state_pair() {
+        let mut cfg = CountConfig::from_pairs([(s(1), 2)]);
+        cfg.apply((s(1), s(1)), (s(2), s(0)));
+        assert_eq!(cfg.count(s(1)), 0);
+        assert_eq!(cfg.count(s(2)), 1);
+        assert_eq!(cfg.count(s(0)), 1);
+    }
+
+    #[test]
+    fn canonical_roundtrip() {
+        let cfg = CountConfig::from_pairs([(s(3), 2), (s(0), 1)]);
+        let canon = cfg.to_canonical();
+        assert_eq!(canon.pairs(), &[(s(0), 1), (s(3), 2)]);
+        assert_eq!(canon.population(), 3);
+        let back = canon.to_counts();
+        assert_eq!(back.count(s(3)), 2);
+        assert_eq!(back.count(s(0)), 1);
+    }
+
+    #[test]
+    fn canonical_ignores_trailing_zeros() {
+        let mut a = CountConfig::from_pairs([(s(0), 1), (s(1), 1)]);
+        let b = CountConfig::from_pairs([(s(0), 1), (s(1), 1)]);
+        a.ensure_len(50); // extra zero slots must not affect identity
+        assert_eq!(a.to_canonical(), b.to_canonical());
+    }
+
+    #[test]
+    fn state_of_index_walks_cumulative() {
+        let cfg = CountConfig::from_pairs([(s(0), 2), (s(2), 3)]);
+        assert_eq!(cfg.state_of_index(0), s(0));
+        assert_eq!(cfg.state_of_index(1), s(0));
+        assert_eq!(cfg.state_of_index(2), s(2));
+        assert_eq!(cfg.state_of_index(4), s(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn state_of_index_out_of_range() {
+        let cfg = CountConfig::from_pairs([(s(0), 1)]);
+        cfg.state_of_index(1);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_population_invariant_under_apply(
+            c0 in 1u64..6, c1 in 1u64..6, c2 in 0u64..6,
+        ) {
+            let mut cfg = CountConfig::from_pairs([(s(0), c0), (s(1), c1), (s(2), c2)]);
+            let n = cfg.population();
+            cfg.apply((s(0), s(1)), (s(2), s(2)));
+            proptest::prop_assert_eq!(cfg.population(), n);
+            proptest::prop_assert_eq!(cfg.count(s(2)), c2 + 2);
+        }
+
+        #[test]
+        fn prop_canonical_is_order_independent(
+            a in 0u64..5, b in 0u64..5, c in 0u64..5,
+        ) {
+            proptest::prop_assume!(a + b + c > 0);
+            let x = CountConfig::from_pairs([(s(0), a), (s(1), b), (s(2), c)]);
+            let y = CountConfig::from_pairs([(s(2), c), (s(0), a), (s(1), b)]);
+            proptest::prop_assert_eq!(x.to_canonical(), y.to_canonical());
+        }
+
+        #[test]
+        fn prop_state_of_index_is_a_bijection_onto_agents(
+            a in 0u64..5, b in 0u64..5,
+        ) {
+            proptest::prop_assume!(a + b > 0);
+            let cfg = CountConfig::from_pairs([(s(0), a), (s(3), b)]);
+            let mut seen0 = 0u64;
+            let mut seen3 = 0u64;
+            for i in 0..cfg.population() {
+                match cfg.state_of_index(i) {
+                    StateId(0) => seen0 += 1,
+                    StateId(3) => seen3 += 1,
+                    other => proptest::prop_assert!(false, "unexpected {other:?}"),
+                }
+            }
+            proptest::prop_assert_eq!((seen0, seen3), (a, b));
+        }
+    }
+
+    #[test]
+    fn agent_config_apply_and_collapse() {
+        let mut ac: AgentConfig = [s(0), s(1), s(0)].into_iter().collect();
+        ac.apply((0, 1), (s(1), s(1)));
+        assert_eq!(ac.state(0), s(1));
+        assert_eq!(ac.state(1), s(1));
+        let counts = ac.to_counts();
+        assert_eq!(counts.count(s(1)), 2);
+        assert_eq!(counts.count(s(0)), 1);
+        assert_eq!(counts.population(), 3);
+    }
+}

@@ -1,0 +1,218 @@
+//! Input and output encoding conventions (§3.4, §3.6 of the paper).
+//!
+//! Population protocols compute on *assignments* (one symbol per agent);
+//! encoding conventions map those assignments to and from richer domains:
+//!
+//! * **symbol-count**: a tuple in `ℕᵏ` counting how many agents carry each
+//!   input/output symbol;
+//! * **integer-based**: each agent carries a small integer tuple and the
+//!   represented value is the sum across the population;
+//! * **all-agents predicate**: output `true`/`false` only when *every* agent
+//!   agrees, `⊥` otherwise;
+//! * **zero/non-zero predicate**: `false` iff all agents output `0`
+//!   (Theorem 2 shows this convention computes the same predicates).
+//!
+//! The functions here operate on output histograms (`(value, count)` pairs)
+//! as produced by
+//! [`Simulation::output_histogram`](crate::engine::Simulation::output_histogram),
+//! so they apply to both simulation engines.
+
+/// Decodes the **all-agents predicate output convention**: `Some(b)` when
+/// every agent outputs `b`, `None` (the paper's `⊥`) otherwise.
+///
+/// # Example
+///
+/// ```
+/// use pp_core::convention::all_agents_output;
+///
+/// assert_eq!(all_agents_output(&[(true, 10)]), Some(true));
+/// assert_eq!(all_agents_output(&[(true, 9), (false, 1)]), None);
+/// ```
+pub fn all_agents_output(histogram: &[(bool, u64)]) -> Option<bool> {
+    let mut result = None;
+    for &(y, c) in histogram {
+        if c == 0 {
+            continue;
+        }
+        match result {
+            None => result = Some(y),
+            Some(r) if r != y => return None,
+            _ => {}
+        }
+    }
+    result
+}
+
+/// Decodes the **zero/non-zero predicate output convention** (§3.6):
+/// `false` iff every agent outputs `false`.
+///
+/// # Example
+///
+/// ```
+/// use pp_core::convention::zero_nonzero_output;
+///
+/// assert!(zero_nonzero_output(&[(false, 9), (true, 1)]));
+/// assert!(!zero_nonzero_output(&[(false, 10)]));
+/// ```
+pub fn zero_nonzero_output(histogram: &[(bool, u64)]) -> bool {
+    histogram.iter().any(|&(y, c)| y && c > 0)
+}
+
+/// Decodes the **symbol-count output convention**: the number of agents
+/// outputting each symbol in `symbols`, in order.
+///
+/// # Example
+///
+/// ```
+/// use pp_core::convention::symbol_count_output;
+///
+/// let hist = [('a', 3), ('b', 2)];
+/// assert_eq!(symbol_count_output(&hist, &['a', 'b', 'c']), vec![3, 2, 0]);
+/// ```
+pub fn symbol_count_output<Y: PartialEq>(histogram: &[(Y, u64)], symbols: &[Y]) -> Vec<u64> {
+    symbols
+        .iter()
+        .map(|s| {
+            histogram
+                .iter()
+                .filter(|(y, _)| y == s)
+                .map(|&(_, c)| c)
+                .sum()
+        })
+        .collect()
+}
+
+/// Decodes the **integer-based output convention** (§3.4): the represented
+/// integer is the sum of every agent's output value.
+///
+/// # Example
+///
+/// The `⌊m/3⌋` protocol of §3.4 outputs bit `j` per agent; the quotient is
+/// the population sum of those bits:
+///
+/// ```
+/// use pp_core::convention::integer_output;
+///
+/// assert_eq!(integer_output(&[(0, 5), (1, 4)]), 4);
+/// assert_eq!(integer_output(&[(2, 3), (-1, 2)]), 4);
+/// ```
+pub fn integer_output(histogram: &[(i64, u64)]) -> i64 {
+    histogram
+        .iter()
+        .map(|&(y, c)| y * i64::try_from(c).expect("count exceeds i64"))
+        .sum()
+}
+
+/// Decodes a vector-valued integer-based output: component-wise population
+/// sums of `k`-tuples.
+pub fn integer_vector_output(histogram: &[(Vec<i64>, u64)], k: usize) -> Vec<i64> {
+    let mut sums = vec![0i64; k];
+    for (y, c) in histogram {
+        assert_eq!(y.len(), k, "output tuple arity mismatch");
+        let c = i64::try_from(*c).expect("count exceeds i64");
+        for (acc, &v) in sums.iter_mut().zip(y) {
+            *acc += v * c;
+        }
+    }
+    sums
+}
+
+/// Validates a symbol-count input against a population size: the tuple
+/// `(n_1, …, n_k)` is representable in a population of size `n` only when
+/// `Σ n_i = n` (§3.4).
+///
+/// # Errors
+///
+/// Returns [`crate::PopulationError::UnrepresentableInput`] on mismatch.
+pub fn validate_symbol_count(
+    n: u64,
+    counts: &[u64],
+) -> Result<(), crate::error::PopulationError> {
+    let total: u64 = counts.iter().sum();
+    if total == n {
+        Ok(())
+    } else {
+        Err(crate::error::PopulationError::UnrepresentableInput {
+            reason: format!("symbol counts sum to {total}, population is {n}"),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_agents_requires_unanimity() {
+        assert_eq!(all_agents_output(&[]), None);
+        assert_eq!(all_agents_output(&[(false, 4)]), Some(false));
+        assert_eq!(all_agents_output(&[(false, 4), (true, 0)]), Some(false));
+        assert_eq!(all_agents_output(&[(false, 4), (true, 1)]), None);
+    }
+
+    #[test]
+    fn zero_nonzero_semantics() {
+        assert!(!zero_nonzero_output(&[]));
+        assert!(!zero_nonzero_output(&[(false, 7)]));
+        assert!(!zero_nonzero_output(&[(true, 0), (false, 7)]));
+        assert!(zero_nonzero_output(&[(true, 1), (false, 6)]));
+    }
+
+    #[test]
+    fn symbol_count_orders_by_requested_symbols() {
+        let hist = [(2u8, 5), (0u8, 1)];
+        assert_eq!(symbol_count_output(&hist, &[0, 1, 2]), vec![1, 0, 5]);
+    }
+
+    #[test]
+    fn integer_output_sums_signed_values() {
+        assert_eq!(integer_output(&[]), 0);
+        assert_eq!(integer_output(&[(-3, 2), (3, 2)]), 0);
+        assert_eq!(integer_output(&[(7, 1), (-1, 5)]), 2);
+    }
+
+    #[test]
+    fn integer_vector_output_componentwise() {
+        let hist = vec![(vec![1, 0], 3), (vec![0, -2], 2)];
+        assert_eq!(integer_vector_output(&hist, 2), vec![3, -4]);
+    }
+
+    #[test]
+    fn validate_symbol_count_checks_sum() {
+        assert!(validate_symbol_count(5, &[2, 3]).is_ok());
+        assert!(validate_symbol_count(5, &[2, 2]).is_err());
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_all_agents_iff_single_support(t in 0u64..9, f in 0u64..9) {
+            let hist = [(true, t), (false, f)];
+            let got = all_agents_output(&hist);
+            let want = match (t > 0, f > 0) {
+                (true, false) => Some(true),
+                (false, true) => Some(false),
+                (true, true) => None,
+                (false, false) => None,
+            };
+            proptest::prop_assert_eq!(got, want);
+        }
+
+        #[test]
+        fn prop_integer_output_is_linear(
+            a in -5i64..=5, ca in 0u64..9, b in -5i64..=5, cb in 0u64..9,
+        ) {
+            let hist = [(a, ca), (b, cb)];
+            proptest::prop_assert_eq!(
+                integer_output(&hist),
+                a * ca as i64 + b * cb as i64
+            );
+        }
+
+        #[test]
+        fn prop_symbol_count_partitions_population(x in 0u64..9, y in 0u64..9) {
+            let hist = [(0u8, x), (1u8, y)];
+            let counts = symbol_count_output(&hist, &[0, 1]);
+            proptest::prop_assert_eq!(counts.iter().sum::<u64>(), x + y);
+        }
+    }
+}

@@ -1,0 +1,973 @@
+//! Simulation engine: executes protocols under a scheduler and measures
+//! stabilization.
+//!
+//! Two engines are provided:
+//!
+//! * [`Simulation`] — the fast path for the *standard population* (complete
+//!   interaction graph, §3.3) under uniform random pairing (the conjugating
+//!   automaton model of §6). Because agents are anonymous, the engine works
+//!   on the multiset of states ([`CountConfig`]) and one interaction costs
+//!   `O(|Q|)` time independent of the population size.
+//! * [`AgentSimulation`] — per-agent states driven by any
+//!   [`PairSampler`], for restricted interaction graphs (§5) or scripted
+//!   adversarial schedules.
+//!
+//! # Measuring convergence
+//!
+//! A computation *converges* when it reaches an output-stable configuration
+//! (§3.2); individual agents never know this happened. Simulations measure
+//! it retrospectively: run a horizon of interactions, record the last
+//! interaction after which the output assignment differed from the expected
+//! stable output, and require a long correct tail
+//! ([`measure_stabilization`](Simulation::measure_stabilization)). For
+//! function computation where the stable output is not known a priori,
+//! [`run_until_silent`](Simulation::run_until_silent) instead records the
+//! last change of the output multiset.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+use crate::config::{AgentConfig, CountConfig};
+use crate::protocol::Protocol;
+use crate::registry::{DenseRuntime, OutputId, StateId};
+use crate::scheduler::PairSampler;
+
+/// Creates a reproducible random number generator from a seed.
+///
+/// All stochastic components in this workspace take an explicit RNG so every
+/// experiment is replayable.
+pub fn seeded_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Outcome of a stabilization measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StabilizationReport {
+    /// Total interactions executed.
+    pub horizon: u64,
+    /// The first interaction index after which the output assignment was
+    /// *continuously* the expected one through the end of the horizon
+    /// (`0` if the initial configuration already had the expected output);
+    /// `None` if the output was still wrong at the end of the horizon.
+    pub stabilized_at: Option<u64>,
+}
+
+impl StabilizationReport {
+    /// Whether the expected output held at the end of the run.
+    pub fn converged(&self) -> bool {
+        self.stabilized_at.is_some()
+    }
+
+    /// Length of the correct tail (interactions after stabilization).
+    pub fn silent_tail(&self) -> u64 {
+        match self.stabilized_at {
+            Some(t) => self.horizon - t,
+            None => 0,
+        }
+    }
+}
+
+/// Fast complete-graph simulation on the multiset of states, with the
+/// uniform random pairing of conjugating automata (§6).
+///
+/// # Example
+///
+/// Majority-style epidemic: one alerted agent alerts everyone.
+///
+/// ```
+/// use pp_core::{FnProtocol, Simulation, seeded_rng};
+///
+/// let epidemic = FnProtocol::new(
+///     |&b: &bool| b,
+///     |&q: &bool| q,
+///     |&p: &bool, &q: &bool| (p || q, p || q),
+/// );
+/// let mut sim = Simulation::from_counts(epidemic, [(true, 1), (false, 99)]);
+/// let mut rng = seeded_rng(42);
+/// let report = sim.measure_stabilization(&true, 100_000, &mut rng);
+/// assert!(report.converged());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Simulation<P: Protocol> {
+    rt: DenseRuntime<P>,
+    config: CountConfig,
+    /// Agents per output id, kept in sync with `config`.
+    output_counts: Vec<u64>,
+    steps: u64,
+    effective_steps: u64,
+}
+
+impl<P: Protocol> Simulation<P> {
+    /// Creates a simulation from `(input, multiplicity)` pairs: the
+    /// symbol-count way of describing the initial sensor readings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the total population is smaller than 2.
+    pub fn from_counts<I>(protocol: P, inputs: I) -> Self
+    where
+        I: IntoIterator<Item = (P::Input, u64)>,
+    {
+        let mut rt = DenseRuntime::new(protocol);
+        let mut config = CountConfig::empty();
+        for (x, k) in inputs {
+            let s = rt.intern_input(&x);
+            config.add(s, k);
+        }
+        Self::from_parts(rt, config)
+    }
+
+    /// Creates a simulation giving each agent an explicit input symbol.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than 2 inputs are supplied.
+    pub fn from_inputs<I>(protocol: P, inputs: I) -> Self
+    where
+        I: IntoIterator<Item = P::Input>,
+    {
+        let mut rt = DenseRuntime::new(protocol);
+        let mut config = CountConfig::empty();
+        for x in inputs {
+            let s = rt.intern_input(&x);
+            config.add(s, 1);
+        }
+        Self::from_parts(rt, config)
+    }
+
+    /// Creates a simulation from explicit initial *states* (useful for
+    /// populations with a designated leader, §6.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the total population is smaller than 2.
+    pub fn from_states<I>(protocol: P, states: I) -> Self
+    where
+        I: IntoIterator<Item = (P::State, u64)>,
+    {
+        let mut rt = DenseRuntime::new(protocol);
+        let mut config = CountConfig::empty();
+        for (s, k) in states {
+            let id = rt.intern(s);
+            config.add(id, k);
+        }
+        Self::from_parts(rt, config)
+    }
+
+    fn from_parts(rt: DenseRuntime<P>, config: CountConfig) -> Self {
+        assert!(config.population() >= 2, "population must have at least 2 agents");
+        let mut sim =
+            Self { rt, config, output_counts: Vec::new(), steps: 0, effective_steps: 0 };
+        sim.rebuild_output_counts();
+        sim
+    }
+
+    fn rebuild_output_counts(&mut self) {
+        self.output_counts.clear();
+        self.output_counts.resize(self.rt.output_count(), 0);
+        let pairs: Vec<(StateId, u64)> = self.config.support().collect();
+        for (s, k) in pairs {
+            let o = self.rt.output_of(s);
+            self.output_counts[o.index()] += k;
+        }
+    }
+
+    #[inline]
+    fn bump_output(&mut self, o: OutputId, delta: i64) {
+        if o.index() >= self.output_counts.len() {
+            self.output_counts.resize(self.rt.output_count(), 0);
+        }
+        let c = &mut self.output_counts[o.index()];
+        *c = c.checked_add_signed(delta).expect("output count underflow");
+    }
+
+    /// Population size `n`.
+    pub fn population(&self) -> u64 {
+        self.config.population()
+    }
+
+    /// Interactions executed so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Interactions that changed at least one agent's state — the paper's
+    /// §8 candidate energy measure ("the number of interactions in which at
+    /// least one state changes"). Always ≤ [`steps`](Self::steps); the gap
+    /// is the no-op tail after effective convergence.
+    pub fn effective_steps(&self) -> u64 {
+        self.effective_steps
+    }
+
+    /// The current configuration (multiset of states).
+    pub fn config(&self) -> &CountConfig {
+        &self.config
+    }
+
+    /// Removes one agent currently in the given state — fault injection in
+    /// the sense of §8: "if an agent dies, the interactions between the
+    /// remaining agents are unaffected". Returns `false` if no agent is in
+    /// that state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a removal would shrink the population below 2 agents.
+    pub fn crash_agent_in_state(&mut self, state: &P::State) -> bool {
+        let id = self.rt.intern(state.clone());
+        if self.config.count(id) == 0 {
+            return false;
+        }
+        assert!(self.config.population() > 2, "population must keep at least 2 agents");
+        self.config.remove(id, 1);
+        let o = self.rt.output_of(id);
+        self.bump_output(o, -1);
+        true
+    }
+
+    /// Removes one uniformly random agent (fault injection, §8), returning
+    /// its state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the population is already at 2 agents.
+    pub fn crash_random_agent(&mut self, rng: &mut impl Rng) -> P::State {
+        assert!(self.config.population() > 2, "population must keep at least 2 agents");
+        let idx = rng.gen_range(0..self.config.population());
+        let id = self.config.state_of_index(idx);
+        self.config.remove(id, 1);
+        let o = self.rt.output_of(id);
+        self.bump_output(o, -1);
+        self.rt.state(id).clone()
+    }
+
+    /// The dense runtime (state/output interner and transition cache).
+    pub fn runtime(&self) -> &DenseRuntime<P> {
+        &self.rt
+    }
+
+    /// Mutable access to the runtime, e.g. to pre-intern states.
+    pub fn runtime_mut(&mut self) -> &mut DenseRuntime<P> {
+        &mut self.rt
+    }
+
+    /// Number of agents currently in the given state.
+    pub fn count_of_state(&mut self, state: &P::State) -> u64 {
+        let id = self.rt.intern(state.clone());
+        self.config.count(id)
+    }
+
+    /// Number of agents whose current output equals `out`.
+    pub fn count_with_output(&mut self, out: &P::Output) -> u64 {
+        for oid in 0..self.rt.output_count() as u32 {
+            if self.rt.output_value(OutputId(oid)) == out {
+                return self.output_counts.get(oid as usize).copied().unwrap_or(0);
+            }
+        }
+        0
+    }
+
+    /// If every agent currently has the same output, returns it.
+    pub fn consensus_output(&self) -> Option<&P::Output> {
+        let n = self.config.population();
+        self.output_counts
+            .iter()
+            .position(|&c| c == n)
+            .map(|i| self.rt.output_value(OutputId(i as u32)))
+    }
+
+    /// The multiset of current outputs as `(output, count)` pairs.
+    pub fn output_histogram(&self) -> Vec<(P::Output, u64)> {
+        self.output_counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (self.rt.output_value(OutputId(i as u32)).clone(), c))
+            .collect()
+    }
+
+    /// Draws one interacting pair uniformly at random (ordered, distinct
+    /// agents) and returns their states `(initiator, responder)`.
+    #[inline]
+    fn sample_pair(&mut self, rng: &mut impl Rng) -> (StateId, StateId) {
+        let n = self.config.population();
+        let p = self.config.state_of_index(rng.gen_range(0..n));
+        // Draw the responder from the population minus the initiator agent.
+        self.config.remove(p, 1);
+        let q = self.config.state_of_index(rng.gen_range(0..n - 1));
+        self.config.add(p, 1);
+        (p, q)
+    }
+
+    /// Executes one interaction; returns `true` if the output multiset
+    /// changed.
+    pub fn step(&mut self, rng: &mut impl Rng) -> bool {
+        let (p, q) = self.sample_pair(rng);
+        let (p2, q2) = self.rt.transition(p, q);
+        self.steps += 1;
+        if (p2, q2) == (p, q) {
+            return false;
+        }
+        self.effective_steps += 1;
+        self.config.apply((p, q), (p2, q2));
+        let (op, oq) = (self.rt.output_of(p), self.rt.output_of(q));
+        let (op2, oq2) = (self.rt.output_of(p2), self.rt.output_of(q2));
+        if (op, oq) == (op2, oq2) || (op, oq) == (oq2, op2) {
+            false
+        } else {
+            self.bump_output(op, -1);
+            self.bump_output(oq, -1);
+            self.bump_output(op2, 1);
+            self.bump_output(oq2, 1);
+            true
+        }
+    }
+
+    /// Runs `steps` interactions.
+    pub fn run(&mut self, steps: u64, rng: &mut impl Rng) {
+        for _ in 0..steps {
+            self.step(rng);
+        }
+    }
+
+    /// Runs until every agent outputs `expected` (returning the number of
+    /// interactions that took) or until `max_steps` is exhausted (`None`).
+    ///
+    /// Note this detects the *first* time consensus holds, which is not yet
+    /// stabilization — the output could still change later. Use
+    /// [`measure_stabilization`](Self::measure_stabilization) for the
+    /// paper's notion.
+    pub fn run_until_consensus(
+        &mut self,
+        expected: &P::Output,
+        max_steps: u64,
+        rng: &mut impl Rng,
+    ) -> Option<u64> {
+        let n = self.population();
+        if self.count_with_output(expected) == n {
+            return Some(self.steps);
+        }
+        for _ in 0..max_steps {
+            self.step(rng);
+            if self.count_with_output(expected) == n {
+                return Some(self.steps);
+            }
+        }
+        None
+    }
+
+    /// Runs `horizon` interactions and reports when the output assignment
+    /// last became (and stayed) equal to `expected` on every agent.
+    pub fn measure_stabilization(
+        &mut self,
+        expected: &P::Output,
+        horizon: u64,
+        rng: &mut impl Rng,
+    ) -> StabilizationReport {
+        let n = self.population();
+        // `wrong` is recomputed only when the output multiset changes.
+        let mut wrong = self.count_with_output(expected) != n;
+        let mut last_wrong: Option<u64> = if wrong { Some(0) } else { None };
+        for i in 1..=horizon {
+            if self.step(rng) {
+                wrong = self.count_with_output(expected) != n;
+            }
+            if wrong {
+                last_wrong = Some(i);
+            }
+        }
+        StabilizationReport {
+            horizon,
+            // If the output was wrong after interaction t, it became correct
+            // at the earliest after interaction t+1.
+            stabilized_at: if wrong { None } else { Some(last_wrong.map_or(0, |t| t + 1)) },
+        }
+    }
+
+    /// Runs until the output multiset has not changed for `window`
+    /// consecutive interactions, or `max_steps` elapse. Returns the step
+    /// count at the last observed output change.
+    pub fn run_until_silent(
+        &mut self,
+        window: u64,
+        max_steps: u64,
+        rng: &mut impl Rng,
+    ) -> Option<u64> {
+        let mut last_change = self.steps;
+        let start = self.steps;
+        while self.steps - start < max_steps {
+            if self.step(rng) {
+                last_change = self.steps;
+            } else if self.steps - last_change >= window {
+                return Some(last_change - start);
+            }
+        }
+        None
+    }
+
+    /// Executes one **synchronous parallel round**: a uniformly random
+    /// maximal matching of the population interacts simultaneously (every
+    /// pair's transition is computed from the pre-round states).
+    ///
+    /// §8 observes that "interactions happen in parallel, so the total
+    /// number of interactions may not be well correlated with wall-clock
+    /// time; defining a useful notion of time is a challenge" — rounds of
+    /// this engine are one natural such notion (≈ `n/2` sequential
+    /// interactions each; experiment E16 measures the correspondence).
+    ///
+    /// Returns the number of pairs matched (⌊n/2⌋). [`steps`](Self::steps)
+    /// advances by that amount.
+    pub fn parallel_round(&mut self, rng: &mut impl Rng) -> u64 {
+        let mut pending = self.config.clone();
+        let mut next = CountConfig::empty();
+        next.ensure_len(self.rt.state_count());
+        let mut pairs = 0u64;
+        while pending.population() >= 2 {
+            let m = pending.population();
+            let p = pending.state_of_index(rng.gen_range(0..m));
+            pending.remove(p, 1);
+            let q = pending.state_of_index(rng.gen_range(0..m - 1));
+            pending.remove(q, 1);
+            let (p2, q2) = self.rt.transition(p, q);
+            if (p2, q2) != (p, q) {
+                self.effective_steps += 1;
+            }
+            next.ensure_len(self.rt.state_count());
+            next.add(p2, 1);
+            next.add(q2, 1);
+            pairs += 1;
+        }
+        // Odd population: the unmatched agent idles.
+        if pending.population() == 1 {
+            let leftover = pending.state_of_index(0);
+            next.add(leftover, 1);
+        }
+        self.config = next;
+        self.steps += pairs;
+        self.rebuild_output_counts();
+        pairs
+    }
+
+    /// Closes the protocol's state space under `δ` from the current
+    /// support and returns all *reactive* ordered state pairs — those with
+    /// `δ(p, q) ≠ (p, q)`.
+    ///
+    /// Because the closure covers every state any future configuration can
+    /// contain, the returned table stays valid for the rest of the run;
+    /// it is the input to [`leap`](Self::leap).
+    pub fn reactive_pairs(&mut self) -> Vec<(StateId, StateId)> {
+        let seeds: Vec<StateId> = self.config.support().map(|(s, _)| s).collect();
+        let total = self.rt.close_under_delta(&seeds);
+        let mut reactive = Vec::new();
+        for a in 0..total as u32 {
+            for b in 0..total as u32 {
+                let (p, q) = (StateId(a), StateId(b));
+                if self.rt.transition(p, q) != (p, q) {
+                    reactive.push((p, q));
+                }
+            }
+        }
+        self.config.ensure_len(self.rt.state_count());
+        self.output_counts.resize(self.rt.output_count(), 0);
+        reactive
+    }
+
+    /// Jumps directly to the next *effective* interaction (one that changes
+    /// some state), skipping the no-ops in closed form: the number of
+    /// skipped interactions is geometric with success probability
+    /// `W / n(n−1)`, where `W` is the total weight of reactive pairs in the
+    /// current configuration. The resulting process is distributed exactly
+    /// like repeated [`step`](Self::step) — only faster when most
+    /// interactions are no-ops (e.g. after effective convergence).
+    ///
+    /// Returns the number of interactions advanced (skips + 1), or `None`
+    /// if the configuration is **quiescent** — no reactive pair is present,
+    /// so no interaction can ever change anything again.
+    ///
+    /// `reactive` must come from [`reactive_pairs`](Self::reactive_pairs)
+    /// on this simulation.
+    pub fn leap(
+        &mut self,
+        reactive: &[(StateId, StateId)],
+        rng: &mut impl Rng,
+    ) -> Option<u64> {
+        let n = self.config.population();
+        let total = (n * (n - 1)) as f64;
+        // Weight of reactive pairs under the current configuration.
+        let mut weight = 0u64;
+        for &(p, q) in reactive {
+            let cp = self.config.count(p);
+            let cq = self.config.count(q);
+            weight += if p == q { cp * cp.saturating_sub(1) } else { cp * cq };
+        }
+        if weight == 0 {
+            return None;
+        }
+        // Geometric skip: interactions up to and including the effective one.
+        let p_eff = weight as f64 / total;
+        let skip = if p_eff >= 1.0 {
+            1
+        } else {
+            let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            ((u.ln() / (1.0 - p_eff).ln()).ceil()).max(1.0) as u64
+        };
+        // Choose the effective pair proportionally to its weight.
+        let mut x = rng.gen_range(0..weight);
+        let mut chosen = reactive[0];
+        for &(p, q) in reactive {
+            let cp = self.config.count(p);
+            let cq = self.config.count(q);
+            let w = if p == q { cp * cp.saturating_sub(1) } else { cp * cq };
+            if x < w {
+                chosen = (p, q);
+                break;
+            }
+            x -= w;
+        }
+        let (p, q) = chosen;
+        let (p2, q2) = self.rt.transition(p, q);
+        debug_assert!((p2, q2) != (p, q), "reactive pair must change state");
+        self.config.apply((p, q), (p2, q2));
+        let (op, oq) = (self.rt.output_of(p), self.rt.output_of(q));
+        let (op2, oq2) = (self.rt.output_of(p2), self.rt.output_of(q2));
+        if (op, oq) != (op2, oq2) && (op, oq) != (oq2, op2) {
+            self.bump_output(op, -1);
+            self.bump_output(oq, -1);
+            self.bump_output(op2, 1);
+            self.bump_output(oq2, 1);
+        }
+        self.steps += skip;
+        self.effective_steps += 1;
+        Some(skip)
+    }
+
+    /// Leaps until the configuration is quiescent (no interaction can ever
+    /// change a state again — a *sound and complete* convergence detector
+    /// for protocols that reach such configurations), returning the total
+    /// interactions elapsed at the moment of the last state change.
+    ///
+    /// Returns `None` if quiescence was not reached within `max_leaps`
+    /// effective interactions (the protocol may converge in outputs while
+    /// churning states forever — e.g. leader-based protocols; use
+    /// [`measure_stabilization`](Self::measure_stabilization) for those).
+    pub fn run_to_quiescence(
+        &mut self,
+        max_leaps: u64,
+        rng: &mut impl Rng,
+    ) -> Option<u64> {
+        let reactive = self.reactive_pairs();
+        for _ in 0..max_leaps {
+            if self.leap(&reactive, rng).is_none() {
+                return Some(self.steps);
+            }
+        }
+        // One more probe: maybe the last leap reached quiescence.
+        if self.leap(&reactive, rng).is_none() {
+            return Some(self.steps);
+        }
+        None
+    }
+
+    /// Runs parallel rounds until every agent outputs `expected` and keeps
+    /// doing so through `max_rounds`; returns the first round after which
+    /// the output was continuously correct, or `None`.
+    pub fn measure_stabilization_parallel(
+        &mut self,
+        expected: &P::Output,
+        max_rounds: u64,
+        rng: &mut impl Rng,
+    ) -> Option<u64> {
+        let n = self.population();
+        let mut wrong = self.count_with_output(expected) != n;
+        let mut last_wrong: Option<u64> = if wrong { Some(0) } else { None };
+        for round in 1..=max_rounds {
+            self.parallel_round(rng);
+            wrong = self.count_with_output(expected) != n;
+            if wrong {
+                last_wrong = Some(round);
+            }
+        }
+        if wrong {
+            None
+        } else {
+            Some(last_wrong.map_or(0, |r| r + 1))
+        }
+    }
+}
+
+/// Per-agent simulation driven by an arbitrary [`PairSampler`]; required for
+/// restricted interaction graphs (§5) where agent identity matters.
+#[derive(Debug)]
+pub struct AgentSimulation<P: Protocol, S> {
+    rt: DenseRuntime<P>,
+    agents: AgentConfig,
+    sampler: S,
+    steps: u64,
+}
+
+impl<P: Protocol, S: PairSampler> AgentSimulation<P, S> {
+    /// Creates a simulation assigning `inputs[i]` to agent `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the sampler's population size
+    /// or is smaller than 2.
+    pub fn from_inputs(protocol: P, inputs: &[P::Input], sampler: S) -> Self {
+        assert!(inputs.len() >= 2, "population must have at least 2 agents");
+        assert_eq!(
+            inputs.len(),
+            sampler.population(),
+            "input count must match sampler population"
+        );
+        let mut rt = DenseRuntime::new(protocol);
+        let agents: AgentConfig = inputs.iter().map(|x| rt.intern_input(x)).collect();
+        Self { rt, agents, sampler, steps: 0 }
+    }
+
+    /// Population size.
+    pub fn population(&self) -> usize {
+        self.agents.population()
+    }
+
+    /// Interactions executed so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Current state of agent `a`.
+    pub fn state_of(&self, a: u32) -> &P::State {
+        self.rt.state(self.agents.state(a))
+    }
+
+    /// Current output of agent `a`.
+    pub fn output_of(&self, a: u32) -> &P::Output {
+        self.rt.output_value(self.rt.output_of(self.agents.state(a)))
+    }
+
+    /// The per-agent configuration.
+    pub fn agents(&self) -> &AgentConfig {
+        &self.agents
+    }
+
+    /// The dense runtime.
+    pub fn runtime(&self) -> &DenseRuntime<P> {
+        &self.rt
+    }
+
+    /// Executes one interaction along a sampled edge; returns the edge.
+    pub fn step(&mut self, rng: &mut impl RngCore) -> (u32, u32) {
+        let (u, v) = self.sampler.sample(rng);
+        let (p, q) = (self.agents.state(u), self.agents.state(v));
+        let r = self.rt.transition(p, q);
+        self.agents.apply((u, v), r);
+        self.steps += 1;
+        (u, v)
+    }
+
+    /// Runs `steps` interactions.
+    pub fn run(&mut self, steps: u64, rng: &mut impl RngCore) {
+        for _ in 0..steps {
+            self.step(rng);
+        }
+    }
+
+    /// If every agent currently has the same output, returns it.
+    pub fn consensus_output(&self) -> Option<&P::Output> {
+        let first = self.rt.output_of(self.agents.state(0));
+        for s in self.agents.iter().skip(1) {
+            if self.rt.output_of(s) != first {
+                return None;
+            }
+        }
+        Some(self.rt.output_value(first))
+    }
+
+    /// The multiset of current outputs as `(output, count)` pairs.
+    pub fn output_histogram(&self) -> Vec<(P::Output, u64)> {
+        let mut hist: Vec<(P::Output, u64)> = Vec::new();
+        for s in self.agents.iter() {
+            let o = self.rt.output_value(self.rt.output_of(s)).clone();
+            match hist.iter_mut().find(|(oo, _)| *oo == o) {
+                Some((_, c)) => *c += 1,
+                None => hist.push((o, 1)),
+            }
+        }
+        hist
+    }
+
+    /// Runs `horizon` interactions and reports when the output assignment
+    /// last became (and stayed) `expected` on every agent.
+    pub fn measure_stabilization(
+        &mut self,
+        expected: &P::Output,
+        horizon: u64,
+        rng: &mut impl RngCore,
+    ) -> StabilizationReport {
+        let mut wrong = self
+            .agents
+            .iter()
+            .filter(|&s| self.rt.output_value(self.rt.output_of(s)) != expected)
+            .count();
+        let mut last_wrong: Option<u64> = if wrong == 0 { None } else { Some(0) };
+        let start = self.steps;
+        for _ in 0..horizon {
+            let (u, v) = self.sampler.sample(rng);
+            let (p, q) = (self.agents.state(u), self.agents.state(v));
+            let (p2, q2) = self.rt.transition(p, q);
+            for (old, new) in [(p, p2), (q, q2)] {
+                if old == new {
+                    continue;
+                }
+                let was_ok = self.rt.output_value(self.rt.output_of(old)) == expected;
+                let is_ok = self.rt.output_value(self.rt.output_of(new)) == expected;
+                match (was_ok, is_ok) {
+                    (true, false) => wrong += 1,
+                    (false, true) => wrong -= 1,
+                    _ => {}
+                }
+            }
+            self.agents.apply((u, v), (p2, q2));
+            self.steps += 1;
+            if wrong > 0 {
+                last_wrong = Some(self.steps - start);
+            }
+        }
+        StabilizationReport {
+            horizon,
+            stabilized_at: if wrong == 0 {
+                Some(last_wrong.map_or(0, |t| t + 1))
+            } else {
+                None
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::FnProtocol;
+    use crate::scheduler::{EdgeListScheduler, UniformPairScheduler};
+
+    fn epidemic() -> impl Protocol<State = bool, Input = bool, Output = bool> {
+        FnProtocol::new(
+            |&b: &bool| b,
+            |&q: &bool| q,
+            |&p: &bool, &q: &bool| (p || q, p || q),
+        )
+    }
+
+    fn count_to_five() -> impl Protocol<State = u8, Input = bool, Output = bool> {
+        FnProtocol::new(
+            |&b: &bool| u8::from(b),
+            |&q: &u8| q == 5,
+            |&p: &u8, &q: &u8| if p + q >= 5 { (5, 5) } else { (p + q, 0) },
+        )
+    }
+
+    #[test]
+    fn epidemic_reaches_consensus() {
+        let mut sim = Simulation::from_counts(epidemic(), [(true, 1), (false, 63)]);
+        let mut rng = seeded_rng(11);
+        let t = sim.run_until_consensus(&true, 100_000, &mut rng);
+        assert!(t.is_some());
+        assert_eq!(sim.consensus_output(), Some(&true));
+    }
+
+    #[test]
+    fn count_to_five_positive_and_negative() {
+        let mut rng = seeded_rng(5);
+        let mut pos = Simulation::from_counts(count_to_five(), [(true, 5), (false, 20)]);
+        let rep = pos.measure_stabilization(&true, 200_000, &mut rng);
+        assert!(rep.converged(), "5 hot birds must alert everyone");
+
+        let mut neg = Simulation::from_counts(count_to_five(), [(true, 4), (false, 21)]);
+        let rep = neg.measure_stabilization(&false, 200_000, &mut rng);
+        assert!(rep.converged(), "4 hot birds must never alert");
+        // The alert state is unreachable with only 4 ones: outputs stay false
+        // from the start.
+        assert_eq!(rep.stabilized_at, Some(0));
+    }
+
+    #[test]
+    fn stabilization_report_tail() {
+        let r = StabilizationReport { horizon: 100, stabilized_at: Some(40) };
+        assert!(r.converged());
+        assert_eq!(r.silent_tail(), 60);
+        let r = StabilizationReport { horizon: 100, stabilized_at: None };
+        assert!(!r.converged());
+        assert_eq!(r.silent_tail(), 0);
+    }
+
+    #[test]
+    fn population_is_preserved() {
+        let mut sim = Simulation::from_counts(count_to_five(), [(true, 7), (false, 9)]);
+        let mut rng = seeded_rng(3);
+        sim.run(10_000, &mut rng);
+        assert_eq!(sim.population(), 16);
+        let total: u64 = sim.output_histogram().iter().map(|&(_, c)| c).sum();
+        assert_eq!(total, 16);
+    }
+
+    #[test]
+    fn run_until_silent_detects_quiescence() {
+        // Epidemic quiesces (outputs stop changing) quickly.
+        let mut sim = Simulation::from_counts(epidemic(), [(true, 1), (false, 15)]);
+        let mut rng = seeded_rng(9);
+        let t = sim.run_until_silent(5_000, 1_000_000, &mut rng);
+        assert!(t.is_some());
+        assert_eq!(sim.consensus_output(), Some(&true));
+    }
+
+    #[test]
+    fn agent_simulation_complete_graph_matches_count_semantics() {
+        let n = 32;
+        let inputs: Vec<bool> = (0..n).map(|i| i == 0).collect();
+        let mut sim =
+            AgentSimulation::from_inputs(epidemic(), &inputs, UniformPairScheduler::new(n));
+        let mut rng = seeded_rng(21);
+        let rep = sim.measure_stabilization(&true, 50_000, &mut rng);
+        assert!(rep.converged());
+        assert_eq!(sim.consensus_output(), Some(&true));
+    }
+
+    #[test]
+    fn agent_simulation_on_directed_ring() {
+        // Directed ring: 0→1→2→...→n-1→0. The epidemic still spreads.
+        let n = 16u32;
+        let edges: Vec<(u32, u32)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+        let inputs: Vec<bool> = (0..n).map(|i| i == 3).collect();
+        let mut sim = AgentSimulation::from_inputs(
+            epidemic(),
+            &inputs,
+            EdgeListScheduler::new(n as usize, edges),
+        );
+        let mut rng = seeded_rng(2);
+        let rep = sim.measure_stabilization(&true, 50_000, &mut rng);
+        assert!(rep.converged());
+    }
+
+    #[test]
+    fn from_states_allows_designated_leader() {
+        // Leader election starting from explicit states: one leader already.
+        let le = FnProtocol::new(
+            |&(): &()| true,
+            |&q: &bool| q,
+            |&p: &bool, &q: &bool| if p && q { (true, false) } else { (p, q) },
+        );
+        let mut sim = Simulation::from_states(le, [(true, 1), (false, 9)]);
+        let mut rng = seeded_rng(1);
+        sim.run(1000, &mut rng);
+        assert_eq!(sim.count_of_state(&true), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 agents")]
+    fn tiny_population_rejected() {
+        let _ = Simulation::from_counts(epidemic(), [(true, 1)]);
+    }
+
+    #[test]
+    fn leap_skips_noops_but_matches_step_distribution() {
+        // Epidemic hitting time has the closed form
+        // E[T] = Σ_{k=1}^{n−1} n(n−1)/(2k(n−k)); the leaping engine must
+        // reproduce it (it is the same Markov chain, just fast-forwarded).
+        let n = 24u64;
+        let expect: f64 = (1..n)
+            .map(|k| (n * (n - 1)) as f64 / (2 * k * (n - k)) as f64)
+            .sum();
+        let trials: u64 = if cfg!(debug_assertions) { 800 } else { 4000 };
+        let mut total = 0u64;
+        for seed in 0..trials {
+            let mut sim = Simulation::from_counts(epidemic(), [(true, 1), (false, n - 1)]);
+            let mut rng = seeded_rng(seed);
+            let t = sim.run_to_quiescence(10_000, &mut rng).expect("epidemic quiesces");
+            total += t;
+        }
+        let mean = total as f64 / trials as f64;
+        let ratio = mean / expect;
+        let band = if cfg!(debug_assertions) { 0.85..1.15 } else { 0.93..1.07 };
+        assert!(band.contains(&ratio), "mean {mean:.1} vs exact {expect:.1}");
+    }
+
+    #[test]
+    fn quiescence_is_detected_immediately_when_inert() {
+        let mut sim = Simulation::from_counts(epidemic(), [(false, 10)]);
+        let mut rng = seeded_rng(1);
+        assert_eq!(sim.run_to_quiescence(10, &mut rng), Some(0));
+    }
+
+    #[test]
+    fn leap_counts_interactions_and_effective_steps() {
+        let mut sim = Simulation::from_counts(epidemic(), [(true, 1), (false, 63)]);
+        let mut rng = seeded_rng(2);
+        let reactive = sim.reactive_pairs();
+        let mut effective = 0u64;
+        while sim.leap(&reactive, &mut rng).is_some() {
+            effective += 1;
+        }
+        // Exactly n−1 = 63 effective interactions infect everyone.
+        assert_eq!(effective, 63);
+        assert_eq!(sim.effective_steps(), 63);
+        assert!(sim.steps() >= 63);
+        assert_eq!(sim.consensus_output(), Some(&true));
+    }
+
+    #[test]
+    fn count_to_five_positive_case_quiesces() {
+        let mut sim = Simulation::from_counts(count_to_five(), [(true, 6), (false, 14)]);
+        let mut rng = seeded_rng(3);
+        let t = sim.run_to_quiescence(100_000, &mut rng);
+        assert!(t.is_some(), "all-alert configuration is quiescent");
+        assert_eq!(sim.consensus_output(), Some(&true));
+        // The negative case shuffles tokens forever ((0, t) → (t, 0) is a
+        // state change): no quiescence.
+        let mut sim = Simulation::from_counts(count_to_five(), [(true, 3), (false, 7)]);
+        assert_eq!(sim.run_to_quiescence(2_000, &mut rng), None);
+    }
+
+    #[test]
+    fn parallel_round_matches_everyone_once() {
+        let mut sim = Simulation::from_counts(epidemic(), [(true, 1), (false, 9)]);
+        let mut rng = seeded_rng(14);
+        let pairs = sim.parallel_round(&mut rng);
+        assert_eq!(pairs, 5);
+        assert_eq!(sim.steps(), 5);
+        assert_eq!(sim.population(), 10);
+        // Odd population: one agent idles.
+        let mut sim = Simulation::from_counts(epidemic(), [(true, 1), (false, 10)]);
+        assert_eq!(sim.parallel_round(&mut rng), 5);
+        assert_eq!(sim.population(), 11);
+    }
+
+    #[test]
+    fn parallel_epidemic_converges_in_logarithmic_rounds() {
+        // One round doubles the infection at best; expect O(log n) rounds.
+        let n = 1024u64;
+        let mut sim = Simulation::from_counts(epidemic(), [(true, 1), (false, n - 1)]);
+        let mut rng = seeded_rng(15);
+        let rounds = sim
+            .measure_stabilization_parallel(&true, 200, &mut rng)
+            .expect("epidemic converges");
+        assert!(rounds >= 10, "needs at least log2(n) rounds, got {rounds}");
+        assert!(rounds <= 60, "should be O(log n) rounds, got {rounds}");
+    }
+
+    #[test]
+    fn parallel_round_applies_transitions_from_pre_round_states() {
+        // Count-to-5 with exactly two 1-tokens in a 2-agent population: the
+        // single matched pair merges them whichever orientation is drawn.
+        let mut sim = Simulation::from_counts(count_to_five(), [(true, 2)]);
+        let mut rng = seeded_rng(16);
+        sim.parallel_round(&mut rng);
+        assert_eq!(sim.count_of_state(&2), 1);
+        assert_eq!(sim.count_of_state(&0), 1);
+    }
+
+    #[test]
+    fn steps_counter_advances() {
+        let mut sim = Simulation::from_counts(epidemic(), [(true, 2), (false, 2)]);
+        let mut rng = seeded_rng(0);
+        sim.run(123, &mut rng);
+        assert_eq!(sim.steps(), 123);
+    }
+}

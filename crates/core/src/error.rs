@@ -1,0 +1,96 @@
+//! Error types shared across the population-protocol crates.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors arising when constructing or running populations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PopulationError {
+    /// A population must contain at least two agents for any interaction to
+    /// be possible.
+    PopulationTooSmall {
+        /// Number of agents requested.
+        n: usize,
+    },
+    /// The interaction graph contains no edges, so no interaction can ever
+    /// occur.
+    NoEdges,
+    /// An edge refers to an agent index outside `0..n`.
+    EdgeOutOfRange {
+        /// The offending agent index.
+        agent: u32,
+        /// Population size.
+        n: usize,
+    },
+    /// An edge is a self-loop; the interaction relation is irreflexive.
+    SelfLoop {
+        /// The agent with a self-edge.
+        agent: u32,
+    },
+    /// A requested input is not representable under the chosen encoding
+    /// convention (e.g. a symbol-count tuple whose sum differs from `n`).
+    UnrepresentableInput {
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+    /// A protocol exceeded the configured bound on distinct states; the
+    /// model requires a finite state set, so this indicates a protocol bug.
+    StateSpaceExceeded {
+        /// The bound that was exceeded.
+        bound: usize,
+    },
+}
+
+impl fmt::Display for PopulationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::PopulationTooSmall { n } => {
+                write!(f, "population of size {n} is too small (need at least 2 agents)")
+            }
+            Self::NoEdges => write!(f, "interaction graph has no edges"),
+            Self::EdgeOutOfRange { agent, n } => {
+                write!(f, "edge endpoint {agent} out of range for population of size {n}")
+            }
+            Self::SelfLoop { agent } => {
+                write!(f, "self-loop on agent {agent}; interaction relation is irreflexive")
+            }
+            Self::UnrepresentableInput { reason } => {
+                write!(f, "input not representable under encoding convention: {reason}")
+            }
+            Self::StateSpaceExceeded { bound } => {
+                write!(f, "protocol produced more than {bound} distinct states")
+            }
+        }
+    }
+}
+
+impl Error for PopulationError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let cases = [
+            PopulationError::PopulationTooSmall { n: 1 },
+            PopulationError::NoEdges,
+            PopulationError::EdgeOutOfRange { agent: 9, n: 4 },
+            PopulationError::SelfLoop { agent: 2 },
+            PopulationError::UnrepresentableInput { reason: "sum mismatch".into() },
+            PopulationError::StateSpaceExceeded { bound: 10 },
+        ];
+        for c in cases {
+            let s = c.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase(), "{s}");
+        }
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn Error> = Box::new(PopulationError::NoEdges);
+        assert!(e.source().is_none());
+    }
+}

@@ -1,0 +1,129 @@
+//! A small, fast, non-cryptographic hasher for interning hot paths.
+//!
+//! The simulation inner loop interns protocol states and looks up memoized
+//! transitions millions of times per second; the standard library's SipHash
+//! is needlessly defensive for that use (keys are trusted, in-process
+//! values). This is the well-known Fx multiply-rotate hash used by rustc,
+//! reimplemented here to stay within the approved dependency set.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// A `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Fx multiply-rotate hasher (as used by the Rust compiler).
+///
+/// Not cryptographically secure and not DoS-resistant; use only for
+/// in-process interning of trusted values.
+#[derive(Debug, Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf) ^ rem.len() as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    fn hash_of<T: Hash + ?Sized>(v: &T) -> u64 {
+        let mut h = FxHasher::default();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(hash_of(&42u64), hash_of(&42u64));
+        assert_eq!(hash_of(&"population"), hash_of(&"population"));
+    }
+
+    #[test]
+    fn distinguishes_nearby_values() {
+        assert_ne!(hash_of(&1u64), hash_of(&2u64));
+        assert_ne!(hash_of(&(1u32, 2u32)), hash_of(&(2u32, 1u32)));
+    }
+
+    #[test]
+    fn distinguishes_length_extensions() {
+        // The remainder path mixes in the length, so a short key is not a
+        // prefix-collision of a padded longer key.
+        assert_ne!(hash_of(&[1u8, 0, 0][..]), hash_of(&[1u8, 0, 0, 0][..]));
+    }
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FxHashMap<(u32, u32), u32> = FxHashMap::default();
+        for i in 0..1000u32 {
+            m.insert((i, i * 2), i);
+        }
+        for i in 0..1000u32 {
+            assert_eq!(m.get(&(i, i * 2)), Some(&i));
+        }
+        assert_eq!(m.len(), 1000);
+    }
+
+    #[test]
+    fn reasonable_spread() {
+        // Hashes of consecutive integers should land in many distinct
+        // buckets of a 256-bucket table.
+        let mut buckets = FxHashSet::default();
+        for i in 0..256u64 {
+            buckets.insert(hash_of(&i) % 256);
+        }
+        assert!(buckets.len() > 128, "only {} distinct buckets", buckets.len());
+    }
+}

@@ -1,0 +1,235 @@
+//! The [`Protocol`] trait: the paper's `(X, Y, Q, I, O, δ)` tuple (§3.1).
+
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// A population protocol `A = (X, Y, Q, I, O, δ)` (§3.1 of the paper).
+///
+/// * `X` is the [`Input`](Protocol::Input) alphabet, `Y` the
+///   [`Output`](Protocol::Output) alphabet, and `Q` the
+///   [`State`](Protocol::State) set — all finite.
+/// * [`input`](Protocol::input) is the input function `I : X → Q` applied to
+///   each agent's sensor reading at the global start signal.
+/// * [`output`](Protocol::output) is the output function `O : Q → Y` read off
+///   each agent's current state.
+/// * [`delta`](Protocol::delta) is the joint transition function
+///   `δ : Q × Q → Q × Q`; when agents `u` (initiator) and `v` (responder)
+///   interact in states `(p, q)`, they move to `δ(p, q) = (p', q')`. The
+///   asymmetric roles are a fundamental assumption of the model
+///   (symmetry-breaking never arises within it).
+///
+/// Implementations must be *deterministic* and must use a finite state set:
+/// every state reachable from the image of `I` by iterating `δ` must belong
+/// to a finite set. The runtime interns states dynamically and can enforce a
+/// bound (see [`DenseRuntime`](crate::registry::DenseRuntime)).
+///
+/// # Example
+///
+/// The parity protocol (is the number of `1` inputs odd?):
+///
+/// ```
+/// use pp_core::Protocol;
+///
+/// /// State = (is-leader, parity-bit, output-bit).
+/// struct Parity;
+///
+/// impl Protocol for Parity {
+///     type State = (bool, bool, bool);
+///     type Input = bool;
+///     type Output = bool;
+///
+///     fn input(&self, &b: &bool) -> Self::State {
+///         (true, b, b)
+///     }
+///     fn output(&self, &(_, _, out): &Self::State) -> bool {
+///         out
+///     }
+///     fn delta(&self, p: &Self::State, q: &Self::State) -> (Self::State, Self::State) {
+///         match (*p, *q) {
+///             // Two leaders merge: initiator keeps the XOR, responder drops out.
+///             ((true, a, _), (true, b, _)) => {
+///                 let x = a ^ b;
+///                 ((true, x, x), (false, false, x))
+///             }
+///             // A leader broadcasts its current parity.
+///             ((true, a, _), (false, _, _)) => ((true, a, a), (false, false, a)),
+///             ((false, _, _), (true, b, _)) => ((false, false, b), (true, b, b)),
+///             (p, q) => (p, q),
+///         }
+///     }
+/// }
+/// ```
+pub trait Protocol {
+    /// Protocol state set `Q` (finite).
+    type State: Clone + Eq + Hash + Debug;
+    /// Input alphabet `X` (finite).
+    type Input: Clone + Eq + Hash + Debug;
+    /// Output alphabet `Y` (finite).
+    type Output: Clone + Eq + Hash + Debug;
+
+    /// The input function `I : X → Q`.
+    fn input(&self, x: &Self::Input) -> Self::State;
+
+    /// The output function `O : Q → Y`.
+    fn output(&self, q: &Self::State) -> Self::Output;
+
+    /// The transition function `δ : Q × Q → Q × Q`, with the first argument
+    /// the *initiator* and the second the *responder*.
+    fn delta(&self, p: &Self::State, q: &Self::State) -> (Self::State, Self::State);
+}
+
+/// Blanket implementation so `&P` and `Box<P>` are protocols too.
+impl<P: Protocol + ?Sized> Protocol for &P {
+    type State = P::State;
+    type Input = P::Input;
+    type Output = P::Output;
+
+    fn input(&self, x: &Self::Input) -> Self::State {
+        (**self).input(x)
+    }
+    fn output(&self, q: &Self::State) -> Self::Output {
+        (**self).output(q)
+    }
+    fn delta(&self, p: &Self::State, q: &Self::State) -> (Self::State, Self::State) {
+        (**self).delta(p, q)
+    }
+}
+
+impl<P: Protocol + ?Sized> Protocol for Box<P> {
+    type State = P::State;
+    type Input = P::Input;
+    type Output = P::Output;
+
+    fn input(&self, x: &Self::Input) -> Self::State {
+        (**self).input(x)
+    }
+    fn output(&self, q: &Self::State) -> Self::Output {
+        (**self).output(q)
+    }
+    fn delta(&self, p: &Self::State, q: &Self::State) -> (Self::State, Self::State) {
+        (**self).delta(p, q)
+    }
+}
+
+/// A protocol assembled from three closures — convenient for tests, examples
+/// and one-off protocols.
+///
+/// # Example
+///
+/// ```
+/// use pp_core::FnProtocol;
+///
+/// // "Epidemic": one infected agent infects the whole population.
+/// let epidemic = FnProtocol::new(
+///     |&b: &bool| b,
+///     |&q: &bool| q,
+///     |&p: &bool, &q: &bool| (p || q, p || q),
+/// );
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct FnProtocol<S, X, Y, FI, FO, FD> {
+    input_fn: FI,
+    output_fn: FO,
+    delta_fn: FD,
+    #[allow(clippy::type_complexity)]
+    _marker: std::marker::PhantomData<fn(&X, &S) -> (S, Y)>,
+}
+
+impl<S, X, Y, FI, FO, FD> FnProtocol<S, X, Y, FI, FO, FD>
+where
+    FI: Fn(&X) -> S,
+    FO: Fn(&S) -> Y,
+    FD: Fn(&S, &S) -> (S, S),
+{
+    /// Creates a protocol from an input map, an output map, and a joint
+    /// transition function.
+    pub fn new(input_fn: FI, output_fn: FO, delta_fn: FD) -> Self {
+        Self { input_fn, output_fn, delta_fn, _marker: std::marker::PhantomData }
+    }
+}
+
+impl<S, X, Y, FI, FO, FD> Protocol for FnProtocol<S, X, Y, FI, FO, FD>
+where
+    S: Clone + Eq + Hash + Debug,
+    X: Clone + Eq + Hash + Debug,
+    Y: Clone + Eq + Hash + Debug,
+    FI: Fn(&X) -> S,
+    FO: Fn(&S) -> Y,
+    FD: Fn(&S, &S) -> (S, S),
+{
+    type State = S;
+    type Input = X;
+    type Output = Y;
+
+    fn input(&self, x: &X) -> S {
+        (self.input_fn)(x)
+    }
+    fn output(&self, q: &S) -> Y {
+        (self.output_fn)(q)
+    }
+    fn delta(&self, p: &S, q: &S) -> (S, S) {
+        (self.delta_fn)(p, q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug)]
+    struct CountToFive;
+
+    impl Protocol for CountToFive {
+        type State = u8;
+        type Input = bool;
+        type Output = bool;
+
+        fn input(&self, &b: &bool) -> u8 {
+            u8::from(b)
+        }
+        fn output(&self, &q: &u8) -> bool {
+            q == 5
+        }
+        fn delta(&self, &p: &u8, &q: &u8) -> (u8, u8) {
+            if p + q >= 5 {
+                (5, 5)
+            } else {
+                (p + q, 0)
+            }
+        }
+    }
+
+    #[test]
+    fn count_to_five_transitions_match_paper() {
+        // §3.1 example: δ(q_i, q_j) = (q_{i+j}, q_0) when i+j < 5.
+        let p = CountToFive;
+        assert_eq!(p.delta(&1, &1), (2, 0));
+        assert_eq!(p.delta(&2, &2), (4, 0));
+        assert_eq!(p.delta(&0, &0), (0, 0));
+        // ... and (q5, q5) once the sum reaches 5.
+        assert_eq!(p.delta(&2, &3), (5, 5));
+        assert_eq!(p.delta(&5, &0), (5, 5));
+    }
+
+    #[test]
+    fn reference_and_box_forward() {
+        let p = CountToFive;
+        let r: &dyn Protocol<State = u8, Input = bool, Output = bool> = &p;
+        assert_eq!(r.delta(&4, &4), (5, 5));
+        let b: Box<dyn Protocol<State = u8, Input = bool, Output = bool>> = Box::new(CountToFive);
+        assert_eq!(b.input(&true), 1);
+        assert!(!b.output(&4));
+    }
+
+    #[test]
+    fn fn_protocol_epidemic() {
+        let epidemic = FnProtocol::new(
+            |&b: &bool| b,
+            |&q: &bool| q,
+            |&p: &bool, &q: &bool| (p || q, p || q),
+        );
+        assert_eq!(epidemic.delta(&true, &false), (true, true));
+        assert_eq!(epidemic.delta(&false, &false), (false, false));
+        assert!(epidemic.output(&true));
+    }
+}

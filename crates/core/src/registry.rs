@@ -1,0 +1,299 @@
+//! Dense interning of protocol states and memoization of the transition
+//! function, so the simulation inner loop works on `u32` ids and array
+//! lookups rather than hashing rich state values.
+
+use crate::error::PopulationError;
+use crate::fxhash::FxHashMap;
+use crate::protocol::Protocol;
+
+/// Dense identifier of an interned protocol state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StateId(pub u32);
+
+impl StateId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Dense identifier of an interned output value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct OutputId(pub u32);
+
+impl OutputId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Default ceiling on the number of distinct states a protocol may intern.
+///
+/// The model requires `Q` to be finite; a protocol that keeps generating new
+/// states (e.g. an unbounded counter) violates the model, and this bound
+/// turns that bug into an error instead of memory exhaustion.
+pub const DEFAULT_STATE_BOUND: usize = 1 << 22;
+
+/// Interns the states and outputs of a [`Protocol`] into dense ids and
+/// memoizes its transition function.
+///
+/// States are discovered lazily: the set of interned states after any number
+/// of operations is exactly the set of states the runtime has been shown
+/// (via [`intern`](Self::intern)) plus the states produced by memoized
+/// transitions.
+///
+/// # Example
+///
+/// ```
+/// use pp_core::{DenseRuntime, FnProtocol};
+///
+/// let epidemic = FnProtocol::new(
+///     |&b: &bool| b,
+///     |&q: &bool| q,
+///     |&p: &bool, &q: &bool| (p || q, p || q),
+/// );
+/// let mut rt = DenseRuntime::new(epidemic);
+/// let healthy = rt.intern_input(&false);
+/// let infected = rt.intern_input(&true);
+/// let (a, b) = rt.transition(infected, healthy);
+/// assert_eq!((a, b), (infected, infected));
+/// ```
+#[derive(Debug, Clone)]
+pub struct DenseRuntime<P: Protocol> {
+    protocol: P,
+    states: Vec<P::State>,
+    state_index: FxHashMap<P::State, StateId>,
+    /// Output id of each interned state, parallel to `states`.
+    state_output: Vec<OutputId>,
+    outputs: Vec<P::Output>,
+    output_index: FxHashMap<P::Output, OutputId>,
+    /// Memoized transitions keyed by `(initiator, responder)`.
+    transitions: FxHashMap<(StateId, StateId), (StateId, StateId)>,
+    state_bound: usize,
+}
+
+impl<P: Protocol> DenseRuntime<P> {
+    /// Creates a runtime with the [`DEFAULT_STATE_BOUND`].
+    pub fn new(protocol: P) -> Self {
+        Self::with_state_bound(protocol, DEFAULT_STATE_BOUND)
+    }
+
+    /// Creates a runtime that will panic through
+    /// [`PopulationError::StateSpaceExceeded`] if more than `bound` distinct
+    /// states are ever interned.
+    pub fn with_state_bound(protocol: P, bound: usize) -> Self {
+        Self {
+            protocol,
+            states: Vec::new(),
+            state_index: FxHashMap::default(),
+            state_output: Vec::new(),
+            outputs: Vec::new(),
+            output_index: FxHashMap::default(),
+            transitions: FxHashMap::default(),
+            state_bound: bound,
+        }
+    }
+
+    /// The wrapped protocol.
+    pub fn protocol(&self) -> &P {
+        &self.protocol
+    }
+
+    /// Number of distinct states interned so far.
+    pub fn state_count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Number of distinct output values interned so far.
+    pub fn output_count(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Interns a state, returning its dense id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of distinct states exceeds the configured bound
+    /// (the protocol is then not finite-state, violating the model).
+    pub fn intern(&mut self, state: P::State) -> StateId {
+        if let Some(&id) = self.state_index.get(&state) {
+            return id;
+        }
+        assert!(
+            self.states.len() < self.state_bound,
+            "{}",
+            PopulationError::StateSpaceExceeded { bound: self.state_bound }
+        );
+        let id = StateId(u32::try_from(self.states.len()).expect("more than u32::MAX states"));
+        let out = self.intern_output(self.protocol.output(&state));
+        self.states.push(state.clone());
+        self.state_output.push(out);
+        self.state_index.insert(state, id);
+        id
+    }
+
+    fn intern_output(&mut self, out: P::Output) -> OutputId {
+        if let Some(&id) = self.output_index.get(&out) {
+            return id;
+        }
+        let id = OutputId(u32::try_from(self.outputs.len()).expect("more than u32::MAX outputs"));
+        self.outputs.push(out.clone());
+        self.output_index.insert(out, id);
+        id
+    }
+
+    /// Applies the input function `I` and interns the resulting state.
+    pub fn intern_input(&mut self, x: &P::Input) -> StateId {
+        let s = self.protocol.input(x);
+        self.intern(s)
+    }
+
+    /// The state value behind an id.
+    pub fn state(&self, id: StateId) -> &P::State {
+        &self.states[id.index()]
+    }
+
+    /// The output id of a state.
+    #[inline]
+    pub fn output_of(&self, id: StateId) -> OutputId {
+        self.state_output[id.index()]
+    }
+
+    /// The output value behind an output id.
+    pub fn output_value(&self, id: OutputId) -> &P::Output {
+        &self.outputs[id.index()]
+    }
+
+    /// Looks up (and memoizes) `δ(p, q)`.
+    #[inline]
+    pub fn transition(&mut self, p: StateId, q: StateId) -> (StateId, StateId) {
+        if let Some(&r) = self.transitions.get(&(p, q)) {
+            return r;
+        }
+        let (sp, sq) = self.protocol.delta(self.state(p), self.state(q));
+        let rp = self.intern(sp);
+        let rq = self.intern(sq);
+        self.transitions.insert((p, q), (rp, rq));
+        (rp, rq)
+    }
+
+    /// Returns the memoized transition for `(p, q)` without computing it —
+    /// `None` if this pair has never been passed to
+    /// [`transition`](Self::transition).
+    pub fn cached_transition(&self, p: StateId, q: StateId) -> Option<(StateId, StateId)> {
+        self.transitions.get(&(p, q)).copied()
+    }
+
+    /// Eagerly explores the whole state space reachable from the given seed
+    /// states by closing under `δ` on all ordered pairs, returning the total
+    /// number of states.
+    ///
+    /// Useful before analysis passes that need the full (reachable) state
+    /// set, and as a finiteness check for a protocol.
+    pub fn close_under_delta(&mut self, seeds: &[StateId]) -> usize {
+        let mut frontier: Vec<StateId> = seeds.to_vec();
+        let mut known = self.states.len();
+        // Process pairs (old × new, new × old, new × new) until fixpoint.
+        while !frontier.is_empty() {
+            let snapshot: Vec<StateId> = (0..known as u32).map(StateId).collect();
+            for &a in &snapshot {
+                for &b in &frontier {
+                    self.transition(a, b);
+                    self.transition(b, a);
+                }
+            }
+            for &a in &frontier {
+                for &b in &frontier {
+                    self.transition(a, b);
+                }
+            }
+            let new_known = self.states.len();
+            frontier = (known as u32..new_known as u32).map(StateId).collect();
+            known = new_known;
+        }
+        known
+    }
+
+    /// All interned states (ids `0..state_count`).
+    pub fn state_ids(&self) -> impl Iterator<Item = StateId> {
+        (0..self.states.len() as u32).map(StateId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::FnProtocol;
+
+    fn mod3() -> impl Protocol<State = u8, Input = u8, Output = u8> {
+        FnProtocol::new(
+            |&x: &u8| x % 3,
+            |&q: &u8| q,
+            |&p: &u8, &q: &u8| ((p + q) % 3, 0),
+        )
+    }
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut rt = DenseRuntime::new(mod3());
+        let a = rt.intern(2);
+        let b = rt.intern(2);
+        assert_eq!(a, b);
+        assert_eq!(rt.state_count(), 1);
+    }
+
+    #[test]
+    fn transition_memoization_consistent() {
+        let mut rt = DenseRuntime::new(mod3());
+        let one = rt.intern(1);
+        let two = rt.intern(2);
+        let r1 = rt.transition(one, two);
+        let r2 = rt.transition(one, two);
+        assert_eq!(r1, r2);
+        assert_eq!(*rt.state(r1.0), 0);
+        assert_eq!(*rt.state(r1.1), 0);
+    }
+
+    #[test]
+    fn outputs_are_interned_with_states() {
+        let mut rt = DenseRuntime::new(mod3());
+        let id = rt.intern(2);
+        assert_eq!(*rt.output_value(rt.output_of(id)), 2);
+    }
+
+    #[test]
+    fn close_under_delta_explores_reachable_space() {
+        let mut rt = DenseRuntime::new(mod3());
+        let seeds: Vec<StateId> = (0..3u8).map(|x| rt.intern_input(&x)).collect();
+        let n = rt.close_under_delta(&seeds);
+        assert_eq!(n, 3); // states {0,1,2}
+        // Closure contains every pair transition.
+        for a in 0..3u32 {
+            for b in 0..3u32 {
+                let (p, q) = rt.transition(StateId(a), StateId(b));
+                let _ = (p, q);
+            }
+        }
+        assert_eq!(rt.state_count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct states")]
+    fn state_bound_enforced() {
+        // An unbounded counter protocol violates finiteness.
+        let unbounded = FnProtocol::new(
+            |&x: &u64| x,
+            |&q: &u64| q,
+            |&p: &u64, &q: &u64| (p + q + 1, q),
+        );
+        let mut rt = DenseRuntime::with_state_bound(unbounded, 8);
+        let mut s = rt.intern(0);
+        let z = rt.intern(0);
+        for _ in 0..100 {
+            s = rt.transition(s, z).0;
+        }
+    }
+}

@@ -1,0 +1,374 @@
+//! Schedulers: who interacts next?
+//!
+//! The model itself is nondeterministic — any encounter permitted by the
+//! interaction graph may happen next, subject only to fairness (§3.1). For
+//! simulation we must pick. The paper's probabilistic layer (§6,
+//! *conjugating automata*) draws the ordered pair uniformly at random from
+//! the edges of the interaction graph; random pairing guarantees fairness
+//! with probability 1.
+//!
+//! [`UniformPairScheduler`] implements the complete-graph case,
+//! [`EdgeListScheduler`] the general case, [`RoundRobinScheduler`] a
+//! deterministic fair schedule useful in tests, and [`ScriptedScheduler`] an
+//! arbitrary (possibly adversarial) fixed schedule.
+
+use rand::{Rng, RngCore};
+
+/// A source of ordered agent pairs `(initiator, responder)` for agent-based
+/// simulations.
+pub trait PairSampler {
+    /// Draws the next interacting pair. The two indices are always distinct
+    /// and in `0..n`.
+    fn sample(&mut self, rng: &mut dyn RngCore) -> (u32, u32);
+
+    /// Population size this sampler draws from.
+    fn population(&self) -> usize;
+}
+
+/// Uniform random ordered pairs from the complete interaction graph — the
+/// sampling rule of conjugating automata (§6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UniformPairScheduler {
+    n: u32,
+}
+
+impl UniformPairScheduler {
+    /// Creates a sampler over `n ≥ 2` agents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 2, "population must have at least 2 agents");
+        Self { n: u32::try_from(n).expect("population exceeds u32::MAX") }
+    }
+}
+
+impl PairSampler for UniformPairScheduler {
+    #[inline]
+    fn sample(&mut self, rng: &mut dyn RngCore) -> (u32, u32) {
+        let u = rng.gen_range(0..self.n);
+        let mut v = rng.gen_range(0..self.n - 1);
+        if v >= u {
+            v += 1;
+        }
+        (u, v)
+    }
+
+    fn population(&self) -> usize {
+        self.n as usize
+    }
+}
+
+/// Uniform random ordered pairs from an explicit directed edge list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EdgeListScheduler {
+    edges: Vec<(u32, u32)>,
+    n: usize,
+}
+
+impl EdgeListScheduler {
+    /// Creates a sampler over the given directed edges in a population of
+    /// size `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the edge list is empty, contains a self-loop, or refers to
+    /// an agent outside `0..n`.
+    pub fn new(n: usize, edges: Vec<(u32, u32)>) -> Self {
+        assert!(!edges.is_empty(), "interaction graph has no edges");
+        for &(u, v) in &edges {
+            assert!(u != v, "self-loop on agent {u}");
+            assert!(
+                (u as usize) < n && (v as usize) < n,
+                "edge ({u},{v}) out of range for population of size {n}"
+            );
+        }
+        Self { edges, n }
+    }
+
+    /// The directed edges this sampler draws from.
+    pub fn edges(&self) -> &[(u32, u32)] {
+        &self.edges
+    }
+}
+
+impl PairSampler for EdgeListScheduler {
+    #[inline]
+    fn sample(&mut self, rng: &mut dyn RngCore) -> (u32, u32) {
+        self.edges[rng.gen_range(0..self.edges.len())]
+    }
+
+    fn population(&self) -> usize {
+        self.n
+    }
+}
+
+/// Deterministically cycles through every ordered pair of a complete graph.
+///
+/// Every permitted encounter occurs once per round, which makes executions
+/// driven by this scheduler fair in the intuitive sense of §1 (and, on any
+/// protocol whose configuration sequence becomes periodic, in the formal
+/// sense too). Ideal for reproducible tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoundRobinScheduler {
+    n: u32,
+    next: u64,
+}
+
+impl RoundRobinScheduler {
+    /// Creates a round-robin schedule over `n ≥ 2` agents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 2, "population must have at least 2 agents");
+        Self { n: n as u32, next: 0 }
+    }
+}
+
+impl PairSampler for RoundRobinScheduler {
+    fn sample(&mut self, _rng: &mut dyn RngCore) -> (u32, u32) {
+        let pairs = u64::from(self.n) * u64::from(self.n - 1);
+        let k = self.next % pairs;
+        self.next += 1;
+        let u = (k / u64::from(self.n - 1)) as u32;
+        let mut v = (k % u64::from(self.n - 1)) as u32;
+        if v >= u {
+            v += 1;
+        }
+        (u, v)
+    }
+
+    fn population(&self) -> usize {
+        self.n as usize
+    }
+}
+
+/// Weighted random ordered pairs (§8's *weighted sampling* direction): the
+/// initiator is drawn with probability proportional to its weight, and the
+/// responder proportional to weight among the rest.
+///
+/// The paper conjectures that, with reasonable restrictions on the weights,
+/// weighted sampling yields the same computational power as uniform
+/// sampling; experiment E15 compares convergence behavior empirically.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightedPairScheduler {
+    weights: Vec<f64>,
+    total: f64,
+}
+
+impl WeightedPairScheduler {
+    /// Creates a sampler with one positive weight per agent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than 2 weights are given or any weight is not a
+    /// finite positive number.
+    pub fn new(weights: Vec<f64>) -> Self {
+        assert!(weights.len() >= 2, "population must have at least 2 agents");
+        for &w in &weights {
+            assert!(w.is_finite() && w > 0.0, "weights must be finite and positive");
+        }
+        let total = weights.iter().sum();
+        Self { weights, total }
+    }
+
+    /// The agent weights.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    fn draw(&self, rng: &mut dyn RngCore, skip: Option<usize>) -> u32 {
+        let total = match skip {
+            Some(i) => self.total - self.weights[i],
+            None => self.total,
+        };
+        let mut x = rng.gen_range(0.0..total);
+        for (i, &w) in self.weights.iter().enumerate() {
+            if Some(i) == skip {
+                continue;
+            }
+            if x < w {
+                return i as u32;
+            }
+            x -= w;
+        }
+        // Floating-point slack: return the last eligible agent.
+        (0..self.weights.len())
+            .rev()
+            .find(|&i| Some(i) != skip)
+            .expect("at least two agents") as u32
+    }
+}
+
+impl PairSampler for WeightedPairScheduler {
+    fn sample(&mut self, rng: &mut dyn RngCore) -> (u32, u32) {
+        let u = self.draw(rng, None);
+        let v = self.draw(rng, Some(u as usize));
+        (u, v)
+    }
+
+    fn population(&self) -> usize {
+        self.weights.len()
+    }
+}
+
+/// Replays a fixed, possibly adversarial, schedule; panics when exhausted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScriptedScheduler {
+    script: Vec<(u32, u32)>,
+    pos: usize,
+    n: usize,
+}
+
+impl ScriptedScheduler {
+    /// Creates a scheduler replaying `script` over a population of size `n`.
+    pub fn new(n: usize, script: Vec<(u32, u32)>) -> Self {
+        Self { script, pos: 0, n }
+    }
+
+    /// Number of scripted interactions remaining.
+    pub fn remaining(&self) -> usize {
+        self.script.len() - self.pos
+    }
+}
+
+impl PairSampler for ScriptedScheduler {
+    fn sample(&mut self, _rng: &mut dyn RngCore) -> (u32, u32) {
+        let e = self.script[self.pos];
+        self.pos += 1;
+        e
+    }
+
+    fn population(&self) -> usize {
+        self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_pairs_are_distinct_and_in_range() {
+        let mut s = UniformPairScheduler::new(5);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let (u, v) = s.sample(&mut rng);
+            assert_ne!(u, v);
+            assert!(u < 5 && v < 5);
+        }
+    }
+
+    #[test]
+    fn uniform_pairs_cover_all_ordered_pairs_roughly_uniformly() {
+        let n = 4u32;
+        let mut s = UniformPairScheduler::new(n as usize);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut hits = std::collections::HashMap::new();
+        let trials = 120_000;
+        for _ in 0..trials {
+            *hits.entry(s.sample(&mut rng)).or_insert(0u32) += 1;
+        }
+        assert_eq!(hits.len(), (n * (n - 1)) as usize);
+        let expect = trials as f64 / (n * (n - 1)) as f64;
+        for (&pair, &c) in &hits {
+            let ratio = f64::from(c) / expect;
+            assert!((0.9..1.1).contains(&ratio), "pair {pair:?} ratio {ratio}");
+        }
+    }
+
+    #[test]
+    fn edge_list_scheduler_samples_only_listed_edges() {
+        let edges = vec![(0, 1), (1, 2), (2, 0)];
+        let mut s = EdgeListScheduler::new(3, edges.clone());
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let e = s.sample(&mut rng);
+            assert!(edges.contains(&e));
+        }
+        assert_eq!(s.population(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn edge_list_rejects_self_loops() {
+        EdgeListScheduler::new(3, vec![(1, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn edge_list_rejects_out_of_range() {
+        EdgeListScheduler::new(3, vec![(0, 7)]);
+    }
+
+    #[test]
+    fn round_robin_covers_every_ordered_pair_each_round() {
+        let n = 5usize;
+        let mut s = RoundRobinScheduler::new(n);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..n * (n - 1) {
+            let (u, v) = s.sample(&mut rng);
+            assert_ne!(u, v);
+            assert!(seen.insert((u, v)), "duplicate pair ({u},{v}) within a round");
+        }
+        assert_eq!(seen.len(), n * (n - 1));
+    }
+
+    #[test]
+    fn weighted_sampler_respects_weights() {
+        // Agent 0 has weight 8, agents 1..4 weight 1 each: agent 0 should
+        // initiate ~8/12 of the time.
+        let mut s = WeightedPairScheduler::new(vec![8.0, 1.0, 1.0, 1.0, 1.0]);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut zero_initiates = 0u32;
+        let trials = 60_000;
+        for _ in 0..trials {
+            let (u, v) = s.sample(&mut rng);
+            assert_ne!(u, v);
+            assert!(u < 5 && v < 5);
+            if u == 0 {
+                zero_initiates += 1;
+            }
+        }
+        let rate = f64::from(zero_initiates) / f64::from(trials);
+        assert!((rate - 8.0 / 12.0).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn uniform_weights_match_uniform_sampler_distribution() {
+        let mut s = WeightedPairScheduler::new(vec![1.0; 4]);
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut hits = std::collections::HashMap::new();
+        let trials = 120_000;
+        for _ in 0..trials {
+            *hits.entry(s.sample(&mut rng)).or_insert(0u32) += 1;
+        }
+        assert_eq!(hits.len(), 12);
+        let expect = trials as f64 / 12.0;
+        for (&pair, &c) in &hits {
+            let ratio = f64::from(c) / expect;
+            assert!((0.9..1.1).contains(&ratio), "pair {pair:?} ratio {ratio}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn weighted_rejects_nonpositive_weights() {
+        WeightedPairScheduler::new(vec![1.0, 0.0]);
+    }
+
+    #[test]
+    fn scripted_replays_in_order() {
+        let mut s = ScriptedScheduler::new(3, vec![(0, 1), (2, 1)]);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(s.sample(&mut rng), (0, 1));
+        assert_eq!(s.remaining(), 1);
+        assert_eq!(s.sample(&mut rng), (2, 1));
+    }
+}

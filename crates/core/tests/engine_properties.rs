@@ -1,0 +1,119 @@
+//! Cross-cutting property tests for the simulation engines.
+
+use pp_core::prelude::*;
+use proptest::prelude::*;
+
+fn epidemic() -> impl pp_core::Protocol<State = bool, Input = bool, Output = bool> + Clone {
+    FnProtocol::new(
+        |&b: &bool| b,
+        |&q: &bool| q,
+        |&p: &bool, &q: &bool| (p || q, p || q),
+    )
+}
+
+/// A protocol whose transitions conserve a token sum — lets properties
+/// check engine bookkeeping against a conserved quantity.
+fn token_merge() -> impl pp_core::Protocol<State = u8, Input = u8, Output = u8> + Clone {
+    FnProtocol::new(
+        |&x: &u8| x % 4,
+        |&q: &u8| q,
+        |&p: &u8, &q: &u8| {
+            let total = p + q;
+            (total.min(9), total.saturating_sub(9)) // conserve p + q
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn population_and_token_sum_conserved(
+        a in 0u64..6, b in 0u64..6, c in 0u64..6, steps in 0u64..500, seed in 0u64..8,
+    ) {
+        prop_assume!(a + b + c >= 2);
+        let mut sim = Simulation::from_counts(
+            token_merge(),
+            [(1u8, a), (2u8, b), (3u8, c)],
+        );
+        let initial_sum: u64 = sim
+            .config()
+            .support()
+            .map(|(id, cnt)| u64::from(*sim.runtime().state(id)) * cnt)
+            .sum();
+        let mut rng = seeded_rng(seed);
+        sim.run(steps, &mut rng);
+        prop_assert_eq!(sim.population(), a + b + c);
+        let final_sum: u64 = sim
+            .config()
+            .support()
+            .map(|(id, cnt)| u64::from(*sim.runtime().state(id)) * cnt)
+            .sum();
+        prop_assert_eq!(final_sum, initial_sum, "token sum must be conserved");
+        prop_assert!(sim.effective_steps() <= sim.steps());
+    }
+
+    #[test]
+    fn output_histogram_always_partitions_population(
+        t in 0u64..8, f in 0u64..8, steps in 0u64..300, seed in 0u64..8,
+    ) {
+        prop_assume!(t + f >= 2);
+        let mut sim = Simulation::from_counts(epidemic(), [(true, t), (false, f)]);
+        let mut rng = seeded_rng(seed);
+        sim.run(steps, &mut rng);
+        let total: u64 = sim.output_histogram().iter().map(|&(_, c)| c).sum();
+        prop_assert_eq!(total, t + f);
+    }
+
+    #[test]
+    fn leap_and_step_agree_on_reachable_outputs(
+        t in 1u64..5, f in 1u64..8, seed in 0u64..8,
+    ) {
+        // Both engines must end an epidemic in the all-true configuration.
+        let mut fast = Simulation::from_counts(epidemic(), [(true, t), (false, f)]);
+        let mut rng = seeded_rng(seed);
+        fast.run_to_quiescence(10_000, &mut rng).expect("quiesces");
+        prop_assert_eq!(fast.consensus_output(), Some(&true));
+
+        let mut slow = Simulation::from_counts(epidemic(), [(true, t), (false, f)]);
+        let mut rng = seeded_rng(seed);
+        slow.run_until_consensus(&true, 5_000_000, &mut rng).expect("reaches consensus");
+        prop_assert_eq!(slow.consensus_output(), Some(&true));
+    }
+
+    #[test]
+    fn crash_reduces_population_by_one(
+        t in 1u64..6, f in 2u64..6, seed in 0u64..8,
+    ) {
+        let mut sim = Simulation::from_counts(epidemic(), [(true, t), (false, f)]);
+        let mut rng = seeded_rng(seed);
+        let n = sim.population();
+        let _state = sim.crash_random_agent(&mut rng);
+        prop_assert_eq!(sim.population(), n - 1);
+        let total: u64 = sim.output_histogram().iter().map(|&(_, c)| c).sum();
+        prop_assert_eq!(total, n - 1);
+    }
+
+    #[test]
+    fn parallel_round_preserves_population_and_tokens(
+        a in 1u64..6, b in 1u64..6, rounds in 0u64..30, seed in 0u64..8,
+    ) {
+        let mut sim = Simulation::from_counts(token_merge(), [(1u8, a), (3u8, b)]);
+        let initial_sum: u64 = sim
+            .config()
+            .support()
+            .map(|(id, cnt)| u64::from(*sim.runtime().state(id)) * cnt)
+            .sum();
+        let mut rng = seeded_rng(seed);
+        for _ in 0..rounds {
+            sim.parallel_round(&mut rng);
+        }
+        prop_assert_eq!(sim.population(), a + b);
+        let final_sum: u64 = sim
+            .config()
+            .support()
+            .map(|(id, cnt)| u64::from(*sim.runtime().state(id)) * cnt)
+            .sum();
+        prop_assert_eq!(final_sum, initial_sum);
+    }
+}

@@ -1,0 +1,219 @@
+//! Standard interaction-graph families.
+
+use rand::Rng;
+
+use crate::graph::InteractionGraph;
+
+/// The complete interaction graph on `n` agents: all ordered pairs of
+/// distinct agents (the *standard population* of §3.3).
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn complete(n: usize) -> InteractionGraph {
+    let mut edges = Vec::with_capacity(n * (n - 1));
+    for u in 0..n as u32 {
+        for v in 0..n as u32 {
+            if u != v {
+                edges.push((u, v));
+            }
+        }
+    }
+    InteractionGraph::new(n, edges)
+}
+
+/// The directed line `0 → 1 → … → n−1`.
+///
+/// §5 notes a directed line can simulate a linear-space Turing machine —
+/// the opposite extreme from the complete graph.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn directed_line(n: usize) -> InteractionGraph {
+    let edges = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
+    InteractionGraph::new(n, edges)
+}
+
+/// The undirected line: both directions between consecutive agents.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn undirected_line(n: usize) -> InteractionGraph {
+    let mut edges = Vec::with_capacity(2 * (n - 1));
+    for i in 0..n as u32 - 1 {
+        edges.push((i, i + 1));
+        edges.push((i + 1, i));
+    }
+    InteractionGraph::new(n, edges)
+}
+
+/// The directed cycle `0 → 1 → … → n−1 → 0`.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn directed_cycle(n: usize) -> InteractionGraph {
+    let edges = (0..n as u32).map(|i| (i, (i + 1) % n as u32)).collect();
+    InteractionGraph::new(n, edges)
+}
+
+/// The undirected cycle: both directions around the ring.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn undirected_cycle(n: usize) -> InteractionGraph {
+    let mut edges = Vec::with_capacity(2 * n);
+    for i in 0..n as u32 {
+        let j = (i + 1) % n as u32;
+        edges.push((i, j));
+        edges.push((j, i));
+    }
+    InteractionGraph::new(n, edges)
+}
+
+/// The star with center `0`: edges in both directions between the center
+/// and every other agent (a base station and its sensors).
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn star(n: usize) -> InteractionGraph {
+    let mut edges = Vec::with_capacity(2 * (n - 1));
+    for v in 1..n as u32 {
+        edges.push((0, v));
+        edges.push((v, 0));
+    }
+    InteractionGraph::new(n, edges)
+}
+
+/// An Erdős–Rényi `G(n, p)` digraph (each ordered pair present independently
+/// with probability `p`), augmented with an undirected line so the result is
+/// always weakly connected — random mobility patterns for experiments.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or `p` is not in `[0, 1]`.
+pub fn erdos_renyi_connected(n: usize, p: f64, rng: &mut impl Rng) -> InteractionGraph {
+    assert!((0.0..=1.0).contains(&p), "probability must be in [0,1]");
+    assert!(n >= 2, "population must have at least 2 agents");
+    let mut edges = Vec::new();
+    for u in 0..n as u32 {
+        for v in 0..n as u32 {
+            if u != v && rng.gen_bool(p) {
+                edges.push((u, v));
+            }
+        }
+    }
+    // Connectivity backbone.
+    for i in 0..n as u32 - 1 {
+        edges.push((i, i + 1));
+        edges.push((i + 1, i));
+    }
+    InteractionGraph::new(n, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn complete_graph_has_all_ordered_pairs() {
+        let g = complete(5);
+        assert_eq!(g.edge_count(), 20);
+        assert!(g.is_weakly_connected());
+        for u in 0..5 {
+            for v in 0..5 {
+                assert_eq!(g.has_edge(u, v), u != v);
+            }
+        }
+    }
+
+    #[test]
+    fn lines_and_cycles() {
+        assert_eq!(directed_line(4).edge_count(), 3);
+        assert_eq!(undirected_line(4).edge_count(), 6);
+        assert_eq!(directed_cycle(4).edge_count(), 4);
+        assert_eq!(undirected_cycle(4).edge_count(), 8);
+        for g in [
+            directed_line(4),
+            undirected_line(4),
+            directed_cycle(4),
+            undirected_cycle(4),
+        ] {
+            assert!(g.is_weakly_connected());
+        }
+    }
+
+    #[test]
+    fn undirected_cycle_of_two_collapses() {
+        // n=2: edges (0,1) and (1,0), deduplicated.
+        let g = undirected_cycle(2);
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn star_connects_center_to_all() {
+        let g = star(6);
+        assert_eq!(g.edge_count(), 10);
+        assert!(g.is_weakly_connected());
+        assert!(g.has_edge(0, 5) && g.has_edge(5, 0));
+        assert!(!g.has_edge(1, 2));
+    }
+
+    #[test]
+    fn erdos_renyi_always_weakly_connected() {
+        let mut rng = StdRng::seed_from_u64(99);
+        for &p in &[0.0, 0.05, 0.5] {
+            let g = erdos_renyi_connected(20, p, &mut rng);
+            assert!(g.is_weakly_connected(), "p={p}");
+        }
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(32))]
+        #[test]
+        fn prop_generators_always_weakly_connected(n in 2usize..30, p in 0.0f64..0.3) {
+            let mut rng = StdRng::seed_from_u64(n as u64);
+            for g in [
+                complete(n),
+                directed_line(n),
+                undirected_line(n),
+                directed_cycle(n),
+                undirected_cycle(n),
+                star(n),
+                erdos_renyi_connected(n, p, &mut rng),
+            ] {
+                proptest::prop_assert!(g.is_weakly_connected());
+                proptest::prop_assert!(g.spanning_tree().is_some());
+                proptest::prop_assert_eq!(g.population(), n);
+            }
+        }
+
+        #[test]
+        fn prop_spanning_tree_parents_reach_root(n in 2usize..40) {
+            let g = undirected_cycle(n);
+            let parent = g.spanning_tree().unwrap();
+            for v in 0..n as u32 {
+                let mut cur = v;
+                let mut hops = 0;
+                while cur != 0 {
+                    cur = parent[cur as usize];
+                    hops += 1;
+                    proptest::prop_assert!(hops <= n, "cycle in tree");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn erdos_renyi_p1_is_complete_plus_backbone() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = erdos_renyi_connected(6, 1.0, &mut rng);
+        assert_eq!(g.edge_count(), 30); // dedup folds backbone into complete
+    }
+}

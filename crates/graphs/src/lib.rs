@@ -1,0 +1,34 @@
+//! Interaction graphs for population protocols (§3.1, §5 of Angluin et al.,
+//! PODC 2004).
+//!
+//! A population is a set of agents together with an irreflexive directed
+//! edge relation: `(u, v) ∈ E` means `u` may interact with `v`, with `u` as
+//! initiator and `v` as responder. The *complete* interaction graph (all
+//! ordered pairs) is the standard population of §3.3; §5 (Theorem 7) shows
+//! it is the weakest weakly-connected structure, so this crate's generators
+//! are exactly what the Theorem 7 simulator and the restricted-interaction
+//! experiments need.
+//!
+//! # Example
+//!
+//! ```
+//! use pp_graphs::InteractionGraph;
+//!
+//! let ring = pp_graphs::directed_cycle(8);
+//! assert!(ring.is_weakly_connected());
+//! assert_eq!(ring.edge_count(), 8);
+//! let sched = ring.scheduler();
+//! assert_eq!(pp_core::scheduler::PairSampler::population(&sched), 8);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod generators;
+pub mod graph;
+
+pub use generators::{
+    complete, directed_cycle, directed_line, erdos_renyi_connected, star, undirected_cycle,
+    undirected_line,
+};
+pub use graph::InteractionGraph;

@@ -1,0 +1,477 @@
+//! Counter machines: finite control plus a fixed number of non-negative
+//! counters with increment, decrement and zero-test.
+//!
+//! §6.1 of the paper: "the leader can organize the rest of the population
+//! to simulate a counter machine with `O(1)` counters of capacity `O(n)`".
+//! This module provides the machine being simulated. Counters are `u128`
+//! (Gödel numbers grow fast); an optional per-counter *capacity* models the
+//! paper's `O(n)` bound and turns overflow into an explicit error.
+
+use std::error::Error;
+use std::fmt;
+
+/// A counter-machine instruction. The program counter advances by explicit
+/// jump targets, making arbitrary control flow expressible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Instr {
+    /// Increment `counter`, then jump to `next`.
+    Inc {
+        /// Counter index.
+        counter: usize,
+        /// Next instruction.
+        next: usize,
+    },
+    /// If `counter > 0`, decrement it and jump to `nonzero`; otherwise jump
+    /// to `zero`. (The combined decrement-or-jump-on-zero of Minsky.)
+    DecJz {
+        /// Counter index.
+        counter: usize,
+        /// Target when the counter was positive (after decrementing).
+        nonzero: usize,
+        /// Target when the counter was zero.
+        zero: usize,
+    },
+    /// Stop; the counters hold the output.
+    Halt,
+}
+
+/// Errors from construction or execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MachineError {
+    /// An instruction refers to a counter index out of range.
+    BadCounter {
+        /// Instruction index.
+        at: usize,
+        /// The offending counter.
+        counter: usize,
+    },
+    /// A jump target is out of range.
+    BadTarget {
+        /// Instruction index.
+        at: usize,
+        /// The offending target.
+        target: usize,
+    },
+    /// The program is empty.
+    EmptyProgram,
+    /// Execution exceeded the step budget without halting.
+    OutOfFuel {
+        /// The budget that was exhausted.
+        fuel: u64,
+    },
+    /// A counter exceeded its configured capacity.
+    CapacityExceeded {
+        /// The counter that overflowed.
+        counter: usize,
+        /// The configured capacity.
+        capacity: u128,
+    },
+    /// Wrong number of initial counter values supplied to `run`.
+    BadInput {
+        /// Expected count.
+        expected: usize,
+        /// Supplied count.
+        got: usize,
+    },
+}
+
+impl fmt::Display for MachineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::BadCounter { at, counter } => {
+                write!(f, "instruction {at} uses counter {counter} out of range")
+            }
+            Self::BadTarget { at, target } => {
+                write!(f, "instruction {at} jumps to {target} out of range")
+            }
+            Self::EmptyProgram => write!(f, "program has no instructions"),
+            Self::OutOfFuel { fuel } => write!(f, "no halt within {fuel} steps"),
+            Self::CapacityExceeded { counter, capacity } => {
+                write!(f, "counter {counter} exceeded capacity {capacity}")
+            }
+            Self::BadInput { expected, got } => {
+                write!(f, "expected {expected} initial counter values, got {got}")
+            }
+        }
+    }
+}
+
+impl Error for MachineError {}
+
+/// Result of a halted run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterOutcome {
+    /// Final counter values.
+    pub counters: Vec<u128>,
+    /// Executed instruction count.
+    pub steps: u64,
+}
+
+/// A validated counter machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterMachine {
+    instrs: Vec<Instr>,
+    num_counters: usize,
+    capacity: Option<u128>,
+}
+
+impl CounterMachine {
+    /// Creates a machine, validating instruction operands.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError`] if the program is empty or refers to
+    /// out-of-range counters/targets.
+    pub fn new(instrs: Vec<Instr>, num_counters: usize) -> Result<Self, MachineError> {
+        if instrs.is_empty() {
+            return Err(MachineError::EmptyProgram);
+        }
+        let n = instrs.len();
+        for (at, ins) in instrs.iter().enumerate() {
+            match *ins {
+                Instr::Inc { counter, next } => {
+                    if counter >= num_counters {
+                        return Err(MachineError::BadCounter { at, counter });
+                    }
+                    if next >= n {
+                        return Err(MachineError::BadTarget { at, target: next });
+                    }
+                }
+                Instr::DecJz { counter, nonzero, zero } => {
+                    if counter >= num_counters {
+                        return Err(MachineError::BadCounter { at, counter });
+                    }
+                    for target in [nonzero, zero] {
+                        if target >= n {
+                            return Err(MachineError::BadTarget { at, target });
+                        }
+                    }
+                }
+                Instr::Halt => {}
+            }
+        }
+        Ok(Self { instrs, num_counters, capacity: None })
+    }
+
+    /// Sets a per-counter capacity (the paper's `O(n)` bound); exceeding it
+    /// during a run yields [`MachineError::CapacityExceeded`].
+    #[must_use]
+    pub fn with_capacity(mut self, capacity: u128) -> Self {
+        self.capacity = Some(capacity);
+        self
+    }
+
+    /// Number of counters.
+    pub fn num_counters(&self) -> usize {
+        self.num_counters
+    }
+
+    /// The program.
+    pub fn instructions(&self) -> &[Instr] {
+        &self.instrs
+    }
+
+    /// Runs from instruction 0 with the given initial counter values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::OutOfFuel`] if no `Halt` executes within
+    /// `fuel` steps, [`MachineError::CapacityExceeded`] on counter
+    /// overflow, or [`MachineError::BadInput`] on an input arity mismatch.
+    pub fn run(&self, inputs: &[u128], fuel: u64) -> Result<CounterOutcome, MachineError> {
+        if inputs.len() != self.num_counters {
+            return Err(MachineError::BadInput {
+                expected: self.num_counters,
+                got: inputs.len(),
+            });
+        }
+        let mut counters = inputs.to_vec();
+        let mut pc = 0usize;
+        let mut steps = 0u64;
+        loop {
+            if steps >= fuel {
+                return Err(MachineError::OutOfFuel { fuel });
+            }
+            steps += 1;
+            match self.instrs[pc] {
+                Instr::Inc { counter, next } => {
+                    counters[counter] += 1;
+                    if let Some(cap) = self.capacity {
+                        if counters[counter] > cap {
+                            return Err(MachineError::CapacityExceeded { counter, capacity: cap });
+                        }
+                    }
+                    pc = next;
+                }
+                Instr::DecJz { counter, nonzero, zero } => {
+                    if counters[counter] > 0 {
+                        counters[counter] -= 1;
+                        pc = nonzero;
+                    } else {
+                        pc = zero;
+                    }
+                }
+                Instr::Halt => return Ok(CounterOutcome { counters, steps }),
+            }
+        }
+    }
+}
+
+/// A tiny assembler for building counter-machine programs with forward
+/// labels.
+///
+/// # Example
+///
+/// ```
+/// use pp_machines::counter::{Assembler, CounterMachine, Instr};
+///
+/// // Move counter 0 into counter 1.
+/// let mut asm = Assembler::new();
+/// let loop_head = asm.here();
+/// let done = asm.fresh_label();
+/// let body = asm.fresh_label();
+/// asm.dec_jz(0, body, done);
+/// asm.bind(body);
+/// asm.inc(1, loop_head);
+/// asm.bind(done);
+/// asm.halt();
+/// let m = asm.assemble(2).unwrap();
+/// let out = m.run(&[5, 0], 1000).unwrap();
+/// assert_eq!(out.counters, vec![0, 5]);
+/// ```
+#[derive(Debug, Default)]
+pub struct Assembler {
+    instrs: Vec<AsmInstr>,
+    labels: Vec<Option<usize>>,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum AsmInstr {
+    Inc { counter: usize, next: Target },
+    DecJz { counter: usize, nonzero: Target, zero: Target },
+    Halt,
+}
+
+/// A jump target: a concrete address or a label to be bound later.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Target {
+    /// An absolute instruction index.
+    Addr(usize),
+    /// A label created by [`Assembler::fresh_label`].
+    Label(usize),
+}
+
+impl From<usize> for Target {
+    fn from(addr: usize) -> Self {
+        Target::Addr(addr)
+    }
+}
+
+impl Assembler {
+    /// A fresh, empty assembler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The address of the next emitted instruction.
+    pub fn here(&self) -> Target {
+        Target::Addr(self.instrs.len())
+    }
+
+    /// Creates an unbound label.
+    pub fn fresh_label(&mut self) -> Target {
+        self.labels.push(None);
+        Target::Label(self.labels.len() - 1)
+    }
+
+    /// Binds a label to the next emitted instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `label` is not a label or is already bound.
+    pub fn bind(&mut self, label: Target) {
+        match label {
+            Target::Label(l) => {
+                assert!(self.labels[l].is_none(), "label bound twice");
+                self.labels[l] = Some(self.instrs.len());
+            }
+            Target::Addr(_) => panic!("cannot bind an absolute address"),
+        }
+    }
+
+    /// Emits `Inc`.
+    pub fn inc(&mut self, counter: usize, next: impl Into<Target>) {
+        self.instrs.push(AsmInstr::Inc { counter, next: next.into() });
+    }
+
+    /// Emits `Inc` falling through to the next emitted instruction.
+    pub fn inc_next(&mut self, counter: usize) {
+        let next = Target::Addr(self.instrs.len() + 1);
+        self.instrs.push(AsmInstr::Inc { counter, next });
+    }
+
+    /// Emits `DecJz`.
+    pub fn dec_jz(
+        &mut self,
+        counter: usize,
+        nonzero: impl Into<Target>,
+        zero: impl Into<Target>,
+    ) {
+        self.instrs
+            .push(AsmInstr::DecJz { counter, nonzero: nonzero.into(), zero: zero.into() });
+    }
+
+    /// Emits `Halt`.
+    pub fn halt(&mut self) {
+        self.instrs.push(AsmInstr::Halt);
+    }
+
+    /// Emits an unconditional jump (a `DecJz` on a counter that is
+    /// irrelevant — encoded as `DecJz` with both arms equal... which would
+    /// decrement! Instead, `Inc`-free jumps use `DecJz` on a scratch
+    /// counter known to be zero). Prefer structuring code to fall through;
+    /// when a jump is unavoidable use [`Assembler::jump_via_zero`].
+    pub fn jump_via_zero(&mut self, zero_counter: usize, to: impl Into<Target>) {
+        let to = to.into();
+        // When the counter is zero this always takes the `zero` arm; the
+        // `nonzero` arm also goes to `to` for safety (it would decrement a
+        // nonzero scratch, which callers must not allow).
+        self.instrs.push(AsmInstr::DecJz { counter: zero_counter, nonzero: to, zero: to });
+    }
+
+    /// Resolves labels and validates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError`] on invalid operands.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an unbound label is referenced.
+    pub fn assemble(self, num_counters: usize) -> Result<CounterMachine, MachineError> {
+        let resolve = |t: Target| -> usize {
+            match t {
+                Target::Addr(a) => a,
+                Target::Label(l) => self.labels[l].expect("unbound label"),
+            }
+        };
+        let instrs: Vec<Instr> = self
+            .instrs
+            .iter()
+            .map(|ins| match *ins {
+                AsmInstr::Inc { counter, next } => {
+                    Instr::Inc { counter, next: resolve(next) }
+                }
+                AsmInstr::DecJz { counter, nonzero, zero } => Instr::DecJz {
+                    counter,
+                    nonzero: resolve(nonzero),
+                    zero: resolve(zero),
+                },
+                AsmInstr::Halt => Instr::Halt,
+            })
+            .collect();
+        CounterMachine::new(instrs, num_counters)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation_catches_bad_operands() {
+        assert_eq!(CounterMachine::new(vec![], 1), Err(MachineError::EmptyProgram));
+        let bad_counter = vec![Instr::Inc { counter: 3, next: 0 }];
+        assert!(matches!(
+            CounterMachine::new(bad_counter, 2),
+            Err(MachineError::BadCounter { .. })
+        ));
+        let bad_target = vec![Instr::DecJz { counter: 0, nonzero: 5, zero: 0 }];
+        assert!(matches!(
+            CounterMachine::new(bad_target, 1),
+            Err(MachineError::BadTarget { .. })
+        ));
+    }
+
+    #[test]
+    fn addition_program() {
+        // c0 += c1 (destroying c1): loop { c1-- or exit; c0++ }.
+        let m = CounterMachine::new(
+            vec![
+                Instr::DecJz { counter: 1, nonzero: 1, zero: 2 },
+                Instr::Inc { counter: 0, next: 0 },
+                Instr::Halt,
+            ],
+            2,
+        )
+        .unwrap();
+        let out = m.run(&[3, 4], 100).unwrap();
+        assert_eq!(out.counters, vec![7, 0]);
+        assert_eq!(out.steps, 10);
+    }
+
+    #[test]
+    fn fuel_exhaustion() {
+        // Infinite loop.
+        let m = CounterMachine::new(
+            vec![Instr::Inc { counter: 0, next: 0 }],
+            1,
+        )
+        .unwrap();
+        assert_eq!(m.run(&[0], 50), Err(MachineError::OutOfFuel { fuel: 50 }));
+    }
+
+    #[test]
+    fn capacity_limit() {
+        let m = CounterMachine::new(
+            vec![Instr::Inc { counter: 0, next: 0 }],
+            1,
+        )
+        .unwrap()
+        .with_capacity(10);
+        assert_eq!(
+            m.run(&[0], 1000),
+            Err(MachineError::CapacityExceeded { counter: 0, capacity: 10 })
+        );
+    }
+
+    #[test]
+    fn bad_input_arity() {
+        let m = CounterMachine::new(vec![Instr::Halt], 2).unwrap();
+        assert!(matches!(m.run(&[1], 10), Err(MachineError::BadInput { .. })));
+    }
+
+    #[test]
+    fn assembler_forward_labels() {
+        // Double counter 0 into counter 1: loop { c0-- or done; c1 += 2 }.
+        let mut asm = Assembler::new();
+        let head = asm.here();
+        let done = asm.fresh_label();
+        let body = asm.fresh_label();
+        asm.dec_jz(0, body, done);
+        asm.bind(body);
+        let step2 = asm.fresh_label();
+        asm.inc(1, step2);
+        asm.bind(step2);
+        asm.inc(1, head);
+        asm.bind(done);
+        asm.halt();
+        let m = asm.assemble(2).unwrap();
+        let out = m.run(&[6, 0], 1000).unwrap();
+        assert_eq!(out.counters, vec![0, 12]);
+    }
+
+    #[test]
+    fn jump_via_zero_counter() {
+        let mut asm = Assembler::new();
+        let end = asm.fresh_label();
+        asm.jump_via_zero(1, end);
+        asm.inc(0, 0); // skipped
+        asm.bind(end);
+        asm.halt();
+        let m = asm.assemble(2).unwrap();
+        let out = m.run(&[0, 0], 10).unwrap();
+        assert_eq!(out.counters[0], 0, "jump must skip the increment");
+    }
+}

@@ -1,0 +1,31 @@
+//! Machine substrates for the §6.1 simulations of Angluin et al.
+//! (PODC 2004).
+//!
+//! Theorem 10 of the paper simulates a logspace Turing machine on a
+//! population, by way of Minsky's classical reduction: a TM tape is two
+//! stacks, each stack is a Gödel-numbered counter, and a counter machine
+//! with `O(1)` counters of capacity `O(n)`-ish runs the whole thing. This
+//! crate provides each layer as an ordinary, directly executable machine:
+//!
+//! * [`counter`] — counter machines (`Inc` / `DecJz` / `Halt`) with
+//!   optional capacity limits, matching the paper's "counters of capacity
+//!   `O(n)`";
+//! * [`tm`] — single-tape Turing machines;
+//! * [`minsky`] — the compiler from a Turing machine to a 3-counter
+//!   machine (left stack, right stack, accumulator), with push/pop realized
+//!   as multiply/divide-by-`b` loops — exactly the operations the
+//!   population protocol implements with high probability in §6.1;
+//! * [`programs`] — small example machines used by tests, examples and the
+//!   Theorem 10 experiments.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod counter;
+pub mod minsky;
+pub mod programs;
+pub mod tm;
+
+pub use counter::{CounterMachine, CounterOutcome, Instr, MachineError};
+pub use minsky::compile_tm;
+pub use tm::{Move, TmOutcome, TuringMachine};

@@ -1,0 +1,349 @@
+//! The Minsky reduction: Turing machine → 3-counter machine.
+//!
+//! §6.1 of the paper ("Simulating a Turing machine"): represent the tape as
+//! two stacks, and each stack as a counter holding the Gödel number
+//! `Σ xᵢ·bⁱ` of its symbol sequence, where `b` is the alphabet size and
+//! digit = symbol (blank = 0, so an empty stack and an all-blank stack
+//! coincide, exactly the unbounded-tape semantics). Pushing is
+//! `c ← c·b + x`; popping is `c ← ⌊c/b⌋` returning the remainder — both
+//! implemented with an accumulator counter, which is why the compiled
+//! machine uses **three counters**: left stack, right stack, accumulator.
+//! The remainder of a pop lives in the finite control ("or in our
+//! simulation, the leader agent"), realized here as statically-known
+//! branches of the division loop.
+
+use crate::counter::{Assembler, CounterMachine, MachineError, Target};
+use crate::tm::{Move, TmError, TmOutcome, TuringMachine};
+
+/// Counter index of the left tape stack.
+pub const LEFT: usize = 0;
+/// Counter index of the right tape stack (top = cell under the head).
+pub const RIGHT: usize = 1;
+/// Counter index of the accumulator.
+pub const AUX: usize = 2;
+
+/// A Turing machine compiled to a counter machine.
+#[derive(Debug, Clone)]
+pub struct CompiledTm {
+    machine: CounterMachine,
+    base: u128,
+}
+
+impl CompiledTm {
+    /// The compiled 3-counter machine.
+    pub fn machine(&self) -> &CounterMachine {
+        &self.machine
+    }
+
+    /// The Gödel base `b` (= TM alphabet size).
+    pub fn base(&self) -> u128 {
+        self.base
+    }
+
+    /// Encodes a TM input as initial counter values `[left, right, aux]`.
+    pub fn encode_input(&self, input: &[u8]) -> [u128; 3] {
+        [0, encode_stack(input, self.base), 0]
+    }
+
+    /// Decodes final counters back into a (trimmed) tape.
+    pub fn decode_tape(&self, counters: &[u128]) -> Vec<u8> {
+        let mut left = decode_stack(counters[LEFT], self.base);
+        left.reverse();
+        let mut tape = left;
+        tape.extend(decode_stack(counters[RIGHT], self.base));
+        while tape.first() == Some(&0) {
+            tape.remove(0);
+        }
+        while tape.last() == Some(&0) {
+            tape.pop();
+        }
+        tape
+    }
+
+    /// Runs the compiled machine on a TM input, returning the final tape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TmError::OutOfFuel`] if the counter machine does not halt
+    /// within `fuel` counter-machine steps.
+    pub fn run(&self, input: &[u8], fuel: u64) -> Result<TmOutcome, TmError> {
+        let init = self.encode_input(input);
+        match self.machine.run(&init, fuel) {
+            Ok(out) => Ok(TmOutcome { tape: self.decode_tape(&out.counters), steps: out.steps }),
+            Err(MachineError::OutOfFuel { fuel }) => Err(TmError::OutOfFuel { fuel }),
+            Err(e) => panic!("compiled machine failed unexpectedly: {e}"),
+        }
+    }
+}
+
+/// Gödel-encodes a stack (`symbols[0]` on top) in base `b`.
+pub fn encode_stack(symbols: &[u8], b: u128) -> u128 {
+    let mut v = 0u128;
+    for &s in symbols.iter().rev() {
+        v = v * b + u128::from(s);
+    }
+    v
+}
+
+/// Decodes a Gödel number into stack symbols, top first (stops at 0).
+pub fn decode_stack(mut v: u128, b: u128) -> Vec<u8> {
+    let mut out = Vec::new();
+    while v > 0 {
+        out.push((v % b) as u8);
+        v /= b;
+    }
+    out
+}
+
+/// Emits `to += from; from = 0`.
+fn emit_move(asm: &mut Assembler, from: usize, to: usize) {
+    let done = asm.fresh_label();
+    let head = asm.here();
+    let body = asm.fresh_label();
+    asm.dec_jz(from, body, done);
+    asm.bind(body);
+    asm.inc(to, head);
+    asm.bind(done);
+}
+
+/// Emits `counter ← counter·b + digit`, using AUX (which must be 0).
+fn emit_push(asm: &mut Assembler, counter: usize, digit: u8, b: u8) {
+    let done = asm.fresh_label();
+    let head = asm.here();
+    let body = asm.fresh_label();
+    asm.dec_jz(counter, body, done);
+    asm.bind(body);
+    for k in 0..b {
+        if k + 1 < b {
+            asm.inc_next(AUX);
+        } else {
+            asm.inc(AUX, head);
+        }
+    }
+    asm.bind(done);
+    for _ in 0..digit {
+        asm.inc_next(AUX);
+    }
+    emit_move(asm, AUX, counter);
+}
+
+/// Emits the division loop `counter ← ⌊counter/b⌋` with quotient
+/// accumulating in AUX; returns one exit label per remainder value. At
+/// each exit the counter is drained (0) and AUX holds the quotient; the
+/// caller must bind each exit, restore `AUX → counter`, and emit the
+/// remainder-specific continuation.
+fn emit_pop(asm: &mut Assembler, counter: usize, b: u8) -> Vec<Target> {
+    let head = asm.here();
+    let mut exits = Vec::with_capacity(b as usize);
+    for _ in 0..b {
+        let cont = asm.fresh_label();
+        let exit = asm.fresh_label();
+        asm.dec_jz(counter, cont, exit);
+        exits.push(exit);
+        asm.bind(cont);
+    }
+    asm.inc(AUX, head);
+    exits
+}
+
+/// Compiles a Turing machine into a 3-counter machine (Minsky).
+///
+/// The compiled machine starts at the block of the TM's start state, with
+/// counters `[0, encode(input), 0]`, and halts with the tape encoded in
+/// the `LEFT`/`RIGHT` counters. A `(state, symbol)` pair without a
+/// transition (other than the halt state) compiles to an infinite loop, so
+/// stuck TMs surface as `OutOfFuel`.
+///
+/// # Panics
+///
+/// Panics if the TM alphabet has fewer than 2 symbols (no non-blank
+/// symbol).
+pub fn compile_tm(tm: &TuringMachine) -> CompiledTm {
+    let b = tm.num_symbols();
+    assert!(b >= 2, "alphabet must contain a non-blank symbol");
+    let mut asm = Assembler::new();
+
+    // One label per TM state block.
+    let blocks: Vec<Target> = (0..tm.num_states()).map(|_| asm.fresh_label()).collect();
+
+    // Entry: jump to the start state's block. (AUX is 0 initially.)
+    asm.jump_via_zero(AUX, blocks[tm.start_state()]);
+
+    // Stuck trap: spin forever.
+    let stuck = asm.fresh_label();
+
+    for s in 0..tm.num_states() {
+        asm.bind(blocks[s]);
+        if s == tm.halt_state() {
+            asm.halt();
+            continue;
+        }
+        // Pop the current symbol off the right stack.
+        let exits = emit_pop(&mut asm, RIGHT, b);
+        for (d, exit) in exits.into_iter().enumerate() {
+            asm.bind(exit);
+            emit_move(&mut asm, AUX, RIGHT); // RIGHT ← quotient
+            match tm.action(s, d as u8) {
+                None => {
+                    // RIGHT was just drained; AUX is 0. Spin.
+                    asm.jump_via_zero(AUX, stuck);
+                }
+                Some(a) => {
+                    match a.mv {
+                        Move::Right => emit_push(&mut asm, LEFT, a.write, b),
+                        Move::Stay => emit_push(&mut asm, RIGHT, a.write, b),
+                        Move::Left => {
+                            emit_push(&mut asm, RIGHT, a.write, b);
+                            // Pop the left stack and push that symbol onto
+                            // the right stack.
+                            let lexits = emit_pop(&mut asm, LEFT, b);
+                            let join = asm.fresh_label();
+                            for (l, lexit) in lexits.into_iter().enumerate() {
+                                asm.bind(lexit);
+                                emit_move(&mut asm, AUX, LEFT);
+                                emit_push(&mut asm, RIGHT, l as u8, b);
+                                asm.jump_via_zero(AUX, join);
+                            }
+                            asm.bind(join);
+                        }
+                    }
+                    // AUX is 0 after every push/move.
+                    asm.jump_via_zero(AUX, blocks[a.next]);
+                }
+            }
+        }
+    }
+
+    asm.bind(stuck);
+    // Infinite loop on AUX = 0: jump to self.
+    let here = asm.here();
+    asm.jump_via_zero(AUX, here);
+
+    let machine = asm.assemble(3).expect("compiler emits valid programs");
+    CompiledTm { machine, base: u128::from(b) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::programs;
+
+    #[test]
+    fn stack_encoding_roundtrip() {
+        for v in [vec![], vec![1], vec![1, 0, 1], vec![2, 1, 2]] {
+            let e = encode_stack(&v, 3);
+            let mut d = decode_stack(e, 3);
+            // Trailing (bottom) blanks vanish in the encoding.
+            let mut expect = v.clone();
+            while expect.last() == Some(&0) {
+                expect.pop();
+            }
+            while d.last() == Some(&0) {
+                d.pop();
+            }
+            assert_eq!(d, expect, "{v:?}");
+        }
+    }
+
+    #[test]
+    fn encode_matches_paper_formula() {
+        // Σ xᵢ bⁱ with x₀ the top.
+        assert_eq!(encode_stack(&[2, 1], 3), 2 + 3);
+        assert_eq!(encode_stack(&[1, 2, 1], 3), 1 + 2 * 3 + 9);
+    }
+
+    /// The compiled machine must produce the same tape as direct TM
+    /// execution on every input in range.
+    fn check_equivalence(tm: &TuringMachine, max_n: usize, fuel: u64) {
+        let compiled = compile_tm(tm);
+        for n in 0..=max_n {
+            let input = vec![1u8; n];
+            let direct = tm.run(&input, fuel).expect("direct run halts");
+            let via_cm = compiled.run(&input, fuel * 10_000).expect("compiled run halts");
+            assert_eq!(via_cm.tape, direct.tape, "n={n}");
+        }
+    }
+
+    #[test]
+    fn increment_machine_equivalent() {
+        check_equivalence(&programs::tm_unary_increment(), 8, 10_000);
+    }
+
+    #[test]
+    fn parity_machine_equivalent() {
+        check_equivalence(&programs::tm_unary_parity(), 9, 10_000);
+    }
+
+    #[test]
+    fn half_machine_equivalent() {
+        check_equivalence(&programs::tm_unary_half(), 9, 10_000);
+    }
+
+    #[test]
+    fn binary_increment_equivalent_base3() {
+        // Alphabet size 3 exercises non-binary Gödel bases.
+        let tm = programs::tm_binary_increment();
+        let compiled = compile_tm(&tm);
+        assert_eq!(compiled.base(), 3);
+        for input in [vec![], vec![2u8], vec![1, 2], vec![2, 2, 1], vec![2, 2, 2]] {
+            let direct = tm.run(&input, 1000).unwrap();
+            let via = compiled.run(&input, 10_000_000).unwrap();
+            assert_eq!(via.tape, direct.tape, "{input:?}");
+        }
+    }
+
+    #[test]
+    fn left_moving_machine_equivalent() {
+        // Writes 1s leftward from the origin: exercises left-stack pops of
+        // blanks.
+        let tm = TuringMachine::new(
+            3,
+            2,
+            0,
+            2,
+            [
+                ((0, 0), crate::tm::Action { write: 1, mv: Move::Left, next: 1 }),
+                ((1, 0), crate::tm::Action { write: 1, mv: Move::Left, next: 2 }),
+            ],
+        )
+        .unwrap();
+        check_equivalence(&tm, 0, 1000);
+    }
+
+    #[test]
+    fn stuck_tm_compiles_to_nontermination() {
+        // No transition on symbol 1 from state 0.
+        let tm = TuringMachine::new(
+            2,
+            2,
+            0,
+            1,
+            [((0, 0), crate::tm::Action { write: 0, mv: Move::Stay, next: 1 })],
+        )
+        .unwrap();
+        let compiled = compile_tm(&tm);
+        assert!(matches!(
+            compiled.run(&[1], 5_000),
+            Err(TmError::OutOfFuel { .. })
+        ));
+    }
+
+    #[test]
+    fn three_counters_only() {
+        let compiled = compile_tm(&programs::tm_unary_parity());
+        assert_eq!(compiled.machine().num_counters(), 3);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(20))]
+        #[test]
+        fn prop_compiled_parity_matches(n in 0usize..16) {
+            let tm = programs::tm_unary_parity();
+            let compiled = compile_tm(&tm);
+            let input = vec![1u8; n];
+            let direct = tm.run(&input, 10_000).unwrap();
+            let via = compiled.run(&input, 100_000_000).unwrap();
+            proptest::prop_assert_eq!(via.tape, direct.tape);
+        }
+    }
+}

@@ -1,0 +1,311 @@
+//! Example machines: the concrete workloads run through the Minsky
+//! reduction and the population simulations of §6.1/Theorem 10.
+//!
+//! All Turing machines here take unary inputs (`1^n`), matching the
+//! paper's "input `x` represented in unary" setting, and use tiny state
+//! tables so the Gödel-numbered counters stay within capacity at
+//! population scale.
+
+use crate::counter::{Assembler, CounterMachine};
+use crate::tm::{Action, Move, TuringMachine};
+
+/// `1^n ↦ 1^{n+1}` — scan right, append a `1`.
+pub fn tm_unary_increment() -> TuringMachine {
+    TuringMachine::new(
+        2,
+        2,
+        0,
+        1,
+        [
+            ((0, 1), Action { write: 1, mv: Move::Right, next: 0 }),
+            ((0, 0), Action { write: 1, mv: Move::Stay, next: 1 }),
+        ],
+    )
+    .expect("static table is valid")
+}
+
+/// `1^n ↦ 1` if `n` is odd, empty tape otherwise — erase while toggling a
+/// parity state, then write the verdict.
+pub fn tm_unary_parity() -> TuringMachine {
+    TuringMachine::new(
+        3,
+        2,
+        0,
+        2,
+        [
+            // even-so-far
+            ((0, 1), Action { write: 0, mv: Move::Right, next: 1 }),
+            ((0, 0), Action { write: 0, mv: Move::Stay, next: 2 }),
+            // odd-so-far
+            ((1, 1), Action { write: 0, mv: Move::Right, next: 0 }),
+            ((1, 0), Action { write: 1, mv: Move::Stay, next: 2 }),
+        ],
+    )
+    .expect("static table is valid")
+}
+
+/// `1^n ↦` a tape with `⌊n/2⌋` ones (gaps allowed) — erase every other `1`.
+pub fn tm_unary_half() -> TuringMachine {
+    TuringMachine::new(
+        3,
+        2,
+        0,
+        2,
+        [
+            // erase-mode
+            ((0, 1), Action { write: 0, mv: Move::Right, next: 1 }),
+            ((0, 0), Action { write: 0, mv: Move::Stay, next: 2 }),
+            // keep-mode
+            ((1, 1), Action { write: 1, mv: Move::Right, next: 0 }),
+            ((1, 0), Action { write: 0, mv: Move::Stay, next: 2 }),
+        ],
+    )
+    .expect("static table is valid")
+}
+
+/// Binary increment, LSB first: alphabet `{blank, '0' = 1, '1' = 2}`.
+/// `101…` on tape (LSB at the head) becomes its successor. Exercises the
+/// base-3 Gödel encoding in the Minsky reduction.
+pub fn tm_binary_increment() -> TuringMachine {
+    TuringMachine::new(
+        2,
+        3,
+        0,
+        1,
+        [
+            // Carry propagation: '1' → '0', keep moving right.
+            ((0, 2), Action { write: 1, mv: Move::Right, next: 0 }),
+            // '0' → '1': done.
+            ((0, 1), Action { write: 2, mv: Move::Stay, next: 1 }),
+            // Past the end: append a '1'.
+            ((0, 0), Action { write: 2, mv: Move::Stay, next: 1 }),
+        ],
+    )
+    .expect("static table is valid")
+}
+
+/// Counter program: `c0 ← c0 + c1` (destroying `c1`), 2 counters.
+pub fn cm_add() -> CounterMachine {
+    let mut asm = Assembler::new();
+    let head = asm.here();
+    let done = asm.fresh_label();
+    let body = asm.fresh_label();
+    asm.dec_jz(1, body, done);
+    asm.bind(body);
+    asm.inc(0, head);
+    asm.bind(done);
+    asm.halt();
+    asm.assemble(2).expect("static program is valid")
+}
+
+/// Counter program: `c1 ← 2·c0` (destroying `c0`), 2 counters.
+pub fn cm_double() -> CounterMachine {
+    let mut asm = Assembler::new();
+    let head = asm.here();
+    let done = asm.fresh_label();
+    let body = asm.fresh_label();
+    asm.dec_jz(0, body, done);
+    asm.bind(body);
+    let second = asm.fresh_label();
+    asm.inc(1, second);
+    asm.bind(second);
+    asm.inc(1, head);
+    asm.bind(done);
+    asm.halt();
+    asm.assemble(2).expect("static program is valid")
+}
+
+/// Counter program: `c1 ← ⌊c0 / b⌋`, `c2 ← c0 mod b` (destroying `c0`),
+/// 3 counters.
+///
+/// # Panics
+///
+/// Panics if `b < 1`.
+pub fn cm_divmod(b: u32) -> CounterMachine {
+    assert!(b >= 1, "divisor must be positive");
+    let mut asm = Assembler::new();
+    let done = asm.fresh_label();
+    let head = asm.here();
+    // Try to subtract b from c0, one unit at a time. If c0 runs out after
+    // i < b units, the remainder is i.
+    let mut exit_fixups: Vec<(crate::counter::Target, u32)> = Vec::new();
+    for i in 0..b {
+        let next = asm.fresh_label();
+        let exit = asm.fresh_label();
+        asm.dec_jz(0, next, exit);
+        exit_fixups.push((exit, i));
+        asm.bind(next);
+    }
+    // Subtracted a full b: increment the quotient, loop.
+    asm.inc(1, head);
+    // Exits: remainder i is known statically; emit i increments of c2.
+    for (exit, i) in exit_fixups {
+        asm.bind(exit);
+        for _ in 0..i {
+            let nxt = asm.fresh_label();
+            asm.inc(2, nxt);
+            asm.bind(nxt);
+        }
+        asm.jump_via_zero(0, done); // c0 is exhausted here, so it is zero
+    }
+    asm.bind(done);
+    asm.halt();
+    asm.assemble(3).expect("static program is valid")
+}
+
+/// Counter program: `c0 ← c0 ∸ c1` (truncated subtraction, destroying
+/// `c1`), 2 counters.
+pub fn cm_sub() -> CounterMachine {
+    let mut asm = Assembler::new();
+    let head = asm.here();
+    let done = asm.fresh_label();
+    let body = asm.fresh_label();
+    asm.dec_jz(1, body, done);
+    asm.bind(body);
+    asm.dec_jz(0, head, head); // decrement c0 if possible; loop either way
+    asm.bind(done);
+    asm.halt();
+    asm.assemble(2).expect("static program is valid")
+}
+
+/// Counter program: `c1 ← c0` preserving `c0` (via scratch `c2`),
+/// 3 counters.
+pub fn cm_copy() -> CounterMachine {
+    let mut asm = Assembler::new();
+    // Move c0 → c1 and c2 simultaneously.
+    let head = asm.here();
+    let restore = asm.fresh_label();
+    let body = asm.fresh_label();
+    asm.dec_jz(0, body, restore);
+    asm.bind(body);
+    let t = asm.fresh_label();
+    asm.inc(1, t);
+    asm.bind(t);
+    asm.inc(2, head);
+    // Move c2 back → c0.
+    asm.bind(restore);
+    let done = asm.fresh_label();
+    let rbody = asm.fresh_label();
+    let rhead = asm.here();
+    asm.dec_jz(2, rbody, done);
+    asm.bind(rbody);
+    asm.inc(0, rhead);
+    asm.bind(done);
+    asm.halt();
+    asm.assemble(3).expect("static program is valid")
+}
+
+/// Counter program: `c2 ← c0 · c1` (preserving `c1`, destroying `c0`),
+/// 4 counters (`c3` is scratch).
+pub fn cm_multiply() -> CounterMachine {
+    let mut asm = Assembler::new();
+    let outer = asm.here();
+    let done = asm.fresh_label();
+    let outer_body = asm.fresh_label();
+    asm.dec_jz(0, outer_body, done);
+    asm.bind(outer_body);
+    // Move c1 → c3 while adding to c2.
+    let inner1 = asm.here();
+    let inner1_body = asm.fresh_label();
+    let restore = asm.fresh_label();
+    asm.dec_jz(1, inner1_body, restore);
+    asm.bind(inner1_body);
+    let t = asm.fresh_label();
+    asm.inc(2, t);
+    asm.bind(t);
+    asm.inc(3, inner1);
+    // Move c3 back → c1.
+    asm.bind(restore);
+    let restore_body = asm.fresh_label();
+    asm.dec_jz(3, restore_body, outer);
+    asm.bind(restore_body);
+    asm.inc(1, restore);
+    asm.bind(done);
+    asm.halt();
+    asm.assemble(4).expect("static program is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_program() {
+        let out = cm_add().run(&[5, 7], 1000).unwrap();
+        assert_eq!(out.counters[0], 12);
+    }
+
+    #[test]
+    fn double_program() {
+        let out = cm_double().run(&[9, 0], 1000).unwrap();
+        assert_eq!(out.counters[1], 18);
+    }
+
+    #[test]
+    fn divmod_program() {
+        for b in [1u32, 2, 3, 5] {
+            for n in 0u128..20 {
+                let out = cm_divmod(b).run(&[n, 0, 0], 10_000).unwrap();
+                assert_eq!(out.counters[1], n / u128::from(b), "n={n} b={b}");
+                assert_eq!(out.counters[2], n % u128::from(b), "n={n} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn sub_program() {
+        for (a, b) in [(7u128, 3u128), (3, 7), (5, 5), (0, 4), (4, 0)] {
+            let out = cm_sub().run(&[a, b], 1000).unwrap();
+            assert_eq!(out.counters[0], a.saturating_sub(b), "{a}∸{b}");
+            assert_eq!(out.counters[1], 0);
+        }
+    }
+
+    #[test]
+    fn copy_program() {
+        for a in 0u128..8 {
+            let out = cm_copy().run(&[a, 0, 0], 1000).unwrap();
+            assert_eq!(out.counters[0], a, "c0 preserved");
+            assert_eq!(out.counters[1], a, "c1 copied");
+            assert_eq!(out.counters[2], 0, "scratch drained");
+        }
+    }
+
+    #[test]
+    fn binary_increment_tm() {
+        let tm = tm_binary_increment();
+        // LSB-first encodings: digits '0' = 1, '1' = 2.
+        let enc = |mut v: u64| -> Vec<u8> {
+            let mut out = Vec::new();
+            if v == 0 {
+                out.push(1);
+            }
+            while v > 0 {
+                out.push(if v & 1 == 1 { 2 } else { 1 });
+                v >>= 1;
+            }
+            out
+        };
+        let dec = |tape: &[u8]| -> u64 {
+            tape.iter()
+                .enumerate()
+                .map(|(i, &d)| if d == 2 { 1u64 << i } else { 0 })
+                .sum()
+        };
+        for v in 0u64..20 {
+            let out = tm.run(&enc(v), 1000).unwrap();
+            assert_eq!(dec(&out.tape), v + 1, "increment of {v}");
+        }
+    }
+
+    #[test]
+    fn multiply_program() {
+        for a in 0u128..6 {
+            for b in 0u128..6 {
+                let out = cm_multiply().run(&[a, b, 0, 0], 10_000).unwrap();
+                assert_eq!(out.counters[2], a * b, "{a}*{b}");
+                assert_eq!(out.counters[1], b, "c1 preserved");
+            }
+        }
+    }
+}

@@ -1,0 +1,313 @@
+//! Single-tape Turing machines.
+//!
+//! The machines simulated on populations in Theorem 10 are logspace TMs
+//! with unary inputs; this module provides the direct substrate: a
+//! conventional single-tape machine with explicit transition tables, used
+//! both as a baseline and as the input to the Minsky compiler
+//! ([`crate::minsky`]).
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Head movement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Move {
+    /// One cell left.
+    Left,
+    /// One cell right.
+    Right,
+    /// Stay put.
+    Stay,
+}
+
+/// One transition: write `write`, move `mv`, enter `next`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Action {
+    /// Symbol to write.
+    pub write: u8,
+    /// Head movement.
+    pub mv: Move,
+    /// Next state.
+    pub next: usize,
+}
+
+/// Errors from TM construction or execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TmError {
+    /// A transition mentions a symbol ≥ the alphabet size.
+    BadSymbol {
+        /// The offending symbol.
+        symbol: u8,
+    },
+    /// A transition mentions a state ≥ the state count.
+    BadState {
+        /// The offending state.
+        state: usize,
+    },
+    /// The machine ran out of fuel before halting.
+    OutOfFuel {
+        /// The exhausted budget.
+        fuel: u64,
+    },
+    /// The machine reached a (state, symbol) pair with no transition and
+    /// the state is not the halt state.
+    Stuck {
+        /// State at the stuck point.
+        state: usize,
+        /// Symbol under the head.
+        symbol: u8,
+    },
+    /// An input symbol is outside the alphabet.
+    BadInput {
+        /// The offending symbol.
+        symbol: u8,
+    },
+}
+
+impl fmt::Display for TmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::BadSymbol { symbol } => write!(f, "symbol {symbol} outside alphabet"),
+            Self::BadState { state } => write!(f, "state {state} out of range"),
+            Self::OutOfFuel { fuel } => write!(f, "no halt within {fuel} steps"),
+            Self::Stuck { state, symbol } => {
+                write!(f, "no transition from state {state} on symbol {symbol}")
+            }
+            Self::BadInput { symbol } => write!(f, "input symbol {symbol} outside alphabet"),
+        }
+    }
+}
+
+impl Error for TmError {}
+
+/// Result of a halted TM run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TmOutcome {
+    /// Tape contents from the leftmost to the rightmost visited cell, with
+    /// leading and trailing blanks trimmed.
+    pub tape: Vec<u8>,
+    /// Steps executed.
+    pub steps: u64,
+}
+
+/// A deterministic single-tape Turing machine. Symbol `0` is the blank;
+/// the tape is unbounded in both directions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TuringMachine {
+    num_states: usize,
+    num_symbols: u8,
+    start: usize,
+    halt: usize,
+    transitions: HashMap<(usize, u8), Action>,
+}
+
+impl TuringMachine {
+    /// Creates a machine.
+    ///
+    /// * `num_states` — states are `0..num_states`; `start` is the initial
+    ///   state and `halt` the halting state (no transitions needed there).
+    /// * `num_symbols` — symbols are `0..num_symbols`, `0` is the blank.
+    /// * `transitions` — the partial transition table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TmError`] on out-of-range states or symbols.
+    pub fn new(
+        num_states: usize,
+        num_symbols: u8,
+        start: usize,
+        halt: usize,
+        transitions: impl IntoIterator<Item = ((usize, u8), Action)>,
+    ) -> Result<Self, TmError> {
+        if start >= num_states {
+            return Err(TmError::BadState { state: start });
+        }
+        if halt >= num_states {
+            return Err(TmError::BadState { state: halt });
+        }
+        let mut table = HashMap::new();
+        for ((s, c), a) in transitions {
+            if s >= num_states {
+                return Err(TmError::BadState { state: s });
+            }
+            if a.next >= num_states {
+                return Err(TmError::BadState { state: a.next });
+            }
+            if c >= num_symbols {
+                return Err(TmError::BadSymbol { symbol: c });
+            }
+            if a.write >= num_symbols {
+                return Err(TmError::BadSymbol { symbol: a.write });
+            }
+            table.insert((s, c), a);
+        }
+        Ok(Self { num_states, num_symbols, start, halt, transitions: table })
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.num_states
+    }
+
+    /// Alphabet size (including the blank `0`).
+    pub fn num_symbols(&self) -> u8 {
+        self.num_symbols
+    }
+
+    /// Start state.
+    pub fn start_state(&self) -> usize {
+        self.start
+    }
+
+    /// Halt state.
+    pub fn halt_state(&self) -> usize {
+        self.halt
+    }
+
+    /// The transition for `(state, symbol)`, if any.
+    pub fn action(&self, state: usize, symbol: u8) -> Option<Action> {
+        self.transitions.get(&(state, symbol)).copied()
+    }
+
+    /// Runs on `input` (written at cells `0..input.len()`, head starting at
+    /// cell 0) until the halt state, for at most `fuel` steps.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TmError::OutOfFuel`], [`TmError::Stuck`], or
+    /// [`TmError::BadInput`].
+    pub fn run(&self, input: &[u8], fuel: u64) -> Result<TmOutcome, TmError> {
+        for &c in input {
+            if c >= self.num_symbols {
+                return Err(TmError::BadInput { symbol: c });
+            }
+        }
+        // Tape as two stacks around the head, exactly the Minsky view:
+        // `left` holds cells left of the head (top = adjacent), `right`
+        // holds the current cell and everything to its right.
+        let mut left: Vec<u8> = Vec::new();
+        let mut right: Vec<u8> = input.iter().rev().copied().collect();
+        let mut state = self.start;
+        let mut steps = 0u64;
+        while state != self.halt {
+            if steps >= fuel {
+                return Err(TmError::OutOfFuel { fuel });
+            }
+            let cur = right.last().copied().unwrap_or(0);
+            let Some(a) = self.action(state, cur) else {
+                return Err(TmError::Stuck { state, symbol: cur });
+            };
+            if right.pop().is_none() {
+                // Head was on a blank beyond the written region.
+            }
+            match a.mv {
+                Move::Right => left.push(a.write),
+                Move::Stay => right.push(a.write),
+                Move::Left => {
+                    right.push(a.write);
+                    right.push(left.pop().unwrap_or(0));
+                }
+            }
+            state = a.next;
+            steps += 1;
+        }
+        // Reassemble the tape left-to-right and trim blanks.
+        let mut tape: Vec<u8> = left;
+        tape.extend(right.iter().rev());
+        while tape.first() == Some(&0) {
+            tape.remove(0);
+        }
+        while tape.last() == Some(&0) {
+            tape.pop();
+        }
+        Ok(TmOutcome { tape, steps })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::programs;
+
+    #[test]
+    fn construction_validates() {
+        assert!(TuringMachine::new(2, 2, 5, 1, []).is_err());
+        assert!(TuringMachine::new(2, 2, 0, 1, [
+            ((0, 3), Action { write: 0, mv: Move::Stay, next: 1 })
+        ])
+        .is_err());
+        assert!(TuringMachine::new(2, 2, 0, 1, [
+            ((0, 0), Action { write: 0, mv: Move::Stay, next: 7 })
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn unary_increment_appends_one() {
+        let tm = programs::tm_unary_increment();
+        for n in 0..6 {
+            let input = vec![1u8; n];
+            let out = tm.run(&input, 1000).unwrap();
+            assert_eq!(out.tape, vec![1u8; n + 1], "n={n}");
+        }
+    }
+
+    #[test]
+    fn parity_machine() {
+        let tm = programs::tm_unary_parity();
+        for n in 0..8 {
+            let out = tm.run(&vec![1u8; n], 1000).unwrap();
+            let expect = if n % 2 == 1 { vec![1u8] } else { vec![] };
+            assert_eq!(out.tape, expect, "n={n}");
+        }
+    }
+
+    #[test]
+    fn halving_machine() {
+        let tm = programs::tm_unary_half();
+        for n in 0..10 {
+            let out = tm.run(&vec![1u8; n], 10_000).unwrap();
+            let ones = out.tape.iter().filter(|&&c| c == 1).count();
+            assert_eq!(ones, n / 2, "n={n}");
+        }
+    }
+
+    #[test]
+    fn stuck_and_fuel_errors() {
+        let tm = TuringMachine::new(
+            3,
+            2,
+            0,
+            2,
+            [
+                // Loop forever on blank; no transition on 1.
+                ((0, 0), Action { write: 0, mv: Move::Stay, next: 0 }),
+            ],
+        )
+        .unwrap();
+        assert_eq!(tm.run(&[0], 25), Err(TmError::OutOfFuel { fuel: 25 }));
+        assert_eq!(tm.run(&[1], 25), Err(TmError::Stuck { state: 0, symbol: 1 }));
+        assert_eq!(tm.run(&[9], 25), Err(TmError::BadInput { symbol: 9 }));
+    }
+
+    #[test]
+    fn left_moves_past_origin_hit_blanks() {
+        // Move left twice from the origin, write 1s, halt.
+        let tm = TuringMachine::new(
+            3,
+            2,
+            0,
+            2,
+            [
+                ((0, 0), Action { write: 1, mv: Move::Left, next: 1 }),
+                ((1, 0), Action { write: 1, mv: Move::Left, next: 2 }),
+            ],
+        )
+        .unwrap();
+        let out = tm.run(&[], 10).unwrap();
+        assert_eq!(out.tape, vec![1, 1]);
+        assert_eq!(out.steps, 2);
+    }
+}

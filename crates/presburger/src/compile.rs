@@ -1,0 +1,450 @@
+//! The Theorem 5 compiler: Presburger formulas → population protocols.
+//!
+//! Pipeline (exactly the proof of Theorem 5):
+//!
+//! 1. [`eliminate_quantifiers`] turns the formula into a quantifier-free
+//!    Boolean combination of atoms `Σ aᵢxᵢ + c < 0` and
+//!    `m | Σ aᵢxᵢ + c` (Theorem 4 / Cooper);
+//! 2. each atom becomes a Lemma 5 protocol
+//!    ([`ThresholdProtocol`]/[`RemainderProtocol`], wrapped in
+//!    [`LinearAtom`]);
+//! 3. the atoms run in parallel (Lemma 3 product, here n-ary) and the
+//!    output function evaluates the Boolean skeleton over the atom
+//!    verdicts (Corollary 2).
+//!
+//! [`integer_input_formula`] additionally implements Corollary 3: a
+//! predicate on `ℤᵏ` under the integer-based input convention is rewritten
+//! into an equivalent predicate on symbol counts, by substituting each
+//! integer variable with the linear combination of alphabet-vector counts
+//! it denotes.
+
+use std::fmt;
+
+use pp_core::Protocol;
+use pp_protocols::linear::{LinState, LinearAtom, RemainderProtocol, ThresholdProtocol};
+
+use crate::formula::{Atom, Formula, LinExpr};
+use crate::parser::ParsedFormula;
+use crate::qe::eliminate_quantifiers;
+
+/// Errors from [`compile`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CompileError {
+    /// The formula mentions a free variable `var ≥ num_vars`.
+    FreeVariableOutOfRange {
+        /// The offending variable index.
+        var: u32,
+        /// The declared input arity.
+        num_vars: usize,
+    },
+    /// The input arity is zero — a protocol needs at least one input symbol.
+    NoInputSymbols,
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::FreeVariableOutOfRange { var, num_vars } => write!(
+                f,
+                "free variable x{var} out of range for input arity {num_vars}"
+            ),
+            Self::NoInputSymbols => write!(f, "input arity must be at least 1"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// The Boolean skeleton of a compiled formula, over atom indices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BoolExpr {
+    /// Constant.
+    Const(bool),
+    /// The verdict of atom `i`.
+    Atom(usize),
+    /// Negation.
+    Not(Box<BoolExpr>),
+    /// Conjunction.
+    And(Box<BoolExpr>, Box<BoolExpr>),
+    /// Disjunction.
+    Or(Box<BoolExpr>, Box<BoolExpr>),
+}
+
+impl BoolExpr {
+    /// Evaluates over atom verdicts.
+    pub fn eval(&self, verdicts: &[bool]) -> bool {
+        match self {
+            Self::Const(b) => *b,
+            Self::Atom(i) => verdicts[*i],
+            Self::Not(e) => !e.eval(verdicts),
+            Self::And(a, b) => a.eval(verdicts) && b.eval(verdicts),
+            Self::Or(a, b) => a.eval(verdicts) || b.eval(verdicts),
+        }
+    }
+}
+
+/// A population protocol compiled from a Presburger formula (Theorem 5):
+/// the Lemma 5 atoms run in parallel and the output is the Boolean skeleton
+/// applied to their verdicts.
+///
+/// * Input: symbol index `0 ≤ i < arity` (symbol-count convention — `xᵢ` is
+///   the number of agents with input `i`).
+/// * Output: the predicate verdict, under the all-agents convention.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompiledProtocol {
+    atoms: Vec<LinearAtom>,
+    expr: BoolExpr,
+    arity: usize,
+}
+
+impl CompiledProtocol {
+    /// Number of input symbols `k`.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// The compiled Lemma 5 atoms.
+    pub fn atoms(&self) -> &[LinearAtom] {
+        &self.atoms
+    }
+
+    /// The Boolean skeleton over atom verdicts.
+    pub fn expr(&self) -> &BoolExpr {
+        &self.expr
+    }
+
+    /// Ground-truth evaluation on symbol counts (no simulation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counts.len() != arity`.
+    pub fn eval(&self, counts: &[u64]) -> bool {
+        assert_eq!(counts.len(), self.arity, "arity mismatch");
+        let verdicts: Vec<bool> = self.atoms.iter().map(|a| a.eval(counts)).collect();
+        self.expr.eval(&verdicts)
+    }
+}
+
+impl Protocol for CompiledProtocol {
+    type State = Vec<LinState>;
+    type Input = usize;
+    type Output = bool;
+
+    fn input(&self, &i: &usize) -> Vec<LinState> {
+        assert!(i < self.arity, "input symbol {i} out of range");
+        self.atoms.iter().map(|a| a.input(&i)).collect()
+    }
+
+    fn output(&self, q: &Vec<LinState>) -> bool {
+        let verdicts: Vec<bool> = q.iter().map(|s| s.out).collect();
+        self.expr.eval(&verdicts)
+    }
+
+    fn delta(&self, p: &Vec<LinState>, q: &Vec<LinState>) -> (Vec<LinState>, Vec<LinState>) {
+        let mut p2 = Vec::with_capacity(self.atoms.len());
+        let mut q2 = Vec::with_capacity(self.atoms.len());
+        for ((a, sp), sq) in self.atoms.iter().zip(p).zip(q) {
+            let (np, nq) = a.delta(sp, sq);
+            p2.push(np);
+            q2.push(nq);
+        }
+        (p2, q2)
+    }
+}
+
+/// Compiles a Presburger formula into a population protocol with input
+/// symbols `0..num_vars` (symbol-count convention: variable `xᵢ` counts the
+/// agents whose input is `i`).
+///
+/// Quantifiers are eliminated automatically.
+///
+/// # Errors
+///
+/// Returns [`CompileError`] if `num_vars == 0` or a free variable index is
+/// out of range.
+///
+/// # Example
+///
+/// ```
+/// use pp_presburger::{compile::compile, parse};
+///
+/// // Majority with a twist: more 1s than 0s, or exactly three 1s.
+/// let p = parse("ones > zeros \\/ ones = 3").unwrap();
+/// let proto = compile(&p.formula, 2).unwrap();
+/// // variable order: ones = 0, zeros = 1 (first appearance).
+/// assert!(proto.eval(&[5, 4]));
+/// assert!(proto.eval(&[3, 9]));
+/// assert!(!proto.eval(&[2, 9]));
+/// ```
+pub fn compile(formula: &Formula, num_vars: usize) -> Result<CompiledProtocol, CompileError> {
+    if num_vars == 0 {
+        return Err(CompileError::NoInputSymbols);
+    }
+    let qf = eliminate_quantifiers(formula);
+    if let Some(&v) = qf.free_vars().iter().find(|&&v| v as usize >= num_vars) {
+        return Err(CompileError::FreeVariableOutOfRange { var: v, num_vars });
+    }
+    let mut atoms: Vec<LinearAtom> = Vec::new();
+    let expr = build_expr(&qf, num_vars, &mut atoms);
+    Ok(CompiledProtocol { atoms, expr, arity: num_vars })
+}
+
+/// Compiles a parsed formula (arity = its free-variable count).
+///
+/// # Errors
+///
+/// See [`compile`].
+pub fn compile_parsed(parsed: &ParsedFormula) -> Result<CompiledProtocol, CompileError> {
+    compile(&parsed.formula, parsed.vars.len().max(1))
+}
+
+fn coeff_vector(e: &LinExpr, num_vars: usize) -> Vec<i64> {
+    (0..num_vars as u32).map(|v| e.coefficient(v)).collect()
+}
+
+fn intern_atom(atoms: &mut Vec<LinearAtom>, atom: LinearAtom) -> usize {
+    if let Some(i) = atoms.iter().position(|a| *a == atom) {
+        i
+    } else {
+        atoms.push(atom);
+        atoms.len() - 1
+    }
+}
+
+fn build_expr(f: &Formula, num_vars: usize, atoms: &mut Vec<LinearAtom>) -> BoolExpr {
+    match f {
+        Formula::Const(b) => BoolExpr::Const(*b),
+        Formula::Atom(Atom::Lt(e)) => {
+            // Σ aᵢxᵢ + c < 0  ⇔  Σ aᵢxᵢ < −c.
+            let proto = ThresholdProtocol::new(coeff_vector(e, num_vars), -e.constant_term())
+                .expect("num_vars ≥ 1");
+            BoolExpr::Atom(intern_atom(atoms, LinearAtom::Threshold(proto)))
+        }
+        Formula::Atom(Atom::Dvd(m, e)) => {
+            // m | Σ aᵢxᵢ + c  ⇔  Σ aᵢxᵢ ≡ −c (mod m).
+            if *m == 1 {
+                return BoolExpr::Const(true);
+            }
+            let proto =
+                RemainderProtocol::new(coeff_vector(e, num_vars), -e.constant_term(), *m)
+                    .expect("num_vars ≥ 1, m ≥ 2");
+            BoolExpr::Atom(intern_atom(atoms, LinearAtom::Remainder(proto)))
+        }
+        Formula::Not(g) => BoolExpr::Not(Box::new(build_expr(g, num_vars, atoms))),
+        Formula::And(a, b) => BoolExpr::And(
+            Box::new(build_expr(a, num_vars, atoms)),
+            Box::new(build_expr(b, num_vars, atoms)),
+        ),
+        Formula::Or(a, b) => BoolExpr::Or(
+            Box::new(build_expr(a, num_vars, atoms)),
+            Box::new(build_expr(b, num_vars, atoms)),
+        ),
+        Formula::Exists(..) | Formula::ForAll(..) => {
+            unreachable!("quantifiers eliminated before compilation")
+        }
+    }
+}
+
+/// Corollary 3: rewrites a predicate `Φ(y₀, …, y_{k−1})` on `ℤᵏ` under the
+/// *integer-based input convention* with alphabet `X = {v⃗₀, …, v⃗_{ℓ−1}} ⊆ ℤᵏ`
+/// into an equivalent predicate `Φ′(x₀, …, x_{ℓ−1})` on symbol counts,
+/// where `xⱼ` counts the agents whose input is the vector `v⃗ⱼ`. Each `yᵢ`
+/// is replaced by `Σⱼ v⃗ⱼ[i]·xⱼ`.
+///
+/// The result can be fed to [`compile`] with `num_vars = alphabet.len()`.
+///
+/// # Panics
+///
+/// Panics if the alphabet is empty or its vectors do not all have dimension
+/// `k` = the number of integer variables (`max free var + 1` of `phi`).
+///
+/// # Example
+///
+/// The paper's §4.3 example: `Φ(y₁,y₂) = (y₁ − 2y₂ ≡ 0 (mod 3))` with
+/// alphabet `{(0,0), (1,0), (−1,0), (0,1), (0,−1)}`:
+///
+/// ```
+/// use pp_presburger::compile::{compile, integer_input_formula};
+/// use pp_presburger::parse;
+///
+/// let phi = parse("y1 - 2 * y2 = 0 mod 3").unwrap().formula;
+/// let alphabet: Vec<Vec<i64>> =
+///     vec![vec![0, 0], vec![1, 0], vec![-1, 0], vec![0, 1], vec![0, -1]];
+/// let phi2 = integer_input_formula(&phi, &alphabet);
+/// let proto = compile(&phi2, 5).unwrap();
+/// // y1 = x(1,0) − x(−1,0) = 4 − 1 = 3; y2 = 2 − 2 = 0; 3 ≡ 0 (mod 3). ✓
+/// assert!(proto.eval(&[3, 4, 1, 2, 2]));
+/// ```
+pub fn integer_input_formula(phi: &Formula, alphabet: &[Vec<i64>]) -> Formula {
+    assert!(!alphabet.is_empty(), "alphabet must be non-empty");
+    let k = phi.free_vars().iter().next_back().map_or(0, |&v| v as usize + 1);
+    for v in alphabet {
+        assert_eq!(v.len(), k, "alphabet vector dimension must equal variable count {k}");
+    }
+    let l = alphabet.len() as u32;
+    // Shift every variable up by ℓ so indices 0..ℓ are free for the xⱼ.
+    let shifted = phi.rename(&|v| v + l);
+    // Substitute each yᵢ (now variable ℓ+i) by Σⱼ vⱼ[i]·xⱼ.
+    let mut out = shifted;
+    for i in 0..k as u32 {
+        let mut sum = LinExpr::constant(0);
+        for (j, vec) in alphabet.iter().enumerate() {
+            sum = sum.add(&LinExpr::var_scaled(j as u32, vec[i as usize]));
+        }
+        out = out.substitute(l + i, &sum);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use pp_core::{seeded_rng, Simulation};
+
+    fn simulate(proto: CompiledProtocol, counts: &[u64], seed: u64) -> bool {
+        let expected = proto.eval(counts);
+        let inputs: Vec<(usize, u64)> =
+            counts.iter().enumerate().map(|(i, &c)| (i, c)).collect();
+        let mut sim = Simulation::from_counts(proto, inputs);
+        let mut rng = seeded_rng(seed);
+        let rep = sim.measure_stabilization(&expected, 400_000, &mut rng);
+        assert!(rep.converged(), "simulation did not stabilize on {counts:?}");
+        expected
+    }
+
+    #[test]
+    fn compile_rejects_bad_arity() {
+        let f = parse("x < 1").unwrap().formula;
+        assert!(matches!(compile(&f, 0), Err(CompileError::NoInputSymbols)));
+        assert!(compile(&f, 1).is_ok());
+        let g = parse("x + y < 1").unwrap().formula;
+        assert!(matches!(
+            compile(&g, 1),
+            Err(CompileError::FreeVariableOutOfRange { var: 1, num_vars: 1 })
+        ));
+    }
+
+    #[test]
+    fn compiled_eval_matches_formula_on_grid() {
+        let p = parse("2 * a - b < 3 /\\ a + b = 1 mod 4").unwrap();
+        let proto = compile_parsed(&p).unwrap();
+        for a in 0u64..6 {
+            for b in 0u64..6 {
+                let want = p.formula.eval_qf(&[a as i64, b as i64]);
+                assert_eq!(proto.eval(&[a, b]), want, "({a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    fn atoms_are_deduplicated() {
+        let p = parse("a < 3 /\\ (a < 3 \\/ a = 1 mod 2)").unwrap();
+        let proto = compile_parsed(&p).unwrap();
+        assert_eq!(proto.atoms().len(), 2, "identical atoms must be interned");
+    }
+
+    #[test]
+    fn quantified_formula_compiles_via_qe() {
+        // "hot is even" with a quantifier.
+        let p = parse("exists q. hot = 2 * q").unwrap();
+        let proto = compile_parsed(&p).unwrap();
+        assert!(proto.eval(&[4]));
+        assert!(!proto.eval(&[5]));
+        // And the protocol actually stabilizes to the right verdict.
+        assert!(simulate(compile_parsed(&p).unwrap(), &[6], 1));
+        assert!(!simulate(compile_parsed(&p).unwrap(), &[7], 2));
+    }
+
+    #[test]
+    fn five_percent_flock_end_to_end() {
+        // §1/§4.2: at least 5% elevated ⇔ 20·hot ≥ hot + normal.
+        let p = parse("20 * hot >= hot + normal").unwrap();
+        let proto = compile_parsed(&p).unwrap();
+        let hot = p.index_of("hot").unwrap();
+        assert_eq!(hot, 0);
+        assert!(proto.eval(&[2, 38])); // exactly 5%
+        assert!(!proto.eval(&[1, 39]));
+        assert!(simulate(compile_parsed(&p).unwrap(), &[2, 38], 3));
+        assert!(!simulate(compile_parsed(&p).unwrap(), &[1, 39], 4));
+    }
+
+    #[test]
+    fn boolean_skeleton_with_negation() {
+        let p = parse("!(a < 2) /\\ !(a = 0 mod 3)").unwrap();
+        let proto = compile_parsed(&p).unwrap();
+        assert!(!proto.eval(&[1]));
+        assert!(!proto.eval(&[3]));
+        assert!(proto.eval(&[4]));
+        assert!(simulate(compile_parsed(&p).unwrap(), &[4], 5));
+    }
+
+    #[test]
+    fn integer_input_formula_matches_paper_example() {
+        let phi = parse("y1 - 2 * y2 = 0 mod 3").unwrap().formula;
+        let alphabet: Vec<Vec<i64>> =
+            vec![vec![0, 0], vec![1, 0], vec![-1, 0], vec![0, 1], vec![0, -1]];
+        let phi2 = integer_input_formula(&phi, &alphabet);
+        let proto = compile(&phi2, 5).unwrap();
+        // Enumerate count grids and compare against direct evaluation.
+        for x1 in 0u64..3 {
+            for x2 in 0u64..3 {
+                for x3 in 0u64..3 {
+                    for x4 in 0u64..3 {
+                        let y1 = x1 as i64 - x2 as i64;
+                        let y2 = x3 as i64 - x4 as i64;
+                        let want = (y1 - 2 * y2).rem_euclid(3) == 0;
+                        assert_eq!(
+                            proto.eval(&[1, x1, x2, x3, x4]),
+                            want,
+                            "x=({x1},{x2},{x3},{x4})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn integer_input_simulation() {
+        // Predicate y ≥ 2 under integer inputs with alphabet {+1, −1, 0}.
+        let phi = parse("y >= 2").unwrap().formula;
+        let alphabet = vec![vec![1], vec![-1], vec![0]];
+        let phi2 = integer_input_formula(&phi, &alphabet);
+        let proto = compile(&phi2, 3).unwrap();
+        // 5 plus, 2 minus, 3 zero: y = 3 ≥ 2.
+        assert!(simulate(proto, &[5, 2, 3], 6));
+    }
+
+    #[test]
+    fn bool_expr_eval() {
+        let e = BoolExpr::And(
+            Box::new(BoolExpr::Atom(0)),
+            Box::new(BoolExpr::Not(Box::new(BoolExpr::Or(
+                Box::new(BoolExpr::Atom(1)),
+                Box::new(BoolExpr::Const(false)),
+            )))),
+        );
+        assert!(e.eval(&[true, false]));
+        assert!(!e.eval(&[true, true]));
+        assert!(!e.eval(&[false, false]));
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(16))]
+        #[test]
+        fn prop_compiled_simulation_stabilizes_to_formula_verdict(
+            x0 in 0u64..8, x1 in 0u64..8, seed in 0u64..3,
+        ) {
+            proptest::prop_assume!(x0 + x1 >= 2);
+            let p = parse("a - b < 2 \\/ a + b = 0 mod 3").unwrap();
+            let proto = compile_parsed(&p).unwrap();
+            let expected = proto.eval(&[x0, x1]);
+            let mut sim = Simulation::from_counts(proto, [(0usize, x0), (1usize, x1)]);
+            let mut rng = seeded_rng(seed);
+            let rep = sim.measure_stabilization(&expected, 150_000, &mut rng);
+            proptest::prop_assert!(rep.converged());
+        }
+    }
+}

@@ -1,0 +1,621 @@
+//! Linear terms and Presburger formulas.
+//!
+//! Formulas are kept in a small normalized vocabulary: atoms are `t < 0`
+//! (threshold) and `m | t` (divisibility — the `≡ₘ` relations of the
+//! paper's *extended* Presburger language, §4.2), over linear terms
+//! `t = Σ aᵢ·xᵢ + c`. Comparisons and modular congruences are provided as
+//! constructors that normalize into this vocabulary. Over the integers this
+//! loses no generality: `a ≤ b ⇔ a − b − 1 < 0`, `a = b ⇔ a ≤ b ∧ b ≤ a`,
+//! and `a ≡ b (mod m) ⇔ m | a − b`.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A linear expression `Σ coeffs[v]·x_v + constant` over integer variables.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct LinExpr {
+    coeffs: BTreeMap<u32, i64>,
+    constant: i64,
+}
+
+impl LinExpr {
+    /// The constant `c`.
+    pub fn constant(c: i64) -> Self {
+        Self { coeffs: BTreeMap::new(), constant: c }
+    }
+
+    /// The variable `x_v`.
+    pub fn var(v: u32) -> Self {
+        Self::var_scaled(v, 1)
+    }
+
+    /// The scaled variable `a·x_v`.
+    pub fn var_scaled(v: u32, a: i64) -> Self {
+        let mut coeffs = BTreeMap::new();
+        if a != 0 {
+            coeffs.insert(v, a);
+        }
+        Self { coeffs, constant: 0 }
+    }
+
+    /// The constant term.
+    pub fn constant_term(&self) -> i64 {
+        self.constant
+    }
+
+    /// The coefficient of `x_v` (0 if absent).
+    pub fn coefficient(&self, v: u32) -> i64 {
+        self.coeffs.get(&v).copied().unwrap_or(0)
+    }
+
+    /// Iterates over `(variable, non-zero coefficient)` pairs.
+    pub fn terms(&self) -> impl Iterator<Item = (u32, i64)> + '_ {
+        self.coeffs.iter().map(|(&v, &a)| (v, a))
+    }
+
+    /// Variables with non-zero coefficient.
+    pub fn vars(&self) -> impl Iterator<Item = u32> + '_ {
+        self.coeffs.keys().copied()
+    }
+
+    /// Whether the expression is a constant.
+    pub fn is_constant(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// Sum of two expressions.
+    #[must_use]
+    pub fn add(&self, other: &Self) -> Self {
+        let mut out = self.clone();
+        out.constant += other.constant;
+        for (&v, &a) in &other.coeffs {
+            let e = out.coeffs.entry(v).or_insert(0);
+            *e += a;
+            if *e == 0 {
+                out.coeffs.remove(&v);
+            }
+        }
+        out
+    }
+
+    /// Difference of two expressions.
+    #[must_use]
+    pub fn sub(&self, other: &Self) -> Self {
+        self.add(&other.scale(-1))
+    }
+
+    /// Adds a constant.
+    #[must_use]
+    pub fn offset(&self, c: i64) -> Self {
+        let mut out = self.clone();
+        out.constant += c;
+        out
+    }
+
+    /// Scales by an integer.
+    #[must_use]
+    pub fn scale(&self, k: i64) -> Self {
+        if k == 0 {
+            return Self::constant(0);
+        }
+        let mut out = self.clone();
+        out.constant *= k;
+        for a in out.coeffs.values_mut() {
+            *a *= k;
+        }
+        out
+    }
+
+    /// Replaces `x_v` by the expression `t`.
+    #[must_use]
+    pub fn substitute(&self, v: u32, t: &Self) -> Self {
+        let a = self.coefficient(v);
+        if a == 0 {
+            return self.clone();
+        }
+        let mut out = self.clone();
+        out.coeffs.remove(&v);
+        out.add(&t.scale(a))
+    }
+
+    /// Evaluates under an assignment (`assignment[v]` is the value of
+    /// `x_v`; missing variables default to 0).
+    pub fn eval(&self, assignment: &[i64]) -> i64 {
+        self.constant
+            + self
+                .coeffs
+                .iter()
+                .map(|(&v, &a)| a * assignment.get(v as usize).copied().unwrap_or(0))
+                .sum::<i64>()
+    }
+}
+
+impl fmt::Display for LinExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (&v, &a) in &self.coeffs {
+            if first {
+                match a {
+                    1 => write!(f, "x{v}")?,
+                    -1 => write!(f, "-x{v}")?,
+                    _ => write!(f, "{a}*x{v}")?,
+                }
+                first = false;
+            } else if a >= 0 {
+                if a == 1 {
+                    write!(f, " + x{v}")?;
+                } else {
+                    write!(f, " + {a}*x{v}")?;
+                }
+            } else if a == -1 {
+                write!(f, " - x{v}")?;
+            } else {
+                write!(f, " - {}*x{v}", -a)?;
+            }
+        }
+        if first {
+            write!(f, "{}", self.constant)?;
+        } else if self.constant > 0 {
+            write!(f, " + {}", self.constant)?;
+        } else if self.constant < 0 {
+            write!(f, " - {}", -self.constant)?;
+        }
+        Ok(())
+    }
+}
+
+/// An atomic formula.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Atom {
+    /// `t < 0`.
+    Lt(LinExpr),
+    /// `m | t` with `m ≥ 1`.
+    Dvd(i64, LinExpr),
+}
+
+impl Atom {
+    /// Evaluates under an assignment.
+    pub fn eval(&self, assignment: &[i64]) -> bool {
+        match self {
+            Self::Lt(t) => t.eval(assignment) < 0,
+            Self::Dvd(m, t) => t.eval(assignment).rem_euclid(*m) == 0,
+        }
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Lt(t) => write!(f, "{t} < 0"),
+            Self::Dvd(m, t) => write!(f, "{m} | {t}"),
+        }
+    }
+}
+
+/// A Presburger formula over atoms [`Atom`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Formula {
+    /// `true` or `false`.
+    Const(bool),
+    /// An atomic formula.
+    Atom(Atom),
+    /// Negation.
+    Not(Box<Formula>),
+    /// Conjunction.
+    And(Box<Formula>, Box<Formula>),
+    /// Disjunction.
+    Or(Box<Formula>, Box<Formula>),
+    /// Existential quantification over `x_v`.
+    Exists(u32, Box<Formula>),
+    /// Universal quantification over `x_v`.
+    ForAll(u32, Box<Formula>),
+}
+
+impl Formula {
+    // ---- constructors -------------------------------------------------
+
+    /// `a < b`.
+    pub fn lt(a: LinExpr, b: LinExpr) -> Self {
+        Self::Atom(Atom::Lt(a.sub(&b)))
+    }
+
+    /// `a ≤ b`.
+    pub fn le(a: LinExpr, b: LinExpr) -> Self {
+        Self::Atom(Atom::Lt(a.sub(&b).offset(-1)))
+    }
+
+    /// `a > b`.
+    pub fn gt(a: LinExpr, b: LinExpr) -> Self {
+        Self::lt(b, a)
+    }
+
+    /// `a ≥ b`.
+    pub fn ge(a: LinExpr, b: LinExpr) -> Self {
+        Self::le(b, a)
+    }
+
+    /// `a = b`.
+    pub fn eq(a: LinExpr, b: LinExpr) -> Self {
+        Self::le(a.clone(), b.clone()).and(Self::le(b, a))
+    }
+
+    /// `a ≠ b`.
+    pub fn ne(a: LinExpr, b: LinExpr) -> Self {
+        Self::eq(a, b).not()
+    }
+
+    /// `a ≡ b (mod m)` — the extended-language relation `≡ₘ` (§4.2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m < 1`.
+    pub fn congruent(a: LinExpr, b: LinExpr, m: i64) -> Self {
+        assert!(m >= 1, "modulus must be positive");
+        Self::Atom(Atom::Dvd(m, a.sub(&b)))
+    }
+
+    /// Negation (with light simplification of double negation).
+    #[must_use]
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Self {
+        match self {
+            Self::Const(b) => Self::Const(!b),
+            Self::Not(f) => *f,
+            f => Self::Not(Box::new(f)),
+        }
+    }
+
+    /// Conjunction.
+    #[must_use]
+    pub fn and(self, other: Self) -> Self {
+        match (self, other) {
+            (Self::Const(true), f) | (f, Self::Const(true)) => f,
+            (Self::Const(false), _) | (_, Self::Const(false)) => Self::Const(false),
+            (a, b) => Self::And(Box::new(a), Box::new(b)),
+        }
+    }
+
+    /// Disjunction.
+    #[must_use]
+    pub fn or(self, other: Self) -> Self {
+        match (self, other) {
+            (Self::Const(false), f) | (f, Self::Const(false)) => f,
+            (Self::Const(true), _) | (_, Self::Const(true)) => Self::Const(true),
+            (a, b) => Self::Or(Box::new(a), Box::new(b)),
+        }
+    }
+
+    /// Implication `self → other`.
+    #[must_use]
+    pub fn implies(self, other: Self) -> Self {
+        self.not().or(other)
+    }
+
+    /// Biconditional `self ↔ other`.
+    #[must_use]
+    pub fn iff(self, other: Self) -> Self {
+        self.clone().and(other.clone()).or(self.not().and(other.not()))
+    }
+
+    /// `∃x_v. self`.
+    #[must_use]
+    pub fn exists(self, v: u32) -> Self {
+        Self::Exists(v, Box::new(self))
+    }
+
+    /// `∀x_v. self`.
+    #[must_use]
+    pub fn forall(self, v: u32) -> Self {
+        Self::ForAll(v, Box::new(self))
+    }
+
+    // ---- queries -------------------------------------------------------
+
+    /// Whether the formula contains quantifiers.
+    pub fn is_quantifier_free(&self) -> bool {
+        match self {
+            Self::Const(_) | Self::Atom(_) => true,
+            Self::Not(f) => f.is_quantifier_free(),
+            Self::And(a, b) | Self::Or(a, b) => {
+                a.is_quantifier_free() && b.is_quantifier_free()
+            }
+            Self::Exists(..) | Self::ForAll(..) => false,
+        }
+    }
+
+    /// Free variables of the formula.
+    pub fn free_vars(&self) -> std::collections::BTreeSet<u32> {
+        let mut out = std::collections::BTreeSet::new();
+        self.collect_free(&mut Vec::new(), &mut out);
+        out
+    }
+
+    fn collect_free(&self, bound: &mut Vec<u32>, out: &mut std::collections::BTreeSet<u32>) {
+        match self {
+            Self::Const(_) => {}
+            Self::Atom(Atom::Lt(t)) | Self::Atom(Atom::Dvd(_, t)) => {
+                for v in t.vars() {
+                    if !bound.contains(&v) {
+                        out.insert(v);
+                    }
+                }
+            }
+            Self::Not(f) => f.collect_free(bound, out),
+            Self::And(a, b) | Self::Or(a, b) => {
+                a.collect_free(bound, out);
+                b.collect_free(bound, out);
+            }
+            Self::Exists(v, f) | Self::ForAll(v, f) => {
+                bound.push(*v);
+                f.collect_free(bound, out);
+                bound.pop();
+            }
+        }
+    }
+
+    /// The largest variable index mentioned anywhere (bound or free), or
+    /// `None` for a variable-free formula.
+    pub fn max_var(&self) -> Option<u32> {
+        match self {
+            Self::Const(_) => None,
+            Self::Atom(Atom::Lt(t)) | Self::Atom(Atom::Dvd(_, t)) => t.vars().max(),
+            Self::Not(f) => f.max_var(),
+            Self::And(a, b) | Self::Or(a, b) => a.max_var().max(b.max_var()),
+            Self::Exists(v, f) | Self::ForAll(v, f) => f.max_var().max(Some(*v)),
+        }
+    }
+
+    // ---- transformation -------------------------------------------------
+
+    /// Substitutes the *free* occurrences of `x_v` by the term `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the substitution would capture a variable of `t` under a
+    /// quantifier (callers in this crate always substitute capture-free).
+    #[must_use]
+    pub fn substitute(&self, v: u32, t: &LinExpr) -> Self {
+        match self {
+            Self::Const(b) => Self::Const(*b),
+            Self::Atom(Atom::Lt(e)) => Self::Atom(Atom::Lt(e.substitute(v, t))),
+            Self::Atom(Atom::Dvd(m, e)) => Self::Atom(Atom::Dvd(*m, e.substitute(v, t))),
+            Self::Not(f) => Self::Not(Box::new(f.substitute(v, t))),
+            Self::And(a, b) => {
+                Self::And(Box::new(a.substitute(v, t)), Box::new(b.substitute(v, t)))
+            }
+            Self::Or(a, b) => {
+                Self::Or(Box::new(a.substitute(v, t)), Box::new(b.substitute(v, t)))
+            }
+            Self::Exists(w, f) | Self::ForAll(w, f) => {
+                assert!(
+                    t.coefficient(*w) == 0,
+                    "substitution would capture bound variable x{w}"
+                );
+                let inner = if *w == v { f.as_ref().clone() } else { f.substitute(v, t) };
+                match self {
+                    Self::Exists(..) => Self::Exists(*w, Box::new(inner)),
+                    _ => Self::ForAll(*w, Box::new(inner)),
+                }
+            }
+        }
+    }
+
+    /// Renames **every** variable occurrence (free and bound) through `f`,
+    /// which must be injective on the variables of the formula.
+    #[must_use]
+    pub fn rename(&self, f: &impl Fn(u32) -> u32) -> Self {
+        let rename_expr = |e: &LinExpr| -> LinExpr {
+            let mut out = LinExpr::constant(e.constant_term());
+            for (v, a) in e.terms() {
+                out = out.add(&LinExpr::var_scaled(f(v), a));
+            }
+            out
+        };
+        match self {
+            Self::Const(b) => Self::Const(*b),
+            Self::Atom(Atom::Lt(e)) => Self::Atom(Atom::Lt(rename_expr(e))),
+            Self::Atom(Atom::Dvd(m, e)) => Self::Atom(Atom::Dvd(*m, rename_expr(e))),
+            Self::Not(g) => Self::Not(Box::new(g.rename(f))),
+            Self::And(a, b) => Self::And(Box::new(a.rename(f)), Box::new(b.rename(f))),
+            Self::Or(a, b) => Self::Or(Box::new(a.rename(f)), Box::new(b.rename(f))),
+            Self::Exists(v, g) => Self::Exists(f(*v), Box::new(g.rename(f))),
+            Self::ForAll(v, g) => Self::ForAll(f(*v), Box::new(g.rename(f))),
+        }
+    }
+
+    // ---- evaluation -------------------------------------------------------
+
+    /// Evaluates a quantifier-free formula under an assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a quantifier; use
+    /// [`eval_bounded`](Self::eval_bounded) or run
+    /// [`eliminate_quantifiers`](crate::qe::eliminate_quantifiers) first.
+    pub fn eval_qf(&self, assignment: &[i64]) -> bool {
+        match self {
+            Self::Const(b) => *b,
+            Self::Atom(a) => a.eval(assignment),
+            Self::Not(f) => !f.eval_qf(assignment),
+            Self::And(a, b) => a.eval_qf(assignment) && b.eval_qf(assignment),
+            Self::Or(a, b) => a.eval_qf(assignment) || b.eval_qf(assignment),
+            Self::Exists(..) | Self::ForAll(..) => {
+                panic!("eval_qf on a quantified formula")
+            }
+        }
+    }
+
+    /// Evaluates with quantifiers ranging over `[-bound, bound]` only.
+    ///
+    /// This is **approximate** (Presburger quantifiers range over all of
+    /// ℤ); it is provided for differential testing of quantifier
+    /// elimination, where witness magnitudes can be bounded by inspection
+    /// of the tested formulas.
+    pub fn eval_bounded(&self, assignment: &[i64], bound: i64) -> bool {
+        match self {
+            Self::Const(b) => *b,
+            Self::Atom(a) => a.eval(assignment),
+            Self::Not(f) => !f.eval_bounded(assignment, bound),
+            Self::And(a, b) => {
+                a.eval_bounded(assignment, bound) && b.eval_bounded(assignment, bound)
+            }
+            Self::Or(a, b) => {
+                a.eval_bounded(assignment, bound) || b.eval_bounded(assignment, bound)
+            }
+            Self::Exists(v, f) => {
+                let mut asg = assignment.to_vec();
+                if asg.len() <= *v as usize {
+                    asg.resize(*v as usize + 1, 0);
+                }
+                (-bound..=bound).any(|val| {
+                    asg[*v as usize] = val;
+                    f.eval_bounded(&asg, bound)
+                })
+            }
+            Self::ForAll(v, f) => {
+                let mut asg = assignment.to_vec();
+                if asg.len() <= *v as usize {
+                    asg.resize(*v as usize + 1, 0);
+                }
+                (-bound..=bound).all(|val| {
+                    asg[*v as usize] = val;
+                    f.eval_bounded(&asg, bound)
+                })
+            }
+        }
+    }
+}
+
+impl fmt::Display for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Const(b) => write!(f, "{b}"),
+            Self::Atom(a) => write!(f, "{a}"),
+            Self::Not(g) => write!(f, "!({g})"),
+            Self::And(a, b) => write!(f, "({a} /\\ {b})"),
+            Self::Or(a, b) => write!(f, "({a} \\/ {b})"),
+            Self::Exists(v, g) => write!(f, "exists x{v}. ({g})"),
+            Self::ForAll(v, g) => write!(f, "forall x{v}. ({g})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn x(v: u32) -> LinExpr {
+        LinExpr::var(v)
+    }
+
+    #[test]
+    fn linexpr_arithmetic() {
+        let e = x(0).scale(2).add(&x(1)).offset(-3); // 2x0 + x1 - 3
+        assert_eq!(e.eval(&[5, 1]), 8);
+        assert_eq!(e.coefficient(0), 2);
+        assert_eq!(e.coefficient(2), 0);
+        assert_eq!(e.constant_term(), -3);
+        let z = e.sub(&e);
+        assert!(z.is_constant());
+        assert_eq!(z.eval(&[9, 9]), 0);
+    }
+
+    #[test]
+    fn linexpr_substitute() {
+        // (2x0 + x1)[x0 := x1 + 1] = 3x1 + 2? No: 2(x1+1) + x1 = 3x1 + 2.
+        let e = x(0).scale(2).add(&x(1));
+        let s = e.substitute(0, &x(1).offset(1));
+        assert_eq!(s.eval(&[0, 4]), 14);
+        assert_eq!(s.coefficient(0), 0);
+        assert_eq!(s.coefficient(1), 3);
+        assert_eq!(s.constant_term(), 2);
+    }
+
+    #[test]
+    fn comparison_constructors_match_integer_semantics() {
+        for a in -4i64..=4 {
+            for b in -4i64..=4 {
+                let asg = [a, b];
+                assert_eq!(Formula::lt(x(0), x(1)).eval_qf(&asg), a < b);
+                assert_eq!(Formula::le(x(0), x(1)).eval_qf(&asg), a <= b);
+                assert_eq!(Formula::gt(x(0), x(1)).eval_qf(&asg), a > b);
+                assert_eq!(Formula::ge(x(0), x(1)).eval_qf(&asg), a >= b);
+                assert_eq!(Formula::eq(x(0), x(1)).eval_qf(&asg), a == b);
+                assert_eq!(Formula::ne(x(0), x(1)).eval_qf(&asg), a != b);
+            }
+        }
+    }
+
+    #[test]
+    fn congruence_semantics() {
+        let f = Formula::congruent(x(0), LinExpr::constant(2), 5);
+        assert!(f.eval_qf(&[7]));
+        assert!(f.eval_qf(&[-3]));
+        assert!(!f.eval_qf(&[6]));
+    }
+
+    #[test]
+    fn boolean_simplifications() {
+        let t = Formula::Const(true);
+        let f = Formula::Const(false);
+        assert_eq!(t.clone().and(f.clone()), Formula::Const(false));
+        assert_eq!(t.clone().or(f.clone()), Formula::Const(true));
+        assert_eq!(f.clone().not(), t);
+        assert_eq!(t.clone().not().not(), t);
+        // implies/iff truth table.
+        for p in [false, true] {
+            for q in [false, true] {
+                let fp = Formula::Const(p);
+                let fq = Formula::Const(q);
+                assert_eq!(fp.clone().implies(fq.clone()).eval_qf(&[]), !p || q);
+                assert_eq!(fp.iff(fq).eval_qf(&[]), p == q);
+            }
+        }
+    }
+
+    #[test]
+    fn free_vars_respect_binding() {
+        // exists x1. (x0 + x1 < 0) — free: {0}.
+        let f = Formula::lt(x(0).add(&x(1)), LinExpr::constant(0)).exists(1);
+        let fv = f.free_vars();
+        assert!(fv.contains(&0));
+        assert!(!fv.contains(&1));
+        assert_eq!(f.max_var(), Some(1));
+        assert!(!f.is_quantifier_free());
+    }
+
+    #[test]
+    fn formula_substitute_avoids_bound() {
+        // (exists x1. x1 < x0)[x0 := 3] — bound x1 untouched.
+        let f = Formula::lt(x(1), x(0)).exists(1);
+        let g = f.substitute(0, &LinExpr::constant(3));
+        assert!(g.eval_bounded(&[], 10));
+        // Substituting the bound variable itself is a no-op inside.
+        let h = f.substitute(1, &LinExpr::constant(99));
+        assert_eq!(h, f);
+    }
+
+    #[test]
+    fn eval_bounded_finds_witnesses() {
+        // exists y. x = 2y  (evenness)
+        let even = Formula::eq(x(0), x(1).scale(2)).exists(1);
+        assert!(even.eval_bounded(&[4], 10));
+        assert!(!even.eval_bounded(&[5], 10));
+        // forall y. y < x \/ y >= x (tautology on bounded range)
+        let taut = Formula::lt(x(1), x(0)).or(Formula::ge(x(1), x(0))).forall(1);
+        assert!(taut.eval_bounded(&[0], 5));
+    }
+
+    #[test]
+    fn display_roundtrip_smoke() {
+        let f = Formula::lt(x(0).scale(2).offset(-1), x(1)).and(Formula::congruent(
+            x(0),
+            LinExpr::constant(1),
+            3,
+        ));
+        let s = format!("{f}");
+        assert!(s.contains("<"), "{s}");
+        assert!(s.contains("3 |"), "{s}");
+        assert!(!format!("{}", LinExpr::constant(0)).is_empty());
+    }
+}

@@ -1,0 +1,210 @@
+//! Language acceptance by population protocols (§3.4–§3.5, Corollary 4).
+//!
+//! Under the *string input convention* the `i`-th input symbol goes to the
+//! `i`-th agent; since stably computable predicates are invariant under
+//! agent renaming (Theorem 1), only *symmetric* languages can be accepted
+//! (Corollary 1), and a symmetric language is determined by the Parikh
+//! image of its words (Lemma 2). Corollary 4: a symmetric language is
+//! accepted by a population protocol if its Parikh image is semilinear —
+//! equivalently (Ginsburg–Spanier), Presburger-definable.
+//!
+//! [`SymmetricLanguage`] packages that pipeline: a Presburger formula over
+//! symbol counts plus an alphabet, with membership testing by evaluation
+//! and by actual population simulation.
+
+use pp_core::{seeded_rng, Simulation};
+use rand::Rng;
+
+use crate::compile::{compile, CompileError, CompiledProtocol};
+use crate::formula::Formula;
+use crate::semilinear::{parikh, SemilinearSet};
+
+/// A symmetric language over a finite alphabet, defined by a Presburger
+/// predicate on its Parikh image.
+///
+/// # Example
+///
+/// Words with equally many `a`s and `b`s — symmetric, non-regular, and
+/// accepted by a population protocol:
+///
+/// ```
+/// use pp_presburger::language::SymmetricLanguage;
+/// use pp_presburger::parse;
+///
+/// let eq = SymmetricLanguage::new(
+///     vec!['a', 'b'],
+///     parse("a_count = b_count").unwrap().formula,
+/// ).unwrap();
+/// assert!(eq.contains("abba"));
+/// assert!(!eq.contains("abb"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SymmetricLanguage {
+    alphabet: Vec<char>,
+    protocol: CompiledProtocol,
+}
+
+impl SymmetricLanguage {
+    /// Defines the language `{w : φ(Ψ(w))}`, where `Ψ` is the Parikh map
+    /// and `φ`'s free variable `i` counts occurrences of `alphabet[i]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CompileError`] if the formula's free variables exceed
+    /// the alphabet size (or the alphabet is empty).
+    pub fn new(alphabet: Vec<char>, formula: Formula) -> Result<Self, CompileError> {
+        let protocol = compile(&formula, alphabet.len())?;
+        Ok(Self { alphabet, protocol })
+    }
+
+    /// Defines the language whose Parikh image is the given semilinear set
+    /// (the exact statement of Corollary 4).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CompileError`] on dimension mismatch.
+    pub fn from_semilinear(
+        alphabet: Vec<char>,
+        image: &SemilinearSet,
+    ) -> Result<Self, CompileError> {
+        Self::new(alphabet, image.to_formula())
+    }
+
+    /// The alphabet.
+    pub fn alphabet(&self) -> &[char] {
+        &self.alphabet
+    }
+
+    /// The compiled population protocol deciding the language.
+    pub fn protocol(&self) -> &CompiledProtocol {
+        &self.protocol
+    }
+
+    /// Membership by direct evaluation of the Parikh image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word` contains symbols outside the alphabet.
+    pub fn contains(&self, word: &str) -> bool {
+        let counts = parikh(word.chars(), &self.alphabet);
+        self.protocol.eval(&counts)
+    }
+
+    /// Membership decided by actually running the population protocol
+    /// under the string input convention (agent `i` receives `word[i]`),
+    /// with uniform random pairing, for up to `horizon` interactions.
+    ///
+    /// Returns `None` if the population had not stabilized to the correct
+    /// verdict within the horizon (increase it), `Some(verdict)` otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the word is shorter than 2 symbols (a population needs two
+    /// agents) or contains symbols outside the alphabet.
+    pub fn accepts_via_population(
+        &self,
+        word: &str,
+        horizon: u64,
+        rng: &mut impl Rng,
+    ) -> Option<bool> {
+        let inputs: Vec<usize> = word
+            .chars()
+            .map(|c| {
+                self.alphabet
+                    .iter()
+                    .position(|&a| a == c)
+                    .unwrap_or_else(|| panic!("symbol {c:?} not in alphabet"))
+            })
+            .collect();
+        let expected = self.contains(word);
+        let mut sim = Simulation::from_inputs(self.protocol.clone(), inputs);
+        let report = sim.measure_stabilization(&expected, horizon, rng);
+        report.converged().then_some(expected)
+    }
+
+    /// Convenience: [`accepts_via_population`](Self::accepts_via_population)
+    /// with a fixed seed and a generous horizon.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the population did not stabilize (pathological only for
+    /// huge words).
+    pub fn accepts(&self, word: &str) -> bool {
+        let n = word.chars().count() as u64;
+        let horizon = (200 * n * n * (64 - n.leading_zeros() as u64)).max(100_000);
+        let mut rng = seeded_rng(0xfeed);
+        self.accepts_via_population(word, horizon, &mut rng)
+            .expect("population did not stabilize within the default horizon")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::semilinear::LinearSet;
+
+    fn equal_ab() -> SymmetricLanguage {
+        SymmetricLanguage::new(vec!['a', 'b'], parse("na = nb").unwrap().formula).unwrap()
+    }
+
+    #[test]
+    fn membership_by_parikh_image() {
+        let l = equal_ab();
+        assert!(l.contains("ab"));
+        assert!(l.contains("abba"));
+        assert!(l.contains("bbaa"));
+        assert!(!l.contains("aab"));
+        assert!(l.contains("")); // 0 = 0
+    }
+
+    #[test]
+    fn population_decides_membership() {
+        let l = equal_ab();
+        assert!(l.accepts("abab"));
+        assert!(!l.accepts("abb"));
+        assert!(l.accepts("bbbaaa"));
+    }
+
+    #[test]
+    fn symmetry_is_automatic() {
+        // All permutations of a word share a verdict (Corollary 1).
+        let l = equal_ab();
+        for w in ["aabb", "abab", "abba", "baab", "baba", "bbaa"] {
+            assert!(l.contains(w), "{w}");
+        }
+    }
+
+    #[test]
+    fn from_semilinear_matches_membership() {
+        // Parikh image {(k, 2k)} : twice as many b as a.
+        let img = SemilinearSet::new(vec![LinearSet::new(vec![0, 0], vec![vec![1, 2]])]);
+        let l = SymmetricLanguage::from_semilinear(vec!['a', 'b'], &img).unwrap();
+        assert!(l.contains("abb"));
+        assert!(l.contains("aabbbb")); // (2, 4)
+        assert!(l.contains(""));
+        assert!(!l.contains("ab"));
+        assert!(l.accepts("bab"));
+        assert!(!l.accepts("ba"));
+    }
+
+    #[test]
+    fn divisibility_language() {
+        // {w : |w|_a ≡ 0 (mod 3)}.
+        let l = SymmetricLanguage::new(
+            vec!['a', 'b'],
+            parse("na = 0 mod 3").unwrap().formula,
+        )
+        .unwrap();
+        assert!(l.contains("aaab"));
+        assert!(!l.contains("aab"));
+        assert!(l.accepts("aaabbb"));
+        assert!(!l.accepts("aabbbb"));
+    }
+
+    #[test]
+    #[should_panic(expected = "not in alphabet")]
+    fn foreign_symbols_rejected() {
+        equal_ab().contains("abc");
+    }
+}

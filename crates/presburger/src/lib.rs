@@ -1,0 +1,64 @@
+//! Presburger arithmetic for population protocols.
+//!
+//! §4 of Angluin et al. (PODC 2004) shows that every predicate definable in
+//! Presburger arithmetic — the first-order theory of the integers with
+//! addition and order — is stably computable by a population protocol
+//! (Theorem 5, Corollary 3). This crate makes that pipeline executable:
+//!
+//! 1. [`formula`] — linear terms ([`LinExpr`]) and formulas ([`Formula`])
+//!    with atoms `t < 0` and `m | t` (the *extended* language of §4.2, whose
+//!    `≡ₘ` atoms make quantifier-free formulas complete, Theorem 4);
+//! 2. [`parser`] — a small text syntax for formulas;
+//! 3. [`qe`] — **Cooper's quantifier elimination**, realizing Theorem 4
+//!    constructively: any formula becomes an equivalent quantifier-free one
+//!    over threshold and divisibility atoms;
+//! 4. [`semilinear`] — linear and semilinear sets, membership testing, the
+//!    Parikh map, and the Ginsburg–Spanier conversion to formulas used by
+//!    Corollary 4;
+//! 5. [`compile`](mod@compile) — the Theorem 5 compiler: quantifier-free formula →
+//!    population protocol built from the Lemma 5 atoms and Boolean closure,
+//!    plus the Corollary 3 translation for the integer-based input
+//!    convention;
+//! 6. [`language`] — acceptance of symmetric languages under the string
+//!    input convention (Lemma 2, Corollary 4).
+//!
+//! # Example: the 5%-of-the-flock predicate, end to end
+//!
+//! ```
+//! use pp_core::prelude::*;
+//! use pp_presburger::parse;
+//! use pp_presburger::compile::compile;
+//!
+//! // x1 = hot birds, x0 = the rest; at least 5%? (20·x1 ≥ x0 + x1)
+//! let parsed = parse("20 * hot >= normal + hot").unwrap();
+//! let protocol = compile(&parsed.formula, parsed.vars.len()).unwrap();
+//! // 2 hot of 40 = exactly 5%.
+//! let hot = parsed.index_of("hot").unwrap();
+//! let normal = parsed.index_of("normal").unwrap();
+//! let mut counts = vec![0u64; 2];
+//! counts[hot] = 2;
+//! counts[normal] = 38;
+//! let mut sim = Simulation::from_counts(
+//!     protocol,
+//!     counts.iter().enumerate().map(|(i, &c)| (i, c)),
+//! );
+//! let mut rng = seeded_rng(0);
+//! assert!(sim.measure_stabilization(&true, 500_000, &mut rng).converged());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod compile;
+pub mod formula;
+pub mod language;
+pub mod parser;
+pub mod qe;
+pub mod semilinear;
+
+pub use compile::{compile, CompiledProtocol};
+pub use formula::{Atom, Formula, LinExpr};
+pub use language::SymmetricLanguage;
+pub use parser::{parse, ParseError, ParsedFormula};
+pub use qe::eliminate_quantifiers;
+pub use semilinear::{parikh, LinearSet, SemilinearSet};

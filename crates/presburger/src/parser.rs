@@ -1,0 +1,663 @@
+//! A text syntax for Presburger formulas.
+//!
+//! ```text
+//! formula  := iff
+//! iff      := imp ('<->' imp)*
+//! imp      := or ('->' or)*                    (right-associative)
+//! or       := and (('\/' | '||' | 'or') and)*
+//! and      := unary (('/\' | '&&' | 'and') unary)*
+//! unary    := ('!' | '~' | 'not') unary
+//!           | ('exists' | 'forall') ident+ '.' formula
+//!           | 'true' | 'false'
+//!           | comparison
+//!           | '(' formula ')'
+//! compare  := term relop term ['mod' number]   ('=' with 'mod' is ≡ₘ)
+//!           | number '|' term                  (divisibility)
+//! relop    := '<' | '<=' | '=' | '==' | '!=' | '>' | '>='
+//! term     := factor (('+' | '-') factor)*
+//! factor   := '-' factor | number '*' factor | number | ident | '(' term ')'
+//! ```
+//!
+//! Free variables are numbered `0, 1, 2, …` in order of first appearance;
+//! [`ParsedFormula::index_of`] recovers the index of a named variable (this
+//! is the input-symbol index under the symbol-count convention).
+//!
+//! # Example
+//!
+//! ```
+//! use pp_presburger::parse;
+//!
+//! let p = parse("exists q. hot = 2 * q").unwrap(); // "hot is even"
+//! assert_eq!(p.vars, vec!["hot".to_string()]);
+//! assert!(p.formula.eval_bounded(&[4], 10));
+//! assert!(!p.formula.eval_bounded(&[5], 10));
+//! ```
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use crate::formula::{Formula, LinExpr};
+
+/// A parse failure, with a byte offset into the source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the error in the input.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl Error for ParseError {}
+
+/// Result of parsing: the formula plus the free-variable name table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedFormula {
+    /// The parsed formula; free variables are `0..vars.len()`.
+    pub formula: Formula,
+    /// Names of the free variables, indexed by variable number.
+    pub vars: Vec<String>,
+}
+
+impl ParsedFormula {
+    /// The variable index of `name`, if it occurs free in the formula.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.vars.iter().position(|v| v == name)
+    }
+}
+
+/// Parses a formula from text.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the first offending token.
+pub fn parse(src: &str) -> Result<ParsedFormula, ParseError> {
+    let tokens = tokenize(src)?;
+    let mut p = Parser { tokens, pos: 0, scopes: Vec::new(), free: Vec::new(), next_var: 0 };
+    let formula = p.formula()?;
+    if p.pos != p.tokens.len() {
+        return Err(p.err("unexpected trailing input"));
+    }
+    // Renumber so free variables are 0..k in order of first appearance and
+    // bound variables follow.
+    let k = p.free.len() as u32;
+    let mut bound_next = k;
+    let mut map: HashMap<u32, u32> = HashMap::new();
+    for (new, &(old, _)) in p.free.iter().enumerate() {
+        map.insert(old, new as u32);
+    }
+    let formula = rename(&formula, &mut map, &mut bound_next);
+    Ok(ParsedFormula { formula, vars: p.free.iter().map(|(_, n)| n.clone()).collect() })
+}
+
+/// Renames variables via `map`, assigning fresh indices (from
+/// `next`) to variables not yet mapped (the bound ones).
+fn rename(f: &Formula, map: &mut HashMap<u32, u32>, next: &mut u32) -> Formula {
+    let lookup = |v: u32, map: &mut HashMap<u32, u32>, next: &mut u32| -> u32 {
+        *map.entry(v).or_insert_with(|| {
+            let id = *next;
+            *next += 1;
+            id
+        })
+    };
+    let rename_expr = |e: &LinExpr, map: &mut HashMap<u32, u32>, next: &mut u32| -> LinExpr {
+        let mut out = LinExpr::constant(e.constant_term());
+        for (v, a) in e.terms() {
+            out = out.add(&LinExpr::var_scaled(lookup(v, map, next), a));
+        }
+        out
+    };
+    use crate::formula::Atom;
+    match f {
+        Formula::Const(b) => Formula::Const(*b),
+        Formula::Atom(Atom::Lt(e)) => Formula::Atom(Atom::Lt(rename_expr(e, map, next))),
+        Formula::Atom(Atom::Dvd(m, e)) => {
+            Formula::Atom(Atom::Dvd(*m, rename_expr(e, map, next)))
+        }
+        Formula::Not(g) => Formula::Not(Box::new(rename(g, map, next))),
+        Formula::And(a, b) => Formula::And(
+            Box::new(rename(a, map, next)),
+            Box::new(rename(b, map, next)),
+        ),
+        Formula::Or(a, b) => Formula::Or(
+            Box::new(rename(a, map, next)),
+            Box::new(rename(b, map, next)),
+        ),
+        Formula::Exists(v, g) => {
+            let nv = lookup(*v, map, next);
+            Formula::Exists(nv, Box::new(rename(g, map, next)))
+        }
+        Formula::ForAll(v, g) => {
+            let nv = lookup(*v, map, next);
+            Formula::ForAll(nv, Box::new(rename(g, map, next)))
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Num(i64),
+    Sym(&'static str),
+}
+
+#[derive(Debug, Clone)]
+struct SpannedTok {
+    tok: Tok,
+    offset: usize,
+}
+
+fn tokenize(src: &str) -> Result<Vec<SpannedTok>, ParseError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    let symbols: &[&'static str] = &[
+        "<->", "->", "<=", ">=", "==", "!=", "/\\", "\\/", "&&", "||", "<", ">", "=", "+",
+        "-", "*", "(", ")", ".", "|", "!", "~", ",",
+    ];
+    'outer: while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                i += 1;
+            }
+            let n: i64 = src[start..i].parse().map_err(|_| ParseError {
+                offset: start,
+                message: "integer literal out of range".into(),
+            })?;
+            out.push(SpannedTok { tok: Tok::Num(n), offset: start });
+            continue;
+        }
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < bytes.len()
+                && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+            {
+                i += 1;
+            }
+            out.push(SpannedTok { tok: Tok::Ident(src[start..i].to_string()), offset: start });
+            continue;
+        }
+        for s in symbols {
+            if src[i..].starts_with(s) {
+                out.push(SpannedTok { tok: Tok::Sym(s), offset: i });
+                i += s.len();
+                continue 'outer;
+            }
+        }
+        return Err(ParseError { offset: i, message: format!("unexpected character {c:?}") });
+    }
+    Ok(out)
+}
+
+struct Parser {
+    tokens: Vec<SpannedTok>,
+    pos: usize,
+    /// Shadowing scopes for quantified variables: (name, index).
+    scopes: Vec<(String, u32)>,
+    /// Free variables in order of first appearance: (index, name).
+    free: Vec<(u32, String)>,
+    next_var: u32,
+}
+
+impl Parser {
+    fn err(&self, msg: &str) -> ParseError {
+        let offset = self
+            .tokens
+            .get(self.pos.min(self.tokens.len().saturating_sub(1)))
+            .map_or(0, |t| t.offset);
+        ParseError { offset, message: msg.to_string() }
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos).map(|t| &t.tok)
+    }
+
+    fn eat_sym(&mut self, s: &str) -> bool {
+        if self.peek() == Some(&Tok::Sym(match_sym(s))) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if let Some(Tok::Ident(id)) = self.peek() {
+            if id == kw {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_sym(&mut self, s: &str) -> Result<(), ParseError> {
+        if self.eat_sym(s) {
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {s:?}")))
+        }
+    }
+
+    fn var_index(&mut self, name: &str) -> u32 {
+        // Innermost quantifier scope wins.
+        if let Some(&(_, idx)) = self.scopes.iter().rev().find(|(n, _)| n == name) {
+            return idx;
+        }
+        if let Some(&(idx, _)) = self.free.iter().find(|(_, n)| n == name) {
+            return idx;
+        }
+        let idx = self.fresh();
+        self.free.push((idx, name.to_string()));
+        idx
+    }
+
+    fn fresh(&mut self) -> u32 {
+        let v = self.next_var;
+        self.next_var += 1;
+        v
+    }
+
+    fn formula(&mut self) -> Result<Formula, ParseError> {
+        let mut lhs = self.implication()?;
+        while self.eat_sym("<->") {
+            let rhs = self.implication()?;
+            lhs = lhs.iff(rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn implication(&mut self) -> Result<Formula, ParseError> {
+        let lhs = self.disjunction()?;
+        if self.eat_sym("->") {
+            let rhs = self.implication()?; // right-associative
+            Ok(lhs.implies(rhs))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn disjunction(&mut self) -> Result<Formula, ParseError> {
+        let mut lhs = self.conjunction()?;
+        while self.eat_sym("\\/") || self.eat_sym("||") || self.eat_kw("or") {
+            let rhs = self.conjunction()?;
+            lhs = lhs.or(rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn conjunction(&mut self) -> Result<Formula, ParseError> {
+        let mut lhs = self.unary()?;
+        while self.eat_sym("/\\") || self.eat_sym("&&") || self.eat_kw("and") {
+            let rhs = self.unary()?;
+            lhs = lhs.and(rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Formula, ParseError> {
+        if self.eat_sym("!") || self.eat_sym("~") || self.eat_kw("not") {
+            return Ok(self.unary()?.not());
+        }
+        if self.eat_kw("true") {
+            return Ok(Formula::Const(true));
+        }
+        if self.eat_kw("false") {
+            return Ok(Formula::Const(false));
+        }
+        for (kw, is_exists) in [("exists", true), ("forall", false)] {
+            if self.eat_kw(kw) {
+                // One or more bound variables (commas optional).
+                let mut names = Vec::new();
+                loop {
+                    match self.peek().cloned() {
+                        Some(Tok::Ident(name)) => {
+                            self.pos += 1;
+                            names.push(name);
+                            let _ = self.eat_sym(",");
+                        }
+                        _ if names.is_empty() => {
+                            return Err(self.err("expected variable name after quantifier"))
+                        }
+                        _ => break,
+                    }
+                }
+                self.expect_sym(".")?;
+                let depth = self.scopes.len();
+                let mut indices = Vec::new();
+                for name in &names {
+                    let idx = self.fresh();
+                    self.scopes.push((name.clone(), idx));
+                    indices.push(idx);
+                }
+                let mut body = self.unary_or_rest()?;
+                self.scopes.truncate(depth);
+                for &idx in indices.iter().rev() {
+                    body = if is_exists { body.exists(idx) } else { body.forall(idx) };
+                }
+                return Ok(body);
+            }
+        }
+        // Comparison or parenthesized formula: try comparison first, then
+        // backtrack.
+        let save = self.pos;
+        match self.comparison() {
+            Ok(f) => Ok(f),
+            Err(e1) => {
+                self.pos = save;
+                if self.eat_sym("(") {
+                    let f = self.formula()?;
+                    self.expect_sym(")")?;
+                    Ok(f)
+                } else {
+                    Err(e1)
+                }
+            }
+        }
+    }
+
+    /// Body of a quantifier: extends to the end of the current
+    /// (sub)formula, i.e. `exists x. P /\ Q` binds `x` in `P /\ Q`.
+    fn unary_or_rest(&mut self) -> Result<Formula, ParseError> {
+        self.formula()
+    }
+
+    fn comparison(&mut self) -> Result<Formula, ParseError> {
+        // Divisibility: number '|' term.
+        if let (Some(Tok::Num(m)), Some(SpannedTok { tok: Tok::Sym("|"), .. })) =
+            (self.peek().cloned(), self.tokens.get(self.pos + 1).cloned())
+        {
+            self.pos += 2;
+            if m < 1 {
+                return Err(self.err("divisibility modulus must be positive"));
+            }
+            let t = self.term()?;
+            return Ok(Formula::Atom(crate::formula::Atom::Dvd(m, t)));
+        }
+        let lhs = self.term()?;
+        let op = match self.peek() {
+            Some(Tok::Sym(s @ ("<" | "<=" | "=" | "==" | "!=" | ">" | ">="))) => *s,
+            _ => return Err(self.err("expected comparison operator")),
+        };
+        self.pos += 1;
+        let rhs = self.term()?;
+        // Optional `mod m` turns equality into congruence.
+        if self.eat_kw("mod") {
+            let m = match self.peek() {
+                Some(&Tok::Num(m)) if m >= 1 => m,
+                _ => return Err(self.err("expected positive modulus after 'mod'")),
+            };
+            self.pos += 1;
+            return match op {
+                "=" | "==" => Ok(Formula::congruent(lhs, rhs, m)),
+                "!=" => Ok(Formula::congruent(lhs, rhs, m).not()),
+                _ => Err(self.err("'mod' applies only to = or !=")),
+            };
+        }
+        Ok(match op {
+            "<" => Formula::lt(lhs, rhs),
+            "<=" => Formula::le(lhs, rhs),
+            "=" | "==" => Formula::eq(lhs, rhs),
+            "!=" => Formula::ne(lhs, rhs),
+            ">" => Formula::gt(lhs, rhs),
+            ">=" => Formula::ge(lhs, rhs),
+            _ => unreachable!(),
+        })
+    }
+
+    fn term(&mut self) -> Result<LinExpr, ParseError> {
+        let mut acc = self.factor()?;
+        loop {
+            if self.eat_sym("+") {
+                let f = self.factor()?;
+                acc = acc.add(&f);
+            } else if self.eat_sym("-") {
+                let f = self.factor()?;
+                acc = acc.sub(&f);
+            } else {
+                return Ok(acc);
+            }
+        }
+    }
+
+    fn factor(&mut self) -> Result<LinExpr, ParseError> {
+        if self.eat_sym("-") {
+            return Ok(self.factor()?.scale(-1));
+        }
+        match self.peek().cloned() {
+            Some(Tok::Num(n)) => {
+                self.pos += 1;
+                if self.eat_sym("*") {
+                    Ok(self.factor()?.scale(n))
+                } else {
+                    Ok(LinExpr::constant(n))
+                }
+            }
+            Some(Tok::Ident(name)) => {
+                if ["mod", "and", "or", "not", "exists", "forall", "true", "false"]
+                    .contains(&name.as_str())
+                {
+                    return Err(self.err("keyword used as variable"));
+                }
+                self.pos += 1;
+                let v = self.var_index(&name);
+                Ok(LinExpr::var(v))
+            }
+            Some(Tok::Sym("(")) => {
+                self.pos += 1;
+                let t = self.term()?;
+                self.expect_sym(")")?;
+                Ok(t)
+            }
+            _ => Err(self.err("expected a term")),
+        }
+    }
+}
+
+/// Interns the symbol string so comparisons hit the tokenizer's `&'static`
+/// strings.
+fn match_sym(s: &str) -> &'static str {
+    match s {
+        "<->" => "<->",
+        "->" => "->",
+        "<=" => "<=",
+        ">=" => ">=",
+        "==" => "==",
+        "!=" => "!=",
+        "/\\" => "/\\",
+        "\\/" => "\\/",
+        "&&" => "&&",
+        "||" => "||",
+        "<" => "<",
+        ">" => ">",
+        "=" => "=",
+        "+" => "+",
+        "-" => "-",
+        "*" => "*",
+        "(" => "(",
+        ")" => ")",
+        "." => ".",
+        "|" => "|",
+        "!" => "!",
+        "~" => "~",
+        "," => ",",
+        _ => panic!("unknown symbol {s:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_comparisons() {
+        let p = parse("x + 2 < 3 * y").unwrap();
+        assert_eq!(p.vars, vec!["x", "y"]);
+        assert!(p.formula.eval_qf(&[0, 1])); // 2 < 3
+        assert!(!p.formula.eval_qf(&[1, 1])); // 3 < 3
+    }
+
+    #[test]
+    fn parses_all_relops() {
+        for (src, asg, expect) in [
+            ("a < b", [1, 2], true),
+            ("a <= b", [2, 2], true),
+            ("a = b", [2, 2], true),
+            ("a == b", [2, 3], false),
+            ("a != b", [2, 3], true),
+            ("a > b", [3, 2], true),
+            ("a >= b", [2, 2], true),
+        ] {
+            let p = parse(src).unwrap();
+            assert_eq!(p.formula.eval_qf(&asg), expect, "{src}");
+        }
+    }
+
+    #[test]
+    fn parses_congruence_and_divisibility() {
+        let p = parse("x = 1 mod 3").unwrap();
+        assert!(p.formula.eval_qf(&[7]));
+        assert!(!p.formula.eval_qf(&[6]));
+        let q = parse("3 | x - 1").unwrap();
+        assert!(q.formula.eval_qf(&[7]));
+        let r = parse("x != 0 mod 2").unwrap();
+        assert!(r.formula.eval_qf(&[3]));
+        assert!(!r.formula.eval_qf(&[4]));
+    }
+
+    #[test]
+    fn parses_boolean_structure() {
+        let p = parse("x < 1 /\\ y > 2 \\/ x = 5").unwrap();
+        // Precedence: ((x<1 /\ y>2) \/ x=5).
+        assert!(p.formula.eval_qf(&[0, 3]));
+        assert!(p.formula.eval_qf(&[5, 0]));
+        assert!(!p.formula.eval_qf(&[0, 0]));
+        let q = parse("x < 1 -> y > 2").unwrap();
+        assert!(q.formula.eval_qf(&[5, 0]));
+        assert!(!q.formula.eval_qf(&[0, 0]));
+        let r = parse("x < 1 <-> y < 1").unwrap();
+        assert!(r.formula.eval_qf(&[0, 0]));
+        assert!(r.formula.eval_qf(&[5, 5]));
+        assert!(!r.formula.eval_qf(&[0, 5]));
+    }
+
+    #[test]
+    fn word_operators() {
+        let p = parse("not x < 1 and y < 1 or x = 9").unwrap();
+        // ((¬(x<1)) ∧ y<1) ∨ x=9
+        assert!(p.formula.eval_qf(&[2, 0]));
+        assert!(p.formula.eval_qf(&[9, 5]));
+        assert!(!p.formula.eval_qf(&[0, 0]));
+    }
+
+    #[test]
+    fn quantifiers_bind_and_shadow() {
+        // x free; inner x is the bound one.
+        let p = parse("exists x. x = 2 * y").unwrap();
+        assert_eq!(p.vars, vec!["y"]);
+        assert!(p.formula.eval_bounded(&[3], 10));
+        // Shadowing: free x plus bound x.
+        let q = parse("x > 0 /\\ (exists x. x < 0)").unwrap();
+        assert_eq!(q.vars, vec!["x"]);
+        assert!(q.formula.eval_bounded(&[1], 5));
+        assert!(!q.formula.eval_bounded(&[0], 5));
+    }
+
+    #[test]
+    fn multi_variable_quantifier() {
+        let p = parse("exists a b. x = a + 2 * b /\\ a >= 0 /\\ b >= 0").unwrap();
+        assert_eq!(p.vars, vec!["x"]);
+        assert!(p.formula.eval_bounded(&[5], 10));
+        assert!(!p.formula.eval_bounded(&[-1], 10));
+    }
+
+    #[test]
+    fn quantifier_scope_extends_right() {
+        // exists q. x = 2*q /\ q > 1  — the conjunct is inside the scope.
+        let p = parse("exists q. x = 2 * q /\\ q > 1").unwrap();
+        assert!(p.formula.eval_bounded(&[6], 10));
+        assert!(!p.formula.eval_bounded(&[2], 10)); // q = 1 not > 1
+    }
+
+    #[test]
+    fn free_variable_order_is_first_appearance() {
+        let p = parse("b + a < 2 /\\ a < c").unwrap();
+        assert_eq!(p.vars, vec!["b", "a", "c"]);
+        assert_eq!(p.index_of("a"), Some(1));
+        assert_eq!(p.index_of("zz"), None);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("x <").is_err());
+        assert!(parse("x < 1 )").is_err());
+        assert!(parse("exists . x < 1").is_err());
+        assert!(parse("x @ 1").is_err());
+        assert!(parse("x = 1 mod 0").is_err());
+        assert!(parse("x < 1 mod 3").is_err());
+        assert!(parse("").is_err());
+    }
+
+    #[test]
+    fn negative_numbers_and_nested_terms() {
+        let p = parse("-x + 2 * (y - 1) >= -3").unwrap();
+        assert!(p.formula.eval_qf(&[1, 0])); // -1 - 2 = -3 ≥ -3
+        assert!(!p.formula.eval_qf(&[2, 0])); // -2 - 2 = -4
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(64))]
+        #[test]
+        fn prop_linexpr_display_reparses_equivalently(
+            a in -5i64..=5, b in -5i64..=5, c in -9i64..=9,
+        ) {
+            use crate::formula::LinExpr;
+            // Build a·x0 + b·x1 + c, render it, and reparse "<expr> < 0".
+            let e = LinExpr::var_scaled(0, a)
+                .add(&LinExpr::var_scaled(1, b))
+                .offset(c);
+            let src = format!("{e} < 0");
+            // Display writes variables as `x0`, `x1`, which parse as
+            // identifiers; indices are assigned by first appearance, so map
+            // values through the parsed name table.
+            let parsed = parse(&src).unwrap();
+            for x0 in -3i64..=3 {
+                for x1 in -3i64..=3 {
+                    let mut asg = vec![0i64; parsed.vars.len()];
+                    if let Some(i) = parsed.index_of("x0") {
+                        asg[i] = x0;
+                    }
+                    if let Some(i) = parsed.index_of("x1") {
+                        asg[i] = x1;
+                    }
+                    proptest::prop_assert_eq!(
+                        parsed.formula.eval_qf(&asg),
+                        a * x0 + b * x1 + c < 0,
+                        "src = {}", src
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn paper_example_formula_parses() {
+        // §4.3 example: Φ(y1,y2) = (y1 − 2y2 ≡ 0 (mod 3)).
+        let p = parse("y1 - 2 * y2 = 0 mod 3").unwrap();
+        assert!(p.formula.eval_qf(&[6, 0]));
+        assert!(p.formula.eval_qf(&[8, 1]));
+        assert!(!p.formula.eval_qf(&[7, 0]));
+    }
+}

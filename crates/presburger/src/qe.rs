@@ -1,0 +1,465 @@
+//! Cooper's quantifier elimination.
+//!
+//! Theorem 4 of the paper (after Presburger 1929) states that every
+//! Presburger-definable predicate is definable by a *quantifier-free*
+//! formula of the extended language with `≡ₘ` atoms. The paper cites the
+//! result as folklore; this module realizes it constructively with
+//! Cooper's algorithm (D.C. Cooper, "Theorem proving in arithmetic without
+//! multiplication", 1972), the standard effective procedure:
+//!
+//! to eliminate `∃x` from a quantifier-free `F(x)`:
+//!
+//! 1. put `F` in negation normal form with atoms `t < 0`, `m | t`, `¬(m | t)`
+//!    (`¬(t < 0)` becomes `−t − 1 < 0`);
+//! 2. let `δ` be the lcm of the `x`-coefficients; homogenize every atom so
+//!    the `x`-coefficient is `±1` (replacing `δx` by a fresh `x` constrained
+//!    by `δ | x`);
+//! 3. let `D` be the lcm of all moduli of divisibility atoms mentioning `x`;
+//!    then
+//!    `∃x F  ⇔  ⋁_{j=1}^{D} F_{−∞}[x≔j]  ∨  ⋁_{b ∈ B} ⋁_{j=1}^{D} F[x≔b+j]`,
+//!    where `F_{−∞}` replaces upper-bound atoms by *true* and lower-bound
+//!    atoms by *false*, and `B` collects the lower-bound terms.
+//!
+//! Universal quantifiers are handled by `∀x F ⇔ ¬∃x ¬F`. The output of
+//! [`eliminate_quantifiers`] is quantifier-free and equivalent over ℤ, and
+//! feeds directly into the Theorem 5 compiler
+//! ([`crate::compile::compile`]).
+//!
+//! Formula size can grow exponentially in the number of quantifier
+//! alternations — inherent to Presburger arithmetic (the theory has
+//! super-exponential worst-case complexity, Fischer–Rabin 1974, cited as
+//! \[9\] in the paper).
+
+use crate::formula::{Atom, Formula, LinExpr};
+
+/// Eliminates every quantifier, returning an equivalent quantifier-free
+/// formula over `t < 0` and `m | t` atoms.
+///
+/// # Example
+///
+/// ```
+/// use pp_presburger::{eliminate_quantifiers, parse};
+///
+/// // Evenness: exists q. x = 2q.
+/// let even = parse("exists q. x = 2 * q").unwrap().formula;
+/// let qf = eliminate_quantifiers(&even);
+/// assert!(qf.is_quantifier_free());
+/// for x in -6i64..=6 {
+///     assert_eq!(qf.eval_qf(&[x]), x % 2 == 0, "x = {x}");
+/// }
+/// ```
+pub fn eliminate_quantifiers(f: &Formula) -> Formula {
+    let out = match f {
+        Formula::Const(_) | Formula::Atom(_) => f.clone(),
+        Formula::Not(g) => eliminate_quantifiers(g).not(),
+        Formula::And(a, b) => eliminate_quantifiers(a).and(eliminate_quantifiers(b)),
+        Formula::Or(a, b) => eliminate_quantifiers(a).or(eliminate_quantifiers(b)),
+        Formula::Exists(v, g) => cooper_exists(*v, &eliminate_quantifiers(g)),
+        Formula::ForAll(v, g) => cooper_exists(*v, &eliminate_quantifiers(g).not()).not(),
+    };
+    simplify(&out)
+}
+
+/// Simplifies a quantifier-free formula: evaluates ground atoms and folds
+/// Boolean constants. (Best-effort; not a canonical form.)
+pub fn simplify(f: &Formula) -> Formula {
+    match f {
+        Formula::Const(_) => f.clone(),
+        Formula::Atom(a) => match a {
+            Atom::Lt(t) if t.is_constant() => Formula::Const(t.constant_term() < 0),
+            Atom::Dvd(m, t) if t.is_constant() => {
+                Formula::Const(t.constant_term().rem_euclid(*m) == 0)
+            }
+            Atom::Dvd(1, _) => Formula::Const(true),
+            _ => f.clone(),
+        },
+        Formula::Not(g) => simplify(g).not(),
+        Formula::And(a, b) => simplify(a).and(simplify(b)),
+        Formula::Or(a, b) => simplify(a).or(simplify(b)),
+        Formula::Exists(v, g) => Formula::Exists(*v, Box::new(simplify(g))),
+        Formula::ForAll(v, g) => Formula::ForAll(*v, Box::new(simplify(g))),
+    }
+}
+
+fn gcd(a: i64, b: i64) -> i64 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
+}
+
+fn lcm(a: i64, b: i64) -> i64 {
+    if a == 0 || b == 0 {
+        a.abs().max(b.abs()).max(1)
+    } else {
+        (a / gcd(a, b)).abs() * b.abs()
+    }
+}
+
+/// Negation normal form with atoms `t < 0`, `m | t`, `¬(m | t)`.
+///
+/// # Panics
+///
+/// Panics on quantifiers (callers eliminate innermost-first).
+fn nnf(f: &Formula, neg: bool) -> Formula {
+    match f {
+        Formula::Const(b) => Formula::Const(*b != neg),
+        Formula::Atom(Atom::Lt(t)) => {
+            if neg {
+                // ¬(t < 0) ⇔ t ≥ 0 ⇔ −t − 1 < 0.
+                Formula::Atom(Atom::Lt(t.scale(-1).offset(-1)))
+            } else {
+                f.clone()
+            }
+        }
+        Formula::Atom(Atom::Dvd(..)) => {
+            if neg {
+                Formula::Not(Box::new(f.clone()))
+            } else {
+                f.clone()
+            }
+        }
+        Formula::Not(g) => nnf(g, !neg),
+        Formula::And(a, b) => {
+            if neg {
+                Formula::Or(Box::new(nnf(a, true)), Box::new(nnf(b, true)))
+            } else {
+                Formula::And(Box::new(nnf(a, false)), Box::new(nnf(b, false)))
+            }
+        }
+        Formula::Or(a, b) => {
+            if neg {
+                Formula::And(Box::new(nnf(a, true)), Box::new(nnf(b, true)))
+            } else {
+                Formula::Or(Box::new(nnf(a, false)), Box::new(nnf(b, false)))
+            }
+        }
+        Formula::Exists(..) | Formula::ForAll(..) => {
+            panic!("nnf applied to a quantified formula")
+        }
+    }
+}
+
+/// Visits every atom, reporting the coefficient of `v`.
+fn for_each_atom(f: &Formula, visit: &mut impl FnMut(&Atom)) {
+    match f {
+        Formula::Const(_) => {}
+        Formula::Atom(a) => visit(a),
+        Formula::Not(g) => for_each_atom(g, visit),
+        Formula::And(a, b) | Formula::Or(a, b) => {
+            for_each_atom(a, visit);
+            for_each_atom(b, visit);
+        }
+        Formula::Exists(_, g) | Formula::ForAll(_, g) => for_each_atom(g, visit),
+    }
+}
+
+/// Rewrites every atom through `map`.
+fn map_atoms(f: &Formula, map: &impl Fn(&Atom) -> Formula) -> Formula {
+    match f {
+        Formula::Const(b) => Formula::Const(*b),
+        Formula::Atom(a) => map(a),
+        Formula::Not(g) => map_atoms(g, map).not(),
+        Formula::And(a, b) => map_atoms(a, map).and(map_atoms(b, map)),
+        Formula::Or(a, b) => map_atoms(a, map).or(map_atoms(b, map)),
+        Formula::Exists(..) | Formula::ForAll(..) => {
+            panic!("map_atoms applied to a quantified formula")
+        }
+    }
+}
+
+/// Eliminates `∃x_v` from the quantifier-free formula `f`.
+fn cooper_exists(v: u32, f: &Formula) -> Formula {
+    debug_assert!(f.is_quantifier_free());
+    let f = nnf(f, false);
+    if !f.free_vars().contains(&v) {
+        return f;
+    }
+
+    // δ = lcm of |coefficients of v|.
+    let mut delta = 1i64;
+    for_each_atom(&f, &mut |a| {
+        let t = match a {
+            Atom::Lt(t) | Atom::Dvd(_, t) => t,
+        };
+        let c = t.coefficient(v);
+        if c != 0 {
+            delta = lcm(delta, c);
+        }
+    });
+
+    // Homogenize: make every v-coefficient ±1 (replacing δ·v by v) and
+    // conjoin δ | v.
+    let homog = map_atoms(&f, &|a| {
+        let (t, mk): (&LinExpr, Box<dyn Fn(LinExpr) -> Formula>) = match a {
+            Atom::Lt(t) => (t, Box::new(|e| Formula::Atom(Atom::Lt(e)))),
+            Atom::Dvd(m, t) => {
+                let m = *m;
+                let c = t.coefficient(v);
+                let lambda = if c == 0 { 1 } else { delta / c.abs() };
+                (t, Box::new(move |e| Formula::Atom(Atom::Dvd(m * lambda, e))))
+            }
+        };
+        let c = t.coefficient(v);
+        if c == 0 {
+            return Formula::Atom(a.clone());
+        }
+        let lambda = delta / c.abs();
+        let scaled = t.scale(lambda); // v-coefficient now ±δ
+        let sign = if c > 0 { 1 } else { -1 };
+        let replaced = scaled
+            .sub(&LinExpr::var_scaled(v, sign * delta))
+            .add(&LinExpr::var_scaled(v, sign));
+        mk(replaced)
+    });
+    let homog = homog.and(Formula::Atom(Atom::Dvd(delta, LinExpr::var(v))));
+
+    // D = lcm of moduli of divisibility atoms mentioning v.
+    let mut d = 1i64;
+    for_each_atom(&homog, &mut |a| {
+        if let Atom::Dvd(m, t) = a {
+            if t.coefficient(v) != 0 {
+                d = lcm(d, *m);
+            }
+        }
+    });
+
+    // Lower-bound terms B: atoms −v + e' < 0 contribute b = t + v.
+    let mut b_terms: Vec<LinExpr> = Vec::new();
+    for_each_atom(&homog, &mut |a| {
+        if let Atom::Lt(t) = a {
+            if t.coefficient(v) == -1 {
+                let b = t.add(&LinExpr::var(v)); // cancels v
+                if !b_terms.contains(&b) {
+                    b_terms.push(b);
+                }
+            }
+        }
+    });
+
+    // F_{−∞}: upper-bound atoms → true, lower-bound atoms → false.
+    let f_minus_inf = map_atoms(&homog, &|a| match a {
+        Atom::Lt(t) if t.coefficient(v) == 1 => Formula::Const(true),
+        Atom::Lt(t) if t.coefficient(v) == -1 => Formula::Const(false),
+        other => Formula::Atom(other.clone()),
+    });
+
+    let mut result = Formula::Const(false);
+    for j in 1..=d {
+        let inst = f_minus_inf.substitute(v, &LinExpr::constant(j));
+        result = result.or(simplify(&inst));
+    }
+    for b in &b_terms {
+        for j in 1..=d {
+            let inst = homog.substitute(v, &b.offset(j));
+            result = result.or(simplify(&inst));
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    /// Checks that QE output agrees with bounded evaluation of the original
+    /// on a grid of assignments. `bound` must dominate witness sizes for
+    /// the formula at the tested assignments.
+    fn check_qe(src: &str, lo: i64, hi: i64, bound: i64) {
+        let parsed = parse(src).unwrap();
+        let qf = eliminate_quantifiers(&parsed.formula);
+        assert!(qf.is_quantifier_free(), "{src} -> {qf}");
+        let k = parsed.vars.len();
+        let mut asg = vec![lo; k];
+        loop {
+            let want = parsed.formula.eval_bounded(&asg, bound);
+            let got = qf.eval_qf(&asg);
+            assert_eq!(got, want, "{src} at {asg:?}\nQF: {qf}");
+            // Advance the odometer.
+            let mut i = 0;
+            loop {
+                if i == k {
+                    return;
+                }
+                asg[i] += 1;
+                if asg[i] <= hi {
+                    break;
+                }
+                asg[i] = lo;
+                i += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn evenness() {
+        check_qe("exists q. x = 2 * q", -8, 8, 20);
+    }
+
+    #[test]
+    fn divisibility_by_three_via_quantifier() {
+        // The paper's ξ_m trick (§4.2): x ≡ y (mod 3) defined with ∃.
+        check_qe("exists z q. x + z = y /\\ q + q + q = z", -5, 5, 40);
+    }
+
+    #[test]
+    fn strict_bound_with_coefficient() {
+        check_qe("exists y. 2 * y < x /\\ x < 2 * y + 4", -6, 6, 20);
+    }
+
+    #[test]
+    fn forall_translates_via_negation() {
+        // ∀y. y ≥ x → y ≥ 3   ⇔   x ≥ 3.
+        check_qe("forall y. y >= x -> y >= 3", -3, 8, 30);
+    }
+
+    #[test]
+    fn alternating_quantifiers() {
+        // ∃a ∀b. b > a → b ≥ x  ⇔ true for any x (pick a = x−1… over ℤ).
+        let parsed = parse("exists a. forall b. b > a -> b >= x").unwrap();
+        let qf = eliminate_quantifiers(&parsed.formula);
+        assert!(qf.is_quantifier_free());
+        for x in -4i64..=4 {
+            assert!(qf.eval_qf(&[x]), "x = {x}");
+        }
+    }
+
+    #[test]
+    fn unsatisfiable_and_valid_sentences() {
+        // ∃x. x < 0 ∧ x > 0 — unsatisfiable sentence.
+        let f = parse("exists x. x < 0 /\\ x > 0").unwrap().formula;
+        assert_eq!(eliminate_quantifiers(&f), Formula::Const(false));
+        // ∃x. x = 5 — valid.
+        let g = parse("exists x. x = 5").unwrap().formula;
+        assert_eq!(eliminate_quantifiers(&g), Formula::Const(true));
+        // ∀x. 2 | x — false.
+        let h = parse("forall x. 2 | x").unwrap().formula;
+        assert_eq!(eliminate_quantifiers(&h), Formula::Const(false));
+        // ∀x. 2 | x \/ 2 | x + 1 — true.
+        let i = parse("forall x. 2 | x \\/ 2 | x + 1").unwrap().formula;
+        assert_eq!(eliminate_quantifiers(&i), Formula::Const(true));
+    }
+
+    #[test]
+    fn interval_projection() {
+        // ∃y. x ≤ y ∧ y ≤ x + 1 ∧ 3 | y  —  "some multiple of 3 in [x, x+1]".
+        check_qe("exists y. x <= y /\\ y <= x + 1 /\\ 3 | y", -7, 7, 30);
+    }
+
+    #[test]
+    fn semilinear_style_membership() {
+        // x ∈ {2 + 3k + 5l : k,l ≥ 0}.
+        check_qe(
+            "exists k l. k >= 0 /\\ l >= 0 /\\ x = 2 + 3 * k + 5 * l",
+            0,
+            20,
+            40,
+        );
+    }
+
+    #[test]
+    fn no_occurrence_quantifier_dropped() {
+        let f = parse("exists y. x < 3").unwrap().formula;
+        let qf = eliminate_quantifiers(&f);
+        assert!(qf.is_quantifier_free());
+        assert!(qf.eval_qf(&[2]));
+        assert!(!qf.eval_qf(&[3]));
+    }
+
+    #[test]
+    fn simplify_folds_ground_atoms() {
+        let f = parse("1 < 2 /\\ 3 | 6").unwrap().formula;
+        assert_eq!(simplify(&f), Formula::Const(true));
+        let g = parse("2 < 1 \\/ 3 | 7").unwrap().formula;
+        assert_eq!(simplify(&g), Formula::Const(false));
+    }
+
+    #[test]
+    fn gcd_lcm_helpers() {
+        assert_eq!(gcd(12, 18), 6);
+        assert_eq!(gcd(-12, 18), 6);
+        assert_eq!(gcd(0, 5), 5);
+        assert_eq!(lcm(4, 6), 12);
+        assert_eq!(lcm(0, 0), 1);
+        assert_eq!(lcm(-4, 6), 12);
+    }
+
+    /// A strategy producing random quantifier-free formulas over variables
+    /// `x0, x1` with small coefficients.
+    fn qf_formula_strategy() -> impl proptest::strategy::Strategy<Value = Formula> {
+        use proptest::prelude::*;
+        let linexpr = (-3i64..=3, -3i64..=3, -4i64..=4).prop_map(|(a, b, c)| {
+            LinExpr::var_scaled(0, a)
+                .add(&LinExpr::var_scaled(1, b))
+                .offset(c)
+        });
+        let atom = prop_oneof![
+            linexpr.clone().prop_map(|e| Formula::Atom(Atom::Lt(e))),
+            (2i64..=4, linexpr).prop_map(|(m, e)| Formula::Atom(Atom::Dvd(m, e))),
+        ];
+        atom.prop_recursive(3, 16, 2, |inner| {
+            prop_oneof![
+                inner.clone().prop_map(Formula::not),
+                (inner.clone(), inner.clone())
+                    .prop_map(|(a, b)| Formula::And(Box::new(a), Box::new(b))),
+                (inner.clone(), inner)
+                    .prop_map(|(a, b)| Formula::Or(Box::new(a), Box::new(b))),
+            ]
+        })
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(48))]
+        #[test]
+        fn prop_qe_of_exists_over_random_qf_bodies(f in qf_formula_strategy()) {
+            // ∃x1. f(x0, x1): eliminate and compare against bounded search.
+            // Coefficients ≤ 3, constants ≤ 4, moduli ≤ 4 over x0 ∈ [-4, 4]
+            // keep witnesses small; ±400 dominates δ·D and every shifted bound.
+            let q = f.clone().exists(1);
+            let qf = eliminate_quantifiers(&q);
+            proptest::prop_assert!(qf.is_quantifier_free());
+            for x0 in -4i64..=4 {
+                let want = q.eval_bounded(&[x0], 400);
+                proptest::prop_assert_eq!(
+                    qf.eval_qf(&[x0]), want, "x0={} f={}", x0, f
+                );
+            }
+        }
+
+        #[test]
+        fn prop_simplify_preserves_semantics(f in qf_formula_strategy()) {
+            let s = simplify(&f);
+            for x0 in -3i64..=3 {
+                for x1 in -3i64..=3 {
+                    proptest::prop_assert_eq!(
+                        s.eval_qf(&[x0, x1]),
+                        f.eval_qf(&[x0, x1]),
+                        "at ({}, {}) f={}", x0, x1, f
+                    );
+                }
+            }
+        }
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(24))]
+        #[test]
+        fn prop_qe_agrees_on_random_linear_projections(
+            a in 1i64..4, b in 1i64..4, c in -5i64..5, m in 2i64..5,
+        ) {
+            // ∃y. a·y ≤ x ∧ x < a·y + b ∧ m | x + c  over x ∈ [-10, 10].
+            let src = format!(
+                "exists y. {a} * y <= x /\\ x < {a} * y + {b} /\\ {m} | x + {c}"
+            );
+            let parsed = parse(&src).unwrap();
+            let qf = eliminate_quantifiers(&parsed.formula);
+            proptest::prop_assert!(qf.is_quantifier_free());
+            for x in -10i64..=10 {
+                let want = parsed.formula.eval_bounded(&[x], 30);
+                proptest::prop_assert_eq!(qf.eval_qf(&[x]), want, "x={} src={}", x, src);
+            }
+        }
+    }
+}

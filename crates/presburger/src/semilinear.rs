@@ -1,0 +1,328 @@
+//! Linear and semilinear sets, the Parikh map, and the Ginsburg–Spanier
+//! bridge to Presburger formulas.
+//!
+//! A set `L ⊆ ℕᵏ` is *linear* if `L = {v₀ + κ₁v₁ + … + κₘvₘ : κᵢ ∈ ℕ}` and
+//! *semilinear* if it is a finite union of linear sets. Theorem 3 (Ginsburg
+//! and Spanier): a subset of `ℕᵏ` is semilinear iff it is Presburger-
+//! definable. Corollary 4 of the paper then gives: a symmetric language is
+//! accepted by a population protocol if its Parikh image is semilinear —
+//! realized here by [`SemilinearSet::to_formula`] followed by quantifier
+//! elimination and compilation.
+
+use crate::formula::{Formula, LinExpr};
+
+/// A linear set `{base + Σ κᵢ·periods[i] : κᵢ ∈ ℕ} ⊆ ℕᵏ`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinearSet {
+    base: Vec<u64>,
+    periods: Vec<Vec<u64>>,
+}
+
+impl LinearSet {
+    /// Creates a linear set with the given base vector and period vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any period's dimension differs from the base's.
+    pub fn new(base: Vec<u64>, periods: Vec<Vec<u64>>) -> Self {
+        for p in &periods {
+            assert_eq!(p.len(), base.len(), "period dimension mismatch");
+        }
+        Self { base, periods }
+    }
+
+    /// Dimension `k`.
+    pub fn dim(&self) -> usize {
+        self.base.len()
+    }
+
+    /// The base vector `v₀`.
+    pub fn base(&self) -> &[u64] {
+        &self.base
+    }
+
+    /// The period vectors `v₁ … vₘ`.
+    pub fn periods(&self) -> &[Vec<u64>] {
+        &self.periods
+    }
+
+    /// Membership: does some `κ ∈ ℕᵐ` satisfy `base + Σ κᵢ pᵢ = v`?
+    ///
+    /// Solved by depth-first search with per-period bounds; exponential in
+    /// the worst case (membership in a linear set is NP-hard in general)
+    /// but fast for the small instances used in protocol work.
+    pub fn contains(&self, v: &[u64]) -> bool {
+        assert_eq!(v.len(), self.dim(), "dimension mismatch");
+        // Residual after subtracting the base.
+        let mut residual = Vec::with_capacity(v.len());
+        for (x, b) in v.iter().zip(&self.base) {
+            match x.checked_sub(*b) {
+                Some(r) => residual.push(r),
+                None => return false,
+            }
+        }
+        self.search(&residual, 0)
+    }
+
+    fn search(&self, residual: &[u64], from: usize) -> bool {
+        if residual.iter().all(|&r| r == 0) {
+            return true;
+        }
+        if from == self.periods.len() {
+            return false;
+        }
+        let p = &self.periods[from];
+        // Max multiplicity of this period.
+        let mut max_k = u64::MAX;
+        for (r, &pi) in residual.iter().zip(p) {
+            if let Some(q) = r.checked_div(pi) {
+                max_k = max_k.min(q);
+            }
+        }
+        if max_k == u64::MAX {
+            // Zero period vector: contributes nothing.
+            return self.search(residual, from + 1);
+        }
+        let mut reduced = residual.to_vec();
+        for k in 0..=max_k {
+            if k > 0 {
+                for (r, &pi) in reduced.iter_mut().zip(p) {
+                    *r -= pi; // safe: k ≤ max_k
+                }
+            }
+            if self.search(&reduced, from + 1) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// The defining Presburger formula with free variables `0..k`:
+    /// `∃κ₁…κₘ ≥ 0. ⋀ᵢ xᵢ = v₀ᵢ + Σⱼ κⱼ·vⱼᵢ`.
+    pub fn to_formula(&self) -> Formula {
+        let k = self.dim() as u32;
+        let m = self.periods.len() as u32;
+        // κ_j are variables k..k+m.
+        let mut body = Formula::Const(true);
+        for j in 0..m {
+            body = body.and(Formula::ge(LinExpr::var(k + j), LinExpr::constant(0)));
+        }
+        for i in 0..k {
+            let mut rhs = LinExpr::constant(
+                i64::try_from(self.base[i as usize]).expect("base too large"),
+            );
+            for j in 0..m {
+                let c = i64::try_from(self.periods[j as usize][i as usize])
+                    .expect("period too large");
+                rhs = rhs.add(&LinExpr::var_scaled(k + j, c));
+            }
+            body = body.and(Formula::eq(LinExpr::var(i), rhs));
+        }
+        for j in (0..m).rev() {
+            body = body.exists(k + j);
+        }
+        body
+    }
+}
+
+/// A semilinear set: a finite union of [`LinearSet`]s of equal dimension.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SemilinearSet {
+    components: Vec<LinearSet>,
+}
+
+impl SemilinearSet {
+    /// Creates a semilinear set from its linear components.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the components have mismatched dimensions or the list is
+    /// empty (use an empty linear component `{}`? — represent the empty set
+    /// as zero components of explicit dimension via
+    /// [`SemilinearSet::empty`]).
+    pub fn new(components: Vec<LinearSet>) -> Self {
+        assert!(!components.is_empty(), "use SemilinearSet::empty for the empty set");
+        let k = components[0].dim();
+        for c in &components {
+            assert_eq!(c.dim(), k, "component dimension mismatch");
+        }
+        Self { components }
+    }
+
+    /// The empty semilinear set of dimension `k` (no components; `k` is
+    /// only recorded implicitly by membership queries).
+    pub fn empty() -> Self {
+        Self { components: Vec::new() }
+    }
+
+    /// The linear components.
+    pub fn components(&self) -> &[LinearSet] {
+        &self.components
+    }
+
+    /// Membership in any component.
+    pub fn contains(&self, v: &[u64]) -> bool {
+        self.components.iter().any(|c| c.contains(v))
+    }
+
+    /// Union with another semilinear set.
+    #[must_use]
+    pub fn union(&self, other: &Self) -> Self {
+        let mut components = self.components.clone();
+        components.extend(other.components.iter().cloned());
+        Self { components }
+    }
+
+    /// The defining Presburger formula (disjunction of component formulas);
+    /// `false` for the empty set.
+    pub fn to_formula(&self) -> Formula {
+        self.components
+            .iter()
+            .fold(Formula::Const(false), |acc, c| acc.or(c.to_formula()))
+    }
+}
+
+impl FromIterator<LinearSet> for SemilinearSet {
+    fn from_iter<T: IntoIterator<Item = LinearSet>>(iter: T) -> Self {
+        Self { components: iter.into_iter().collect() }
+    }
+}
+
+/// The Parikh map `Ψ` (§3.5): counts the occurrences of each alphabet
+/// symbol in a word. Symmetric languages are exactly the inverse images of
+/// their Parikh images, which is why population protocols can "accept" them
+/// (Lemma 2).
+///
+/// # Panics
+///
+/// Panics if the word contains a symbol not in `alphabet`.
+///
+/// # Example
+///
+/// ```
+/// use pp_presburger::parikh;
+///
+/// assert_eq!(parikh("abba".chars(), &['a', 'b']), vec![2, 2]);
+/// ```
+pub fn parikh<T: PartialEq + std::fmt::Debug>(
+    word: impl IntoIterator<Item = T>,
+    alphabet: &[T],
+) -> Vec<u64> {
+    let mut counts = vec![0u64; alphabet.len()];
+    for sym in word {
+        let i = alphabet
+            .iter()
+            .position(|a| *a == sym)
+            .unwrap_or_else(|| panic!("symbol {sym:?} not in alphabet"));
+        counts[i] += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qe::eliminate_quantifiers;
+
+    #[test]
+    fn linear_membership_basics() {
+        // {(1,0) + k(2,1) + l(0,3)}.
+        let l = LinearSet::new(vec![1, 0], vec![vec![2, 1], vec![0, 3]]);
+        assert!(l.contains(&[1, 0]));
+        assert!(l.contains(&[3, 1]));
+        assert!(l.contains(&[3, 4])); // k=1, l=1
+        assert!(l.contains(&[1, 3])); // l=1
+        assert!(!l.contains(&[0, 0]));
+        assert!(!l.contains(&[2, 0]));
+        assert!(!l.contains(&[3, 2]));
+    }
+
+    #[test]
+    fn zero_period_handled() {
+        let l = LinearSet::new(vec![2], vec![vec![0]]);
+        assert!(l.contains(&[2]));
+        assert!(!l.contains(&[3]));
+    }
+
+    #[test]
+    fn no_periods_is_singleton() {
+        let l = LinearSet::new(vec![4, 2], vec![]);
+        assert!(l.contains(&[4, 2]));
+        assert!(!l.contains(&[4, 3]));
+    }
+
+    #[test]
+    fn semilinear_union_and_empty() {
+        let evens = LinearSet::new(vec![0], vec![vec![2]]);
+        let ones = LinearSet::new(vec![1], vec![]);
+        let s = SemilinearSet::new(vec![evens, ones]);
+        assert!(s.contains(&[0]));
+        assert!(s.contains(&[1]));
+        assert!(s.contains(&[6]));
+        assert!(!s.contains(&[3]));
+        assert!(!SemilinearSet::empty().contains(&[0]));
+        let u = s.union(&SemilinearSet::new(vec![LinearSet::new(vec![3], vec![])]));
+        assert!(u.contains(&[3]));
+    }
+
+    #[test]
+    fn formula_agrees_with_membership() {
+        // Ginsburg–Spanier, checked by brute force on a grid.
+        let l = LinearSet::new(vec![1, 0], vec![vec![2, 1], vec![0, 3]]);
+        let f = l.to_formula();
+        let qf = eliminate_quantifiers(&f);
+        assert!(qf.is_quantifier_free());
+        for x in 0u64..8 {
+            for y in 0u64..8 {
+                assert_eq!(
+                    qf.eval_qf(&[x as i64, y as i64]),
+                    l.contains(&[x, y]),
+                    "({x},{y})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn semilinear_formula_is_union() {
+        let s = SemilinearSet::new(vec![
+            LinearSet::new(vec![0], vec![vec![2]]),
+            LinearSet::new(vec![3], vec![]),
+        ]);
+        let qf = eliminate_quantifiers(&s.to_formula());
+        for x in 0u64..10 {
+            assert_eq!(qf.eval_qf(&[x as i64]), s.contains(&[x]), "x={x}");
+        }
+        assert_eq!(
+            eliminate_quantifiers(&SemilinearSet::empty().to_formula()),
+            Formula::Const(false)
+        );
+    }
+
+    #[test]
+    fn parikh_counts_symbols() {
+        assert_eq!(parikh("aabca".chars(), &['a', 'b', 'c']), vec![3, 1, 1]);
+        assert_eq!(parikh(Vec::<char>::new(), &['a']), vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in alphabet")]
+    fn parikh_rejects_unknown_symbols() {
+        parikh("xyz".chars(), &['a']);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(32))]
+        #[test]
+        fn prop_generated_points_are_members(
+            b0 in 0u64..4, b1 in 0u64..4,
+            p0 in 0u64..4, p1 in 0u64..4,
+            q0 in 0u64..4, q1 in 0u64..4,
+            k in 0u64..5, l in 0u64..5,
+        ) {
+            let lin = LinearSet::new(vec![b0, b1], vec![vec![p0, p1], vec![q0, q1]]);
+            let v = [b0 + k * p0 + l * q0, b1 + k * p1 + l * q1];
+            proptest::prop_assert!(lin.contains(&v));
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Stress tests for Cooper quantifier elimination: known Presburger facts
+//! whose proofs require non-trivial quantifier reasoning.
+
+use pp_presburger::{eliminate_quantifiers, parse, Formula};
+
+fn decide_sentence(src: &str) -> bool {
+    let f = parse(src).unwrap().formula;
+    assert!(f.free_vars().is_empty(), "{src} must be a sentence");
+    match eliminate_quantifiers(&f) {
+        Formula::Const(b) => b,
+        other => other.eval_qf(&[]),
+    }
+}
+
+#[test]
+fn chicken_mcnugget_for_3_and_5() {
+    // Every integer ≥ 8 is 3a + 5b with a, b ≥ 0; 7 is not.
+    assert!(decide_sentence(
+        "forall x. x >= 8 -> (exists a b. a >= 0 /\\ b >= 0 /\\ x = 3 * a + 5 * b)"
+    ));
+    assert!(!decide_sentence(
+        "exists a b. a >= 0 /\\ b >= 0 /\\ 7 = 3 * a + 5 * b"
+    ));
+}
+
+#[test]
+fn division_algorithm() {
+    // ∀x ∃q r. x = 3q + r ∧ 0 ≤ r < 3.
+    assert!(decide_sentence(
+        "forall x. exists q r. x = 3 * q + r /\\ r >= 0 /\\ r < 3"
+    ));
+    // …and the remainder is unique: no x has two distinct remainders.
+    assert!(decide_sentence(
+        "forall x. !(exists q1 r1 q2 r2. \
+            x = 3 * q1 + r1 /\\ r1 >= 0 /\\ r1 < 3 /\\ \
+            x = 3 * q2 + r2 /\\ r2 >= 0 /\\ r2 < 3 /\\ r1 != r2)"
+    ));
+}
+
+#[test]
+fn density_and_discreteness() {
+    // The integers are discrete: nothing strictly between 0 and 1.
+    assert!(!decide_sentence("exists x. 0 < x /\\ x < 1"));
+    // But between any x and x+2 there is something.
+    assert!(decide_sentence("forall x. exists y. x < y /\\ y < x + 2"));
+}
+
+#[test]
+fn parity_dichotomy_and_exclusivity() {
+    assert!(decide_sentence("forall x. (2 | x) \\/ (2 | x + 1)"));
+    assert!(!decide_sentence("exists x. (2 | x) /\\ (2 | x + 1)"));
+}
+
+#[test]
+fn crt_for_coprime_moduli() {
+    // Chinese remainder: residues mod 2 and mod 3 can be chosen freely.
+    assert!(decide_sentence(
+        "forall a b. exists x. x = a mod 2 /\\ x = b mod 3"
+    ));
+    // But not for non-coprime moduli: x ≡ 0 (mod 2) ∧ x ≡ 1 (mod 4) is
+    // unsatisfiable.
+    assert!(!decide_sentence("exists x. x = 0 mod 2 /\\ x = 1 mod 4"));
+}
+
+#[test]
+fn three_quantifier_alternations() {
+    // ∀x ∃y ∀z. z > y → z > x  (pick y = x).
+    assert!(decide_sentence("forall x. exists y. forall z. z > y -> z > x"));
+    // ∃x ∀y ∃z. y < z ∧ z < y + 2 ∧ x < z — false? z = y + 1 works for any
+    // y > x − 1... for fixed x choose y ≤ x − 1: then z = y + 1 ≤ x fails
+    // x < z. Need z > x and y < z < y + 2 → z = y + 1 > x → y ≥ x; but y
+    // is universal, so false.
+    assert!(!decide_sentence(
+        "exists x. forall y. exists z. y < z /\\ z < y + 2 /\\ x < z"
+    ));
+}
+
+#[test]
+fn frobenius_boundary_via_free_variable() {
+    // As a predicate on x: representable(x) by 3s and 5s; check the gap
+    // set {1, 2, 4, 7} exactly, over 0..=20.
+    let parsed = parse("exists a b. a >= 0 /\\ b >= 0 /\\ x = 3 * a + 5 * b").unwrap();
+    let qf = eliminate_quantifiers(&parsed.formula);
+    assert!(qf.is_quantifier_free());
+    for x in 0i64..=20 {
+        let representable = ![1, 2, 4, 7].contains(&x);
+        assert_eq!(qf.eval_qf(&[x]), representable, "x = {x}");
+    }
+}

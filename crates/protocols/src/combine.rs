@@ -1,0 +1,224 @@
+//! Protocol combinators: the Lemma 3 parallel product and output mapping.
+//!
+//! Lemma 3: if `A` stably computes `F` and `B` stably computes `G` (same
+//! input alphabet), then for any 2-place Boolean function `ξ`, the parallel
+//! composition with output `ξ(O_A, O_B)` stably computes `ξ(F, G)`.
+//! Corollary 2 extends this to arbitrary Boolean formulas by iteration —
+//! the route by which Theorem 5 assembles Presburger predicates from the
+//! Lemma 5 atoms.
+
+use std::fmt;
+use std::fmt::Debug;
+use std::hash::Hash;
+use std::marker::PhantomData;
+
+use pp_core::Protocol;
+
+/// The Lemma 3 parallel product of two protocols sharing an input alphabet,
+/// with outputs combined by `ξ`.
+///
+/// Each agent runs both protocols side by side: the state is the pair of
+/// component states and one interaction performs one interaction of each
+/// component.
+///
+/// # Example
+///
+/// "More 1s than 0s AND an odd number of 1s":
+///
+/// ```
+/// use pp_core::prelude::*;
+/// use pp_protocols::{majority, parity, ProductProtocol};
+///
+/// let both = ProductProtocol::new(majority(), parity(), |&a: &bool, &b: &bool| a && b);
+/// let mut sim = Simulation::from_counts(both, [(0usize, 4), (1usize, 7)]);
+/// let mut rng = seeded_rng(2);
+/// assert!(sim.measure_stabilization(&true, 400_000, &mut rng).converged());
+/// ```
+#[derive(Clone, Copy)]
+pub struct ProductProtocol<A, B, C, Y> {
+    a: A,
+    b: B,
+    combine: C,
+    _marker: PhantomData<fn() -> Y>,
+}
+
+impl<A, B, C, Y> ProductProtocol<A, B, C, Y>
+where
+    A: Protocol,
+    B: Protocol<Input = A::Input>,
+    C: Fn(&A::Output, &B::Output) -> Y,
+{
+    /// Composes `a` and `b` in parallel, combining outputs with `combine`.
+    pub fn new(a: A, b: B, combine: C) -> Self {
+        Self { a, b, combine, _marker: PhantomData }
+    }
+
+    /// The first component protocol.
+    pub fn first(&self) -> &A {
+        &self.a
+    }
+
+    /// The second component protocol.
+    pub fn second(&self) -> &B {
+        &self.b
+    }
+}
+
+impl<A: Debug, B: Debug, C, Y> Debug for ProductProtocol<A, B, C, Y> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ProductProtocol")
+            .field("a", &self.a)
+            .field("b", &self.b)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<A, B, C, Y> Protocol for ProductProtocol<A, B, C, Y>
+where
+    A: Protocol,
+    B: Protocol<Input = A::Input>,
+    C: Fn(&A::Output, &B::Output) -> Y,
+    Y: Clone + Eq + Hash + Debug,
+{
+    type State = (A::State, B::State);
+    type Input = A::Input;
+    type Output = Y;
+
+    fn input(&self, x: &A::Input) -> Self::State {
+        (self.a.input(x), self.b.input(x))
+    }
+
+    fn output(&self, (qa, qb): &Self::State) -> Y {
+        (self.combine)(&self.a.output(qa), &self.b.output(qb))
+    }
+
+    fn delta(&self, (pa, pb): &Self::State, (qa, qb): &Self::State) -> (Self::State, Self::State) {
+        let (pa2, qa2) = self.a.delta(pa, qa);
+        let (pb2, qb2) = self.b.delta(pb, qb);
+        ((pa2, pb2), (qa2, qb2))
+    }
+}
+
+/// Post-composes a protocol's output function with `f` — e.g. negation,
+/// giving Boolean closure under `¬` without touching the transition
+/// structure.
+///
+/// # Example
+///
+/// ```
+/// use pp_core::Protocol;
+/// use pp_protocols::combine::MapOutput;
+/// use pp_protocols::majority;
+///
+/// // "At most as many 1s as 0s" = NOT majority.
+/// let not_majority = MapOutput::new(majority(), |&b: &bool| !b);
+/// let s = not_majority.input(&0usize);
+/// assert_eq!(not_majority.output(&s), true);
+/// ```
+#[derive(Clone, Copy)]
+pub struct MapOutput<P, F, Y> {
+    inner: P,
+    f: F,
+    _marker: PhantomData<fn() -> Y>,
+}
+
+impl<P, F, Y> MapOutput<P, F, Y>
+where
+    P: Protocol,
+    F: Fn(&P::Output) -> Y,
+{
+    /// Wraps `inner`, mapping each output through `f`.
+    pub fn new(inner: P, f: F) -> Self {
+        Self { inner, f, _marker: PhantomData }
+    }
+
+    /// The wrapped protocol.
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+}
+
+impl<P: Debug, F, Y> Debug for MapOutput<P, F, Y> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MapOutput").field("inner", &self.inner).finish_non_exhaustive()
+    }
+}
+
+impl<P, F, Y> Protocol for MapOutput<P, F, Y>
+where
+    P: Protocol,
+    F: Fn(&P::Output) -> Y,
+    Y: Clone + Eq + Hash + Debug,
+{
+    type State = P::State;
+    type Input = P::Input;
+    type Output = Y;
+
+    fn input(&self, x: &P::Input) -> P::State {
+        self.inner.input(x)
+    }
+
+    fn output(&self, q: &P::State) -> Y {
+        (self.f)(&self.inner.output(q))
+    }
+
+    fn delta(&self, p: &P::State, q: &P::State) -> (P::State, P::State) {
+        self.inner.delta(p, q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::majority::{majority, parity};
+    use pp_core::{seeded_rng, Simulation};
+
+    #[test]
+    fn product_projections_are_component_transitions() {
+        let prod = ProductProtocol::new(majority(), parity(), |&a: &bool, &b: &bool| (a, b));
+        let p = prod.input(&1usize);
+        let q = prod.input(&0usize);
+        let ((pa2, pb2), (qa2, qb2)) = prod.delta(&p, &q);
+        let (ea, eqa) = majority().delta(&p.0, &q.0);
+        let (eb, eqb) = parity().delta(&p.1, &q.1);
+        assert_eq!((pa2, qa2), (ea, eqa));
+        assert_eq!((pb2, qb2), (eb, eqb));
+    }
+
+    #[test]
+    fn and_of_majority_and_parity() {
+        let mut rng = seeded_rng(5);
+        // 7 ones vs 4 zeros: majority yes, odd yes → true.
+        let mk = || ProductProtocol::new(majority(), parity(), |&a: &bool, &b: &bool| a && b);
+        let mut sim = Simulation::from_counts(mk(), [(0usize, 4), (1usize, 7)]);
+        assert!(sim.measure_stabilization(&true, 300_000, &mut rng).converged());
+        // 8 ones vs 4 zeros: majority yes, odd no → false.
+        let mut sim = Simulation::from_counts(mk(), [(0usize, 4), (1usize, 8)]);
+        assert!(sim.measure_stabilization(&false, 300_000, &mut rng).converged());
+    }
+
+    #[test]
+    fn xor_combination() {
+        let mut rng = seeded_rng(6);
+        let mk = || ProductProtocol::new(majority(), parity(), |&a: &bool, &b: &bool| a ^ b);
+        // 3 ones vs 5 zeros: majority no, odd yes → true.
+        let mut sim = Simulation::from_counts(mk(), [(0usize, 5), (1usize, 3)]);
+        assert!(sim.measure_stabilization(&true, 300_000, &mut rng).converged());
+    }
+
+    #[test]
+    fn map_output_negates() {
+        let mut rng = seeded_rng(7);
+        let not_major = MapOutput::new(majority(), |&b: &bool| !b);
+        let mut sim = Simulation::from_counts(not_major, [(0usize, 6), (1usize, 5)]);
+        assert!(sim.measure_stabilization(&true, 300_000, &mut rng).converged());
+    }
+
+    #[test]
+    fn debug_impls_are_nonempty() {
+        let prod = ProductProtocol::new(majority(), parity(), |&a: &bool, &b: &bool| a && b);
+        assert!(!format!("{prod:?}").is_empty());
+        let m = MapOutput::new(majority(), |&b: &bool| !b);
+        assert!(!format!("{m:?}").is_empty());
+    }
+}

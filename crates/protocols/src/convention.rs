@@ -1,0 +1,209 @@
+//! The Theorem 2 output-convention transformation.
+//!
+//! Theorem 2: a predicate is stably computable under the *all-agents*
+//! output convention iff it is stably computable under the weaker
+//! *zero/non-zero* convention (`false` iff every agent outputs 0). The
+//! interesting direction wraps a zero/non-zero protocol `B` with a leader
+//! subprotocol that monitors `B`'s outputs and distributes the correct bit:
+//! leadership is handed to an agent whose `B`-output is 1 whenever one
+//! exists, the leader's bit follows its own `B`-output, and non-leaders
+//! copy the bit of the last leader they met.
+
+use pp_core::Protocol;
+
+/// State of [`AllAgentsAdapter`]: a leader bit, a distributed output bit,
+/// and the wrapped protocol's state.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct AdapterState<S> {
+    /// Leader bit `ℓ`.
+    pub leader: bool,
+    /// Output bit `b` distributed by leaders.
+    pub out: bool,
+    /// Embedded state of the wrapped protocol `B`.
+    pub inner: S,
+}
+
+/// Wraps a protocol `B` that stably computes a predicate under the
+/// zero/non-zero convention into a protocol that stably computes the same
+/// predicate under the all-agents convention (Theorem 2).
+///
+/// # Example
+///
+/// The "epidemic" protocol (any agent with input 1 infects nobody — in
+/// fact it does nothing at all!) computes "some input is 1" under the
+/// zero/non-zero convention. The adapter turns it into an all-agents
+/// protocol:
+///
+/// ```
+/// use pp_core::prelude::*;
+/// use pp_protocols::AllAgentsAdapter;
+///
+/// // B: output = own input; zero/non-zero verdict = "any 1 input?".
+/// let b = FnProtocol::new(|&x: &bool| x, |&q: &bool| q, |&p: &bool, &q: &bool| (p, q));
+/// let a = AllAgentsAdapter::new(b);
+/// let mut sim = Simulation::from_counts(a, [(true, 1), (false, 30)]);
+/// let mut rng = seeded_rng(9);
+/// // Now *every* agent converges to output 1.
+/// assert!(sim.measure_stabilization(&true, 300_000, &mut rng).converged());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AllAgentsAdapter<B> {
+    inner: B,
+}
+
+impl<B> AllAgentsAdapter<B>
+where
+    B: Protocol<Output = bool>,
+{
+    /// Wraps `inner`, which must stably compute its predicate under the
+    /// zero/non-zero output convention.
+    pub fn new(inner: B) -> Self {
+        Self { inner }
+    }
+
+    /// The wrapped protocol.
+    pub fn inner(&self) -> &B {
+        &self.inner
+    }
+}
+
+impl<B> Protocol for AllAgentsAdapter<B>
+where
+    B: Protocol<Output = bool>,
+{
+    type State = AdapterState<B::State>;
+    type Input = B::Input;
+    type Output = bool;
+
+    /// Initially `ℓ = 1`, `b = 0`, inner state per `B`'s input map.
+    fn input(&self, x: &B::Input) -> Self::State {
+        AdapterState { leader: true, out: false, inner: self.inner.input(x) }
+    }
+
+    fn output(&self, q: &Self::State) -> bool {
+        q.out
+    }
+
+    fn delta(&self, p: &Self::State, q: &Self::State) -> (Self::State, Self::State) {
+        // 1. Advance the embedded B computation.
+        let (ip, iq) = self.inner.delta(&p.inner, &q.inner);
+        let (op, oq) = (self.inner.output(&ip), self.inner.output(&iq));
+
+        // 2. Resolve leadership.
+        let (mut lp, mut lq) = (p.leader, q.leader);
+        if lp && lq {
+            // Usual leader election: the responder demotes itself.
+            lq = false;
+        } else if lp && !lq && !op && oq {
+            // Leader with B-output 0 meets non-leader with B-output 1: swap.
+            (lp, lq) = (false, true);
+        } else if lq && !lp && !oq && op {
+            (lp, lq) = (true, false);
+        }
+
+        // 3. Distribute output bits: a leader's bit follows its own
+        //    B-output; a non-leader copies the bit of a leader it meets.
+        let (mut bp, mut bq) = (p.out, q.out);
+        if lp {
+            bp = op;
+            bq = bp;
+        } else if lq {
+            bq = oq;
+            bp = bq;
+        }
+
+        (
+            AdapterState { leader: lp, out: bp, inner: ip },
+            AdapterState { leader: lq, out: bq, inner: iq },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_core::{seeded_rng, FnProtocol, Simulation};
+
+    /// B computes "at least one input is 1" under zero/non-zero: each agent
+    /// simply outputs its own (remembered) input, never changing state.
+    fn witness() -> impl Protocol<State = bool, Input = bool, Output = bool> {
+        FnProtocol::new(|&x: &bool| x, |&q: &bool| q, |&p: &bool, &q: &bool| (p, q))
+    }
+
+    #[test]
+    fn positive_instance_spreads_one() {
+        let mut sim =
+            Simulation::from_counts(AllAgentsAdapter::new(witness()), [(true, 2), (false, 40)]);
+        let mut rng = seeded_rng(1);
+        let rep = sim.measure_stabilization(&true, 500_000, &mut rng);
+        assert!(rep.converged());
+    }
+
+    #[test]
+    fn negative_instance_spreads_zero() {
+        let mut sim =
+            Simulation::from_counts(AllAgentsAdapter::new(witness()), [(false, 42)]);
+        let mut rng = seeded_rng(2);
+        let rep = sim.measure_stabilization(&false, 500_000, &mut rng);
+        assert!(rep.converged());
+    }
+
+    #[test]
+    fn leadership_transfers_to_a_one_agent() {
+        let a = AllAgentsAdapter::new(witness());
+        // Leader with B-output 0 (initiator) meets non-leader with B-output 1.
+        let leader0 = AdapterState { leader: true, out: false, inner: false };
+        let plain1 = AdapterState { leader: false, out: false, inner: true };
+        let (x, y) = a.delta(&leader0, &plain1);
+        assert!(!x.leader && y.leader, "leadership must swap");
+        assert!(y.out, "new leader's bit follows its B-output 1");
+        assert!(x.out, "demoted agent copies the new leader's bit");
+        // And in the mirrored roles.
+        let (x, y) = a.delta(&plain1, &leader0);
+        assert!(x.leader && !y.leader);
+        assert!(x.out && y.out);
+    }
+
+    #[test]
+    fn two_leaders_merge() {
+        let a = AllAgentsAdapter::new(witness());
+        let l1 = AdapterState { leader: true, out: false, inner: false };
+        let l2 = AdapterState { leader: true, out: true, inner: false };
+        let (x, y) = a.delta(&l1, &l2);
+        assert!(x.leader && !y.leader);
+    }
+
+    #[test]
+    fn leader_count_never_zero_nor_increasing() {
+        let a = AllAgentsAdapter::new(witness());
+        for &(lp, ip) in &[(true, true), (true, false), (false, true), (false, false)] {
+            for &(lq, iq) in &[(true, true), (true, false), (false, true), (false, false)] {
+                let p = AdapterState { leader: lp, out: false, inner: ip };
+                let q = AdapterState { leader: lq, out: false, inner: iq };
+                let (x, y) = a.delta(&p, &q);
+                let before = usize::from(lp) + usize::from(lq);
+                let after = usize::from(x.leader) + usize::from(y.leader);
+                assert!(after <= before.max(1), "leaders grew: {p:?} {q:?}");
+                if before >= 1 {
+                    assert!(after >= 1, "leaders vanished: {p:?} {q:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn works_with_a_real_computation() {
+        // B = "some agent saw input 1", via epidemic under zero/non-zero:
+        // infected agents spread. (Epidemic actually stabilizes all-agents
+        // anyway; the adapter must not break it.)
+        let epidemic = FnProtocol::new(
+            |&x: &bool| x,
+            |&q: &bool| q,
+            |&p: &bool, &q: &bool| (p || q, p || q),
+        );
+        let mut sim =
+            Simulation::from_counts(AllAgentsAdapter::new(epidemic), [(true, 1), (false, 25)]);
+        let mut rng = seeded_rng(3);
+        assert!(sim.measure_stabilization(&true, 400_000, &mut rng).converged());
+    }
+}

@@ -1,0 +1,258 @@
+//! The §1 "flock of birds" protocols: absolute and relative count
+//! thresholds.
+
+use pp_core::Protocol;
+
+use crate::linear::{LinState, LinearProtocolError, ThresholdProtocol};
+
+/// Count-to-`k`: stably computes "at least `k` agents have input `1`"
+/// (the paper's opening scenario with `k = 5`, formalized in §3.1).
+///
+/// States are `q₀ … q_k`; `q_k` is the alert state, copied by everyone.
+/// Transitions: `δ(qᵢ, qⱼ) = (q_{i+j}, q₀)` if `i + j < k`, else
+/// `(q_k, q_k)`.
+///
+/// # Example
+///
+/// ```
+/// use pp_core::prelude::*;
+/// use pp_protocols::CountThreshold;
+///
+/// let mut sim = Simulation::from_counts(CountThreshold::new(5), [(true, 6), (false, 94)]);
+/// let mut rng = seeded_rng(3);
+/// let rep = sim.measure_stabilization(&true, 300_000, &mut rng);
+/// assert!(rep.converged());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CountThreshold {
+    k: u32,
+}
+
+impl CountThreshold {
+    /// Creates the count-to-`k` protocol.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` (the predicate would be constantly true and needs
+    /// no counting).
+    pub fn new(k: u32) -> Self {
+        assert!(k >= 1, "threshold k must be at least 1");
+        Self { k }
+    }
+
+    /// The threshold `k`.
+    pub fn threshold(&self) -> u32 {
+        self.k
+    }
+
+    /// Ground truth: is the number of `true` inputs at least `k`?
+    pub fn eval(&self, ones: u64) -> bool {
+        ones >= u64::from(self.k)
+    }
+}
+
+impl Protocol for CountThreshold {
+    /// `0 ..= k`, with `k` the alert state.
+    type State = u32;
+    type Input = bool;
+    type Output = bool;
+
+    fn input(&self, &b: &bool) -> u32 {
+        u32::from(b)
+    }
+
+    fn output(&self, &q: &u32) -> bool {
+        q == self.k
+    }
+
+    fn delta(&self, &p: &u32, &q: &u32) -> (u32, u32) {
+        if p + q >= self.k {
+            (self.k, self.k)
+        } else {
+            (p + q, 0)
+        }
+    }
+}
+
+/// Relative threshold: stably computes "at least `num/den` of the agents
+/// have input `1`" — the paper's "do at least 5% of the birds have elevated
+/// temperatures?" question (§1, §4.2 example).
+///
+/// With `x₀` normal and `x₁` elevated agents, the predicate
+/// `x₁ ≥ (num/den)(x₀ + x₁)` rearranges exactly to the Lemma 5 threshold
+/// `num·x₀ + (num − den)·x₁ < 1`, so this type is a thin input-relabeling
+/// wrapper around [`ThresholdProtocol`].
+///
+/// # Example
+///
+/// ```
+/// use pp_protocols::PercentThreshold;
+///
+/// // "At least 5% elevated" = 1/20.
+/// let p = PercentThreshold::new(1, 20).unwrap();
+/// assert!(p.eval(19, 1));   // exactly 5%
+/// assert!(!p.eval(20, 1));  // just below
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PercentThreshold {
+    inner: ThresholdProtocol,
+    num: i64,
+    den: i64,
+}
+
+impl PercentThreshold {
+    /// Creates the protocol for "at least `num/den` of the agents are `1`".
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `den == 0` or `num > den` (an unsatisfiable
+    /// fraction above 1) — both indicate a caller bug surfaced as
+    /// [`LinearProtocolError`].
+    pub fn new(num: i64, den: i64) -> Result<Self, LinearProtocolError> {
+        if den <= 0 || num < 0 || num > den {
+            // Reuse the library error type; a fraction outside [0, 1] has no
+            // meaningful coefficient encoding.
+            return Err(LinearProtocolError::EmptyCoefficients);
+        }
+        // x1·den ≥ num·(x0+x1)  ⇔  num·x0 + (num−den)·x1 ≤ 0
+        //                       ⇔  num·x0 + (num−den)·x1 < 1.
+        let inner = ThresholdProtocol::new(vec![num, num - den], 1)?;
+        Ok(Self { inner, num, den })
+    }
+
+    /// Ground truth on `(normal, elevated)` counts.
+    pub fn eval(&self, x0: u64, x1: u64) -> bool {
+        let x0 = i64::try_from(x0).expect("count too large");
+        let x1 = i64::try_from(x1).expect("count too large");
+        x1 * self.den >= self.num * (x0 + x1)
+    }
+}
+
+impl Protocol for PercentThreshold {
+    type State = LinState;
+    type Input = bool;
+    type Output = bool;
+
+    fn input(&self, &elevated: &bool) -> LinState {
+        self.inner.input(&usize::from(elevated))
+    }
+
+    /// The inner `Σ < 1` verdict: `true` ⇔ fraction reached.
+    fn output(&self, q: &LinState) -> bool {
+        q.out
+    }
+
+    fn delta(&self, p: &LinState, q: &LinState) -> (LinState, LinState) {
+        self.inner.delta(p, q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_core::{seeded_rng, Simulation};
+
+    #[test]
+    fn count_threshold_transition_table_matches_paper() {
+        let p = CountThreshold::new(5);
+        assert_eq!(p.delta(&1, &1), (2, 0));
+        assert_eq!(p.delta(&4, &0), (4, 0));
+        assert_eq!(p.delta(&4, &1), (5, 5));
+        assert_eq!(p.delta(&5, &0), (5, 5));
+        assert_eq!(p.delta(&5, &5), (5, 5));
+        assert!(p.output(&5));
+        assert!(!p.output(&4));
+    }
+
+    #[test]
+    fn count_threshold_paper_example_execution() {
+        // §3.2 worked example: inputs (0,1,0,1,1,1), encounters
+        // (2,4), (6,5), (2,6), (3,2) — per-agent simulation via scripted
+        // schedule. Agents are 0-indexed here.
+        use pp_core::scheduler::ScriptedScheduler;
+        use pp_core::AgentSimulation;
+
+        let inputs = [false, true, false, true, true, true];
+        let script = vec![(1, 3), (5, 4), (1, 5), (2, 1)];
+        let mut sim = AgentSimulation::from_inputs(
+            CountThreshold::new(5),
+            &inputs,
+            ScriptedScheduler::new(6, script),
+        );
+        let mut rng = seeded_rng(0);
+        sim.run(4, &mut rng);
+        // Final configuration: agent 2 holds q4, everyone else q0.
+        let states: Vec<u32> = (0..6).map(|a| *sim.state_of(a)).collect();
+        assert_eq!(states, vec![0, 0, 4, 0, 0, 0]);
+        assert_eq!(sim.consensus_output(), Some(&false));
+    }
+
+    #[test]
+    fn count_threshold_eval() {
+        let p = CountThreshold::new(3);
+        assert!(!p.eval(2));
+        assert!(p.eval(3));
+        assert!(p.eval(30));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_threshold_rejected() {
+        CountThreshold::new(0);
+    }
+
+    #[test]
+    fn percent_threshold_ground_truth_5pct() {
+        let p = PercentThreshold::new(1, 20).unwrap();
+        assert!(p.eval(0, 1)); // 100%
+        assert!(p.eval(19, 1)); // 5%
+        assert!(!p.eval(39, 1)); // 2.5%
+        assert!(p.eval(38, 2)); // exactly 5%
+        assert!(!p.eval(1, 0)); // 0%
+    }
+
+    #[test]
+    fn percent_threshold_rejects_bad_fractions() {
+        assert!(PercentThreshold::new(1, 0).is_err());
+        assert!(PercentThreshold::new(3, 2).is_err());
+        assert!(PercentThreshold::new(-1, 2).is_err());
+    }
+
+    #[test]
+    fn percent_threshold_stabilizes_both_ways() {
+        let mut rng = seeded_rng(17);
+        // 2 elevated of 40 = 5%: true.
+        let mut sim =
+            Simulation::from_counts(PercentThreshold::new(1, 20).unwrap(), [(false, 38), (true, 2)]);
+        let rep = sim.measure_stabilization(&true, 400_000, &mut rng);
+        assert!(rep.converged(), "5% case must accept");
+
+        // 1 elevated of 40 = 2.5%: false.
+        let mut sim =
+            Simulation::from_counts(PercentThreshold::new(1, 20).unwrap(), [(false, 39), (true, 1)]);
+        let rep = sim.measure_stabilization(&false, 400_000, &mut rng);
+        assert!(rep.converged(), "2.5% case must reject");
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_count_threshold_sum_invariant(p in 0u32..5, q in 0u32..5) {
+            // Below the alert threshold the token count i+j is conserved.
+            let proto = CountThreshold::new(5);
+            let (a, b) = proto.delta(&p, &q);
+            if p + q < 5 {
+                proptest::prop_assert_eq!(a + b, p + q);
+            } else {
+                proptest::prop_assert_eq!((a, b), (5, 5));
+            }
+        }
+
+        #[test]
+        fn prop_percent_matches_linear_rearrangement(x0 in 0u64..50, x1 in 0u64..50) {
+            let p = PercentThreshold::new(1, 20).unwrap();
+            let lhs = p.eval(x0, x1);
+            let rhs = 20 * x1 >= x0 + x1; // the paper's 20·x1 ≥ x0 + x1 form
+            proptest::prop_assert_eq!(lhs, rhs);
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Protocols beyond the paper, kept for ablation experiments.
+//!
+//! The paper's majority protocol (Lemma 5 instantiated as `x₀ − x₁ < 0`)
+//! uses a leader, an output bit and a clamped count — 12 reachable states —
+//! and is *exact*. Later work (Angluin, Aspnes, Eisenstat, DISC 2007)
+//! showed a 3-state protocol that decides majority only *with high
+//! probability* but exponentially faster. Implementing it here lets
+//! experiment E13 quantify the trade-off the paper's construction makes:
+//! exactness and generality versus state count and speed — and
+//! `pp-analysis` can compute the 3-state protocol's error probability
+//! *exactly* from the configuration Markov chain.
+
+use pp_core::Protocol;
+
+/// Opinion state of the 3-state approximate-majority protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Opinion {
+    /// Committed to "0 wins".
+    Zero,
+    /// Undecided.
+    Blank,
+    /// Committed to "1 wins".
+    One,
+}
+
+/// The 3-state approximate-majority protocol (post-paper; ablation only).
+///
+/// Rules (initiator, responder):
+/// `(Zero, One) → (Zero, Blank)`, `(One, Zero) → (One, Blank)`,
+/// `(Zero, Blank) → (Zero, Zero)`, `(One, Blank) → (One, One)`; all other
+/// pairs are inert. Converges in Θ(n log n) interactions with high
+/// probability to the initial majority value, but can err (and errs with
+/// probability ≈ 1/2 from a tie).
+///
+/// # Example
+///
+/// ```
+/// use pp_core::prelude::*;
+/// use pp_protocols::ext::{ApproximateMajority, Opinion};
+///
+/// let mut sim = Simulation::from_counts(
+///     ApproximateMajority,
+///     [(true, 70), (false, 30)],
+/// );
+/// let mut rng = seeded_rng(2);
+/// let rep = sim.measure_stabilization(&true, 100_000, &mut rng);
+/// assert!(rep.converged());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ApproximateMajority;
+
+impl Protocol for ApproximateMajority {
+    type State = Opinion;
+    /// `true` = a vote for 1.
+    type Input = bool;
+    /// `true` = "1 wins".
+    type Output = bool;
+
+    fn input(&self, &one: &bool) -> Opinion {
+        if one {
+            Opinion::One
+        } else {
+            Opinion::Zero
+        }
+    }
+
+    fn output(&self, q: &Opinion) -> bool {
+        matches!(q, Opinion::One)
+    }
+
+    fn delta(&self, &p: &Opinion, &q: &Opinion) -> (Opinion, Opinion) {
+        use Opinion::{Blank, One, Zero};
+        match (p, q) {
+            (Zero, One) => (Zero, Blank),
+            (One, Zero) => (One, Blank),
+            (Zero, Blank) => (Zero, Zero),
+            (One, Blank) => (One, One),
+            other => other,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_core::{seeded_rng, Simulation};
+
+    #[test]
+    fn transition_rules() {
+        use Opinion::{Blank, One, Zero};
+        let p = ApproximateMajority;
+        assert_eq!(p.delta(&Zero, &One), (Zero, Blank));
+        assert_eq!(p.delta(&One, &Zero), (One, Blank));
+        assert_eq!(p.delta(&Zero, &Blank), (Zero, Zero));
+        assert_eq!(p.delta(&One, &Blank), (One, One));
+        assert_eq!(p.delta(&Blank, &One), (Blank, One));
+        assert_eq!(p.delta(&Blank, &Blank), (Blank, Blank));
+    }
+
+    #[test]
+    fn large_margin_converges_to_majority() {
+        let mut rng = seeded_rng(9);
+        let mut wins = 0u32;
+        let trials = 20;
+        for _ in 0..trials {
+            let mut sim =
+                Simulation::from_counts(ApproximateMajority, [(true, 75), (false, 25)]);
+            let rep = sim.measure_stabilization(&true, 60_000, &mut rng);
+            if rep.converged() {
+                wins += 1;
+            }
+        }
+        assert!(wins >= trials - 1, "large margins should almost never err: {wins}/{trials}");
+    }
+
+    #[test]
+    fn it_is_fast_compared_to_exact_majority() {
+        // Θ(n log n) vs Θ(n² log n): at n = 200 the 3-state protocol
+        // should stabilize at least 5× faster on a clear majority.
+        let mut rng = seeded_rng(4);
+        let mut approx_total = 0u64;
+        let mut exact_total = 0u64;
+        let trials = 10;
+        for _ in 0..trials {
+            let mut sim =
+                Simulation::from_counts(ApproximateMajority, [(true, 140), (false, 60)]);
+            let rep = sim.measure_stabilization(&true, 2_000_000, &mut rng);
+            approx_total += rep.stabilized_at.expect("converges");
+            let mut sim = Simulation::from_counts(
+                crate::majority(),
+                [(0usize, 60), (1usize, 140)],
+            );
+            let rep = sim.measure_stabilization(&true, 20_000_000, &mut rng);
+            exact_total += rep.stabilized_at.expect("converges");
+        }
+        assert!(
+            exact_total > 5 * approx_total,
+            "exact {exact_total} should dwarf approx {approx_total}"
+        );
+    }
+}

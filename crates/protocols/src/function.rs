@@ -1,0 +1,187 @@
+//! The §3.4 integer *function* protocol: quotient and remainder by a
+//! constant, under the integer-based output convention.
+//!
+//! The paper's example computes `f(m) = ⌊m/3⌋` where `m` is the number of
+//! agents with input `1`. Each agent's state is a pair `(i, j)`; the
+//! population-wide sums `r = Σᵢ` and `q = Σⱼ` satisfy the invariant
+//! `m = r + k·q` throughout, and transitions drain `r` below `k`, leaving
+//! `q = ⌊m/k⌋`. [`QuotientProtocol`] generalizes from `3` to any `k ≥ 2`.
+
+use pp_core::Protocol;
+
+/// Stably computes the pair `(m mod k, ⌊m/k⌋)` of the number `m` of `1`
+/// inputs, diffusely: the quotient is the sum of all agents' output values
+/// (integer output convention), and the remainder is the sum of the
+/// first state components.
+///
+/// # Example
+///
+/// ```
+/// use pp_core::prelude::*;
+/// use pp_core::convention::integer_output;
+/// use pp_protocols::QuotientProtocol;
+///
+/// let p = QuotientProtocol::new(3);
+/// let mut sim = Simulation::from_counts(p, [(true, 14), (false, 6)]);
+/// let mut rng = seeded_rng(4);
+/// sim.run_until_silent(20_000, 2_000_000, &mut rng).unwrap();
+/// assert_eq!(integer_output(&sim.output_histogram()), 14 / 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuotientProtocol {
+    k: u32,
+}
+
+/// State of [`QuotientProtocol`]: `(residue, quotient-bit)`.
+///
+/// Agents with `quotient_bit == 1` are frozen carriers of one unit of the
+/// quotient; active agents carry residues `0 ≤ residue < k`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct QuotState {
+    /// First component `i` of the paper's `(i, j)` pair: residue share.
+    pub residue: u32,
+    /// Second component `j`: one accumulated unit of the quotient.
+    pub quotient_bit: bool,
+}
+
+impl QuotientProtocol {
+    /// Creates the protocol computing `(m mod k, ⌊m/k⌋)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 2`.
+    pub fn new(k: u32) -> Self {
+        assert!(k >= 2, "divisor k must be at least 2");
+        Self { k }
+    }
+
+    /// The divisor `k`.
+    pub fn divisor(&self) -> u32 {
+        self.k
+    }
+
+    /// Decodes `(remainder, quotient)` from a state histogram.
+    pub fn decode(&self, states: &[(QuotState, u64)]) -> (u64, u64) {
+        let mut r = 0u64;
+        let mut q = 0u64;
+        for &(s, c) in states {
+            r += u64::from(s.residue) * c;
+            q += u64::from(s.quotient_bit) * c;
+        }
+        (r, q)
+    }
+}
+
+impl Protocol for QuotientProtocol {
+    type State = QuotState;
+    type Input = bool;
+    /// Each agent outputs its quotient bit as an integer; the represented
+    /// output is the population sum (integer output convention, §3.4).
+    type Output = i64;
+
+    fn input(&self, &one: &bool) -> QuotState {
+        QuotState { residue: u32::from(one), quotient_bit: false }
+    }
+
+    fn output(&self, q: &QuotState) -> i64 {
+        i64::from(q.quotient_bit)
+    }
+
+    fn delta(&self, &p: &QuotState, &q: &QuotState) -> (QuotState, QuotState) {
+        // Only pairs of active (non-frozen) agents interact.
+        if p.quotient_bit || q.quotient_bit {
+            return (p, q);
+        }
+        let sum = p.residue + q.residue;
+        if sum >= self.k {
+            // Emit one quotient token; keep the reduced residue.
+            (
+                QuotState { residue: sum - self.k, quotient_bit: false },
+                QuotState { residue: 0, quotient_bit: true },
+            )
+        } else {
+            (
+                QuotState { residue: sum, quotient_bit: false },
+                QuotState { residue: 0, quotient_bit: false },
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_core::convention::integer_output;
+    use pp_core::{seeded_rng, Simulation};
+
+    #[test]
+    fn matches_paper_div3_transitions() {
+        let p = QuotientProtocol::new(3);
+        let s = |i: u32, j: bool| QuotState { residue: i, quotient_bit: j };
+        // δ((1,0),(1,0)) = ((2,0),(0,0))
+        assert_eq!(p.delta(&s(1, false), &s(1, false)), (s(2, false), s(0, false)));
+        // i + k ≥ 3 ⇒ ((i+k−3,0),(0,1))
+        assert_eq!(p.delta(&s(2, false), &s(2, false)), (s(1, false), s(0, true)));
+        assert_eq!(p.delta(&s(2, false), &s(1, false)), (s(0, false), s(0, true)));
+        // Frozen agents never change.
+        assert_eq!(p.delta(&s(2, false), &s(0, true)), (s(2, false), s(0, true)));
+        assert_eq!(p.delta(&s(0, true), &s(2, false)), (s(0, true), s(2, false)));
+    }
+
+    #[test]
+    fn computes_quotients_across_divisors_and_inputs() {
+        let mut rng = seeded_rng(42);
+        for k in [2u32, 3, 5] {
+            for m in [0u64, 1, 4, 9, 13] {
+                let n = 20;
+                let p = QuotientProtocol::new(k);
+                let mut sim =
+                    Simulation::from_counts(p, [(true, m), (false, n - m)]);
+                sim.run_until_silent(30_000, 5_000_000, &mut rng)
+                    .expect("must quiesce");
+                let got = integer_output(&sim.output_histogram());
+                assert_eq!(got, (m / u64::from(k)) as i64, "m={m} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn invariant_m_equals_r_plus_kq() {
+        // Run and check the invariant m = r + k·q at every step.
+        let k = 3u32;
+        let p = QuotientProtocol::new(k);
+        let m = 11u64;
+        let mut sim = Simulation::from_counts(p, [(true, m), (false, 9)]);
+        let mut rng = seeded_rng(7);
+        for _ in 0..2000 {
+            sim.step(&mut rng);
+            let states: Vec<(QuotState, u64)> = sim
+                .config()
+                .support()
+                .map(|(id, c)| (*sim.runtime().state(id), c))
+                .collect();
+            let (r, q) = QuotientProtocol::new(k).decode(&states);
+            assert_eq!(r + u64::from(k) * q, m);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn rejects_k_below_2() {
+        QuotientProtocol::new(1);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_delta_preserves_token_value(i in 0u32..5, j in 0u32..5) {
+            // value(state) = residue + k·quotient_bit is conserved by δ.
+            let k = 5;
+            let p = QuotientProtocol::new(k);
+            let a = QuotState { residue: i, quotient_bit: false };
+            let b = QuotState { residue: j, quotient_bit: false };
+            let (a2, b2) = p.delta(&a, &b);
+            let val = |s: QuotState| s.residue + k * u32::from(s.quotient_bit);
+            proptest::prop_assert_eq!(val(a2) + val(b2), i + j);
+        }
+    }
+}

@@ -1,0 +1,286 @@
+//! The Theorem 7 simulator: run any complete-graph protocol on any
+//! weakly-connected interaction graph.
+//!
+//! §5 proves the complete interaction graph is the *weakest* structure for
+//! stable predicate computation: a protocol `A` for the standard population
+//! can be transformed into `A′` that stably computes the same predicate on
+//! every weakly-connected population. Simulated agent states migrate from
+//! node to node; two *batons* `S` (initiator) and `R` (responder) control
+//! what an encounter does. The transition function `δ′` is the paper's
+//! Fig. 1, reproduced verbatim by [`GraphSimulator::delta`]:
+//!
+//! ```text
+//! Group (a):  (xD, yD) → (xS, yR)     consume initial D batons
+//!             (xD, y*) → (x-, y*)     (* = any non-D baton)
+//!             (x*, yD) → (x*, y-)
+//! Group (b):  (xS, yS) → (xS, y-)     eliminate duplicate batons
+//!             (xR, yR) → (xR, y-)
+//! Group (c):  (xS, y-) ↔ (x-, yS)     baton movement
+//!             (xR, y-) ↔ (x-, yR)
+//! Group (d):  (x-, y-) ↔ (y-, x-)     state swapping
+//! Group (e):  (xS, yR) → (x'R, y'S)   simulate an A-transition,
+//!             (yR, xS) ↦ (y'S, x'R)   where (x', y') = δ(x, y)
+//! ```
+//!
+//! Note group (e) also swaps the batons, letting `S` and `R` pass each
+//! other in narrow graphs.
+//!
+//! The construction assumes `n ≥ 4` (the paper handles `n < 4` by a
+//! side-channel table lookup); tests here use `n ≥ 4`.
+
+use pp_core::Protocol;
+
+/// The baton field added to each simulated state (Theorem 7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Baton {
+    /// Default initial marker, consumed by group (a).
+    D,
+    /// The initiator baton.
+    S,
+    /// The responder baton.
+    R,
+    /// No baton.
+    Blank,
+}
+
+/// The Theorem 7 transformed protocol `A′ = (X, Y, Q×{D,S,R,-}, I′, O′, δ′)`.
+///
+/// # Example
+///
+/// Run majority on an undirected line instead of the complete graph:
+///
+/// ```
+/// use pp_core::prelude::*;
+/// use pp_protocols::{majority, GraphSimulator};
+///
+/// let n = 8;
+/// let line = pp_graphs::undirected_line(n);
+/// let inputs: Vec<usize> = (0..n).map(|i| usize::from(i % 3 != 0)).collect();
+/// let mut sim = AgentSimulation::from_inputs(
+///     GraphSimulator::new(majority()),
+///     &inputs,
+///     line.scheduler(),
+/// );
+/// let mut rng = seeded_rng(10);
+/// // 5 ones vs 3 zeros: majority holds on the line too.
+/// let rep = sim.measure_stabilization(&true, 3_000_000, &mut rng);
+/// assert!(rep.converged());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GraphSimulator<P> {
+    inner: P,
+}
+
+impl<P: Protocol> GraphSimulator<P> {
+    /// Wraps a protocol written for the complete interaction graph.
+    pub fn new(inner: P) -> Self {
+        Self { inner }
+    }
+
+    /// The simulated protocol.
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+}
+
+impl<P: Protocol> Protocol for GraphSimulator<P> {
+    type State = (P::State, Baton);
+    type Input = P::Input;
+    type Output = P::Output;
+
+    /// `I′(x) = I(x)D`.
+    fn input(&self, x: &P::Input) -> Self::State {
+        (self.inner.input(x), Baton::D)
+    }
+
+    /// `O′(qB) = O(q)`.
+    fn output(&self, (q, _): &Self::State) -> P::Output {
+        self.inner.output(q)
+    }
+
+    fn delta(&self, (x, bx): &Self::State, (y, by): &Self::State) -> (Self::State, Self::State) {
+        use Baton::{Blank, D, R, S};
+        let (x, y) = (x.clone(), y.clone());
+        match (*bx, *by) {
+            // Group (a).
+            (D, D) => ((x, S), (y, R)),
+            (D, b) => ((x, Blank), (y, b)),
+            (b, D) => ((x, b), (y, Blank)),
+            // Group (b).
+            (S, S) => ((x, S), (y, Blank)),
+            (R, R) => ((x, R), (y, Blank)),
+            // Group (e): the S-holder's state is δ's initiator argument.
+            (S, R) => {
+                let (x2, y2) = self.inner.delta(&x, &y);
+                ((x2, R), (y2, S))
+            }
+            (R, S) => {
+                let (y2, x2) = self.inner.delta(&y, &x);
+                ((x2, S), (y2, R))
+            }
+            // Group (c): batons hop across the interacting edge.
+            (S, Blank) => ((x, Blank), (y, S)),
+            (Blank, S) => ((x, S), (y, Blank)),
+            (R, Blank) => ((x, Blank), (y, R)),
+            (Blank, R) => ((x, R), (y, Blank)),
+            // Group (d): swap simulated states.
+            (Blank, Blank) => ((y, Blank), (x, Blank)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counting::CountThreshold;
+    use crate::majority::majority;
+    use pp_core::{seeded_rng, AgentSimulation};
+    use pp_graphs::{directed_cycle, star, undirected_line};
+
+    type SimState = (u32, Baton);
+
+    fn sim_protocol() -> GraphSimulator<CountThreshold> {
+        GraphSimulator::new(CountThreshold::new(3))
+    }
+
+    #[test]
+    fn fig1_group_a() {
+        use Baton::{Blank, D, R, S};
+        let p = sim_protocol();
+        let mk = |q: u32, b| (q, b);
+        // (xD, yD) → (xS, yR)
+        assert_eq!(p.delta(&mk(1, D), &mk(2, D)), (mk(1, S), mk(2, R)));
+        // (xD, y*) → (x-, y*) for * ∈ {S, R, -}
+        for b in [S, R, Blank] {
+            assert_eq!(p.delta(&mk(1, D), &mk(2, b)), (mk(1, Blank), mk(2, b)));
+            assert_eq!(p.delta(&mk(1, b), &mk(2, D)), (mk(1, b), mk(2, Blank)));
+        }
+    }
+
+    #[test]
+    fn fig1_group_b() {
+        use Baton::{Blank, R, S};
+        let p = sim_protocol();
+        assert_eq!(p.delta(&(1, S), &(2, S)), ((1, S), (2, Blank)));
+        assert_eq!(p.delta(&(1, R), &(2, R)), ((1, R), (2, Blank)));
+    }
+
+    #[test]
+    fn fig1_group_c_batons_hop() {
+        use Baton::{Blank, R, S};
+        let p = sim_protocol();
+        assert_eq!(p.delta(&(1, S), &(2, Blank)), ((1, Blank), (2, S)));
+        assert_eq!(p.delta(&(1, Blank), &(2, S)), ((1, S), (2, Blank)));
+        assert_eq!(p.delta(&(1, R), &(2, Blank)), ((1, Blank), (2, R)));
+        assert_eq!(p.delta(&(1, Blank), &(2, R)), ((1, R), (2, Blank)));
+    }
+
+    #[test]
+    fn fig1_group_d_swaps_states() {
+        use Baton::Blank;
+        let p = sim_protocol();
+        assert_eq!(p.delta(&(1, Blank), &(2, Blank)), ((2, Blank), (1, Blank)));
+    }
+
+    #[test]
+    fn fig1_group_e_simulates_and_swaps_batons() {
+        use Baton::{R, S};
+        let p = sim_protocol();
+        // δ(1, 2) for CountThreshold(3): 1+2 ≥ 3 ⇒ (3, 3).
+        assert_eq!(p.delta(&(1, S), &(2, R)), ((3, R), (3, S)));
+        // Initiator holds R: the S-holder (responder, state 2) is δ's
+        // initiator argument: δ(2, 1) = (3, 3).
+        let ((a, ba), (b, bb)): (SimState, SimState) = p.delta(&(1, R), &(2, S));
+        assert_eq!((a, b), (3, 3));
+        assert_eq!((ba, bb), (S, R));
+        // A non-alerting interaction: δ(1, 1) = (2, 0).
+        assert_eq!(p.delta(&(1, S), &(1, R)), ((2, R), (0, S)));
+    }
+
+    /// Counts batons of each kind in an agent simulation.
+    fn baton_census<P: Protocol<State = (Q, Baton)>, Q, Sch>(
+        sim: &AgentSimulation<P, Sch>,
+    ) -> (usize, usize, usize)
+    where
+        Q: Clone + std::fmt::Debug + Eq + std::hash::Hash,
+        Sch: pp_core::scheduler::PairSampler,
+    {
+        let (mut d, mut s, mut r) = (0, 0, 0);
+        for a in 0..sim.population() as u32 {
+            match sim.state_of(a).1 {
+                Baton::D => d += 1,
+                Baton::S => s += 1,
+                Baton::R => r += 1,
+                Baton::Blank => {}
+            }
+        }
+        (d, s, r)
+    }
+
+    #[test]
+    fn reaches_clean_configuration() {
+        // Lemma 6/7: reachable final configurations are clean (one S, one R,
+        // no D). Under random scheduling the population should clean up.
+        let n = 12;
+        let g = undirected_line(n);
+        let inputs: Vec<bool> = (0..n).map(|i| i % 4 == 0).collect();
+        let mut sim = AgentSimulation::from_inputs(sim_protocol(), &inputs, g.scheduler());
+        let mut rng = seeded_rng(77);
+        sim.run(500_000, &mut rng);
+        let (d, s, r) = baton_census(&sim);
+        assert_eq!(d, 0, "D batons must be consumed");
+        assert_eq!(s, 1, "exactly one S baton");
+        assert_eq!(r, 1, "exactly one R baton");
+    }
+
+    #[test]
+    fn baton_invariants_along_execution() {
+        // Once the first (D,D) fires there is ≥1 S and ≥1 R; S/R counts
+        // never increase; D count never increases.
+        let n = 8;
+        let g = directed_cycle(n);
+        let inputs: Vec<bool> = (0..n).map(|i| i % 2 == 0).collect();
+        let mut sim = AgentSimulation::from_inputs(sim_protocol(), &inputs, g.scheduler());
+        let mut rng = seeded_rng(5);
+        let (mut pd, mut ps, mut pr) = baton_census(&sim);
+        for _ in 0..20_000 {
+            sim.step(&mut rng);
+            let (d, s, r) = baton_census(&sim);
+            assert!(d <= pd, "D count increased");
+            if pd == 0 {
+                assert!(s <= ps && r <= pr, "S/R counts increased after D drained");
+                assert!(s >= 1 && r >= 1, "S or R vanished");
+            }
+            (pd, ps, pr) = (d, s, r);
+        }
+    }
+
+    #[test]
+    fn computes_count_threshold_on_line() {
+        let n = 10;
+        let g = undirected_line(n);
+        let mut rng = seeded_rng(3);
+        // Positive: 3 hot agents.
+        let inputs: Vec<bool> = (0..n).map(|i| i < 3).collect();
+        let mut sim = AgentSimulation::from_inputs(sim_protocol(), &inputs, g.scheduler());
+        let rep = sim.measure_stabilization(&true, 4_000_000, &mut rng);
+        assert!(rep.converged(), "count-to-3 must accept on the line");
+        // Negative: 2 hot agents.
+        let inputs: Vec<bool> = (0..n).map(|i| i < 2).collect();
+        let mut sim = AgentSimulation::from_inputs(sim_protocol(), &inputs, g.scheduler());
+        let rep = sim.measure_stabilization(&false, 4_000_000, &mut rng);
+        assert!(rep.converged(), "count-to-3 must reject on the line");
+    }
+
+    #[test]
+    fn computes_majority_on_star() {
+        let n = 9;
+        let g = star(n);
+        let mut rng = seeded_rng(19);
+        let inputs: Vec<usize> = (0..n).map(|i| usize::from(i % 2 == 0)).collect(); // 5 ones, 4 zeros
+        let mut sim =
+            AgentSimulation::from_inputs(GraphSimulator::new(majority()), &inputs, g.scheduler());
+        let rep = sim.measure_stabilization(&true, 6_000_000, &mut rng);
+        assert!(rep.converged(), "majority must hold on the star");
+    }
+}

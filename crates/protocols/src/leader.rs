@@ -1,0 +1,122 @@
+//! Pairwise leader election — "the usual leader-election protocol"
+//! (Theorem 2's proof), the fuse lit under every construction in §4–§6.
+//!
+//! Every agent starts as a leader; when two leaders meet, the responder
+//! demotes itself. The number of leaders decreases monotonically to one and
+//! can never reach zero. §6 computes the expected number of interactions to
+//! reach a unique leader under random pairing as exactly `(n−1)²`
+//! (reproduced by experiment E1).
+
+use pp_core::Protocol;
+
+/// The canonical leader-election protocol.
+///
+/// Input is `()` (every agent starts identically); output is the leader
+/// bit. This protocol does not compute a predicate under the all-agents
+/// convention — it stabilizes with exactly one agent outputting `true`.
+///
+/// # Example
+///
+/// ```
+/// use pp_core::prelude::*;
+/// use pp_protocols::LeaderElection;
+///
+/// let mut sim = Simulation::from_counts(LeaderElection, [((), 50)]);
+/// let mut rng = seeded_rng(6);
+/// let t = LeaderElection::run_until_unique(&mut sim, 1_000_000, &mut rng).unwrap();
+/// assert!(t > 0);
+/// assert_eq!(sim.count_of_state(&true), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LeaderElection;
+
+impl LeaderElection {
+    /// Runs `sim` until exactly one leader remains, returning the number of
+    /// interactions taken, or `None` if `max_steps` elapse first.
+    pub fn run_until_unique(
+        sim: &mut pp_core::Simulation<Self>,
+        max_steps: u64,
+        rng: &mut impl rand::Rng,
+    ) -> Option<u64> {
+        let start = sim.steps();
+        while sim.count_of_state(&true) > 1 {
+            if sim.steps() - start >= max_steps {
+                return None;
+            }
+            sim.step(rng);
+        }
+        Some(sim.steps() - start)
+    }
+}
+
+impl Protocol for LeaderElection {
+    /// `true` = leader.
+    type State = bool;
+    type Input = ();
+    type Output = bool;
+
+    fn input(&self, _: &()) -> bool {
+        true
+    }
+
+    fn output(&self, &q: &bool) -> bool {
+        q
+    }
+
+    fn delta(&self, &p: &bool, &q: &bool) -> (bool, bool) {
+        if p && q {
+            (true, false)
+        } else {
+            (p, q)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_core::{seeded_rng, Simulation};
+
+    #[test]
+    fn leaders_merge_pairwise() {
+        let p = LeaderElection;
+        assert_eq!(p.delta(&true, &true), (true, false));
+        assert_eq!(p.delta(&true, &false), (true, false));
+        assert_eq!(p.delta(&false, &true), (false, true));
+        assert_eq!(p.delta(&false, &false), (false, false));
+    }
+
+    #[test]
+    fn exactly_one_leader_survives() {
+        let mut sim = Simulation::from_counts(LeaderElection, [((), 100)]);
+        let mut rng = seeded_rng(31);
+        let t = LeaderElection::run_until_unique(&mut sim, 10_000_000, &mut rng);
+        assert!(t.is_some());
+        assert_eq!(sim.count_of_state(&true), 1);
+        assert_eq!(sim.count_of_state(&false), 99);
+        // Leadership is then stable.
+        sim.run(10_000, &mut rng);
+        assert_eq!(sim.count_of_state(&true), 1);
+    }
+
+    #[test]
+    fn expected_time_near_n_minus_1_squared() {
+        // §6: E[interactions to unique leader] = (n−1)² exactly.
+        let n = 32u64;
+        let trials = 200;
+        let mut total = 0u64;
+        for seed in 0..trials {
+            let mut sim = Simulation::from_counts(LeaderElection, [((), n)]);
+            let mut rng = seeded_rng(seed);
+            total +=
+                LeaderElection::run_until_unique(&mut sim, 100_000_000, &mut rng).unwrap();
+        }
+        let mean = total as f64 / trials as f64;
+        let expect = ((n - 1) * (n - 1)) as f64;
+        let ratio = mean / expect;
+        assert!(
+            (0.85..1.15).contains(&ratio),
+            "mean {mean:.1} vs expected {expect} (ratio {ratio:.3})"
+        );
+    }
+}

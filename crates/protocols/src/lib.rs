@@ -1,0 +1,66 @@
+//! A library of concrete population protocols from Angluin, Aspnes, Diamadi,
+//! Fischer, Peralta, *"Computation in networks of passively mobile
+//! finite-state sensors"* (PODC 2004).
+//!
+//! Every construction that appears in the paper is implemented here as a
+//! reusable, tested protocol:
+//!
+//! * [`counting`] — the §1/§3.1 "flock of birds" count-to-`k` protocol and
+//!   the ≥5% relative-threshold example;
+//! * [`linear`] — the Lemma 5 building blocks: linear *threshold*
+//!   (`Σ aᵢxᵢ < c`) and *remainder* (`Σ aᵢxᵢ ≡ c (mod m)`) predicates;
+//! * [`majority`](mod@majority) — majority and parity as instances of [`linear`];
+//! * [`function`] — the §3.4 `⌊m/k⌋` quotient/remainder *function* protocol
+//!   under the integer output convention;
+//! * [`leader`] — pairwise leader election (the fuse used throughout §4–§6);
+//! * [`combine`] — the Lemma 3 parallel product with a Boolean output
+//!   combiner, giving closure under all Boolean operations (Corollary 2);
+//! * [`convention`] — the Theorem 2 transformation from the zero/non-zero
+//!   output convention to the all-agents convention;
+//! * [`graph_sim`] — the Theorem 7 / Fig. 1 baton simulator that runs any
+//!   complete-graph protocol on an arbitrary weakly-connected interaction
+//!   graph;
+//! * [`oneway`] — the §8 one-way (observation-only) restriction, with the
+//!   one-way count-to-`k` protocol;
+//! * [`ext`] — protocols beyond the paper, for ablation experiments.
+//!
+//! # Example
+//!
+//! Is the number of `1` inputs congruent to `2 (mod 3)`?
+//!
+//! ```
+//! use pp_core::prelude::*;
+//! use pp_protocols::linear::RemainderProtocol;
+//!
+//! // One input symbol with coefficient 1: predicate  x ≡ 2 (mod 3).
+//! let p = RemainderProtocol::new(vec![1], 2, 3).unwrap();
+//! let mut sim = Simulation::from_counts(p, [(0usize, 8)]);
+//! let mut rng = seeded_rng(1);
+//! let rep = sim.measure_stabilization(&true, 400_000, &mut rng); // 8 ≡ 2 (mod 3)
+//! assert!(rep.converged());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod combine;
+pub mod convention;
+pub mod counting;
+pub mod ext;
+pub mod function;
+pub mod graph_sim;
+pub mod leader;
+pub mod linear;
+pub mod majority;
+pub mod oneway;
+
+pub use combine::ProductProtocol;
+pub use convention::AllAgentsAdapter;
+pub use counting::{CountThreshold, PercentThreshold};
+pub use ext::ApproximateMajority;
+pub use function::QuotientProtocol;
+pub use graph_sim::{Baton, GraphSimulator};
+pub use leader::LeaderElection;
+pub use linear::{LinState, LinearAtom, RemainderProtocol, ThresholdProtocol};
+pub use majority::{majority, parity};
+pub use oneway::{one_way_count_threshold, ObservationProtocol};

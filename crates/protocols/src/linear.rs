@@ -1,0 +1,525 @@
+//! The Lemma 5 building blocks: linear **threshold** and **remainder**
+//! predicates.
+//!
+//! Lemma 5 of the paper shows that for integer constants `aᵢ`, `c` and
+//! `m ≥ 2`, the predicates
+//!
+//! * `Σ aᵢ xᵢ < c`   ([`ThresholdProtocol`]) and
+//! * `Σ aᵢ xᵢ ≡ c (mod m)`   ([`RemainderProtocol`])
+//!
+//! on symbol counts `xᵢ` are stably computable. Together with Boolean
+//! closure (Lemma 3) these atoms yield every Presburger-definable predicate
+//! (Theorem 5); the compiler in `pp-presburger` builds on exactly these two
+//! types via [`LinearAtom`].
+//!
+//! Both protocols elect a leader as they go: every agent starts with its
+//! leader bit set, leaders merge pairwise, and the unique surviving leader
+//! accumulates the linear combination and distributes the verdict.
+
+use pp_core::Protocol;
+
+/// State of the Lemma 5 protocols: a leader bit, an output bit, and a
+/// bounded "count" field accumulating the linear combination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LinState {
+    /// Leader bit (`ℓ`): set on every agent initially; exactly one survives.
+    pub leader: bool,
+    /// Output bit (`b`): the verdict distributed by the last leader met.
+    pub out: bool,
+    /// Count field (`u`): a partial sum, clamped to `[-s, s]` for the
+    /// threshold protocol or reduced mod `m` for the remainder protocol.
+    pub count: i64,
+}
+
+impl LinState {
+    /// Creates a state.
+    pub fn new(leader: bool, out: bool, count: i64) -> Self {
+        Self { leader, out, count }
+    }
+}
+
+/// Errors constructing a linear-predicate protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LinearProtocolError {
+    /// The coefficient list is empty, so there is no input alphabet.
+    EmptyCoefficients,
+    /// The modulus of a remainder protocol must be at least 2.
+    ModulusTooSmall {
+        /// The offending modulus.
+        m: i64,
+    },
+}
+
+impl std::fmt::Display for LinearProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::EmptyCoefficients => write!(f, "coefficient list is empty"),
+            Self::ModulusTooSmall { m } => write!(f, "modulus {m} is smaller than 2"),
+        }
+    }
+}
+
+impl std::error::Error for LinearProtocolError {}
+
+/// The Lemma 5 threshold protocol: stably computes `Σ aᵢ xᵢ < c` where `xᵢ`
+/// is the number of agents whose input is symbol `i` (symbol-count input
+/// convention) under the all-agents predicate output convention.
+///
+/// The count fields are clamped to `[-s, s]` with
+/// `s = max(|c| + 1, maxᵢ |aᵢ|)`; the paper's potential argument shows the
+/// unique leader's count converges to `max(-s, min(s, Σ aᵢxᵢ))`, which is on
+/// the correct side of `c` in either saturation case.
+///
+/// # Example
+///
+/// "At least 5 hot birds": `x₁ ≥ 5` is `-x₁ < -4`, i.e. coefficients
+/// `[0, -1]` and `c = -4`, with the predicate answer *negated*… or simply
+/// use `x₁ < 5` and read the complement. Direct form:
+///
+/// ```
+/// use pp_protocols::linear::ThresholdProtocol;
+///
+/// // Predicate: x1 < 5  (fewer than five hot birds).
+/// let p = ThresholdProtocol::new(vec![0, 1], 5).unwrap();
+/// assert!(p.eval(&[95, 4]));
+/// assert!(!p.eval(&[95, 5]));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ThresholdProtocol {
+    coeffs: Vec<i64>,
+    c: i64,
+    s: i64,
+}
+
+impl ThresholdProtocol {
+    /// Creates the protocol for `Σ coeffs[i]·xᵢ < c`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinearProtocolError::EmptyCoefficients`] if `coeffs` is
+    /// empty.
+    pub fn new(coeffs: Vec<i64>, c: i64) -> Result<Self, LinearProtocolError> {
+        if coeffs.is_empty() {
+            return Err(LinearProtocolError::EmptyCoefficients);
+        }
+        let s = (c.abs() + 1).max(coeffs.iter().map(|a| a.abs()).max().unwrap_or(0));
+        Ok(Self { coeffs, c, s })
+    }
+
+    /// The clamp bound `s`.
+    pub fn bound(&self) -> i64 {
+        self.s
+    }
+
+    /// The coefficient of input symbol `i`.
+    pub fn coefficient(&self, i: usize) -> i64 {
+        self.coeffs[i]
+    }
+
+    /// Number of input symbols.
+    pub fn arity(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// Ground-truth evaluation of the predicate on symbol counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counts.len()` differs from the coefficient arity.
+    pub fn eval(&self, counts: &[u64]) -> bool {
+        assert_eq!(counts.len(), self.coeffs.len(), "arity mismatch");
+        let sum: i64 = self
+            .coeffs
+            .iter()
+            .zip(counts)
+            .map(|(&a, &x)| a * i64::try_from(x).expect("count too large"))
+            .sum();
+        sum < self.c
+    }
+
+    /// The paper's `q(u, u') = max(-s, min(s, u + u'))`.
+    #[inline]
+    fn q(&self, u: i64, v: i64) -> i64 {
+        (u + v).clamp(-self.s, self.s)
+    }
+}
+
+impl Protocol for ThresholdProtocol {
+    type State = LinState;
+    type Input = usize;
+    type Output = bool;
+
+    /// Maps symbol `i` to `(1, 0, aᵢ)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the symbol index is out of range.
+    fn input(&self, &i: &usize) -> LinState {
+        LinState::new(true, false, self.coeffs[i])
+    }
+
+    fn output(&self, q: &LinState) -> bool {
+        q.out
+    }
+
+    fn delta(&self, p: &LinState, r: &LinState) -> (LinState, LinState) {
+        if !p.leader && !r.leader {
+            return (*p, *r);
+        }
+        let q = self.q(p.count, r.count);
+        let rem = p.count + r.count - q;
+        let b = q < self.c;
+        (LinState::new(true, b, q), LinState::new(false, b, rem))
+    }
+}
+
+/// The Lemma 5 remainder protocol: stably computes `Σ aᵢ xᵢ ≡ c (mod m)`
+/// under the symbol-count input convention and the all-agents predicate
+/// output convention.
+///
+/// # Example
+///
+/// ```
+/// use pp_protocols::linear::RemainderProtocol;
+///
+/// // Parity of x1: x1 ≡ 1 (mod 2).
+/// let p = RemainderProtocol::new(vec![0, 1], 1, 2).unwrap();
+/// assert!(p.eval(&[10, 3]));
+/// assert!(!p.eval(&[10, 4]));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RemainderProtocol {
+    coeffs: Vec<i64>,
+    c: i64,
+    m: i64,
+}
+
+impl RemainderProtocol {
+    /// Creates the protocol for `Σ coeffs[i]·xᵢ ≡ c (mod m)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `coeffs` is empty or `m < 2`.
+    pub fn new(coeffs: Vec<i64>, c: i64, m: i64) -> Result<Self, LinearProtocolError> {
+        if coeffs.is_empty() {
+            return Err(LinearProtocolError::EmptyCoefficients);
+        }
+        if m < 2 {
+            return Err(LinearProtocolError::ModulusTooSmall { m });
+        }
+        Ok(Self { coeffs, c: c.rem_euclid(m), m })
+    }
+
+    /// The modulus `m`.
+    pub fn modulus(&self) -> i64 {
+        self.m
+    }
+
+    /// Number of input symbols.
+    pub fn arity(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// Ground-truth evaluation of the predicate on symbol counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counts.len()` differs from the coefficient arity.
+    pub fn eval(&self, counts: &[u64]) -> bool {
+        assert_eq!(counts.len(), self.coeffs.len(), "arity mismatch");
+        let sum: i64 = self
+            .coeffs
+            .iter()
+            .zip(counts)
+            .map(|(&a, &x)| {
+                (a.rem_euclid(self.m) * (i64::try_from(x).expect("count too large") % self.m))
+                    % self.m
+            })
+            .sum();
+        sum.rem_euclid(self.m) == self.c
+    }
+}
+
+impl Protocol for RemainderProtocol {
+    type State = LinState;
+    type Input = usize;
+    type Output = bool;
+
+    /// Maps symbol `i` to `(1, 0, aᵢ mod m)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the symbol index is out of range.
+    fn input(&self, &i: &usize) -> LinState {
+        LinState::new(true, false, self.coeffs[i].rem_euclid(self.m))
+    }
+
+    fn output(&self, q: &LinState) -> bool {
+        q.out
+    }
+
+    fn delta(&self, p: &LinState, r: &LinState) -> (LinState, LinState) {
+        if !p.leader && !r.leader {
+            return (*p, *r);
+        }
+        let u = (p.count + r.count).rem_euclid(self.m);
+        let b = u == self.c;
+        (LinState::new(true, b, u), LinState::new(false, b, 0))
+    }
+}
+
+/// Either Lemma 5 atom, under one state type — the unit the Presburger
+/// compiler (Theorem 5) composes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinearAtom {
+    /// `Σ aᵢ xᵢ < c`.
+    Threshold(ThresholdProtocol),
+    /// `Σ aᵢ xᵢ ≡ c (mod m)`.
+    Remainder(RemainderProtocol),
+}
+
+impl LinearAtom {
+    /// Ground-truth evaluation on symbol counts.
+    pub fn eval(&self, counts: &[u64]) -> bool {
+        match self {
+            Self::Threshold(t) => t.eval(counts),
+            Self::Remainder(r) => r.eval(counts),
+        }
+    }
+
+    /// Number of input symbols.
+    pub fn arity(&self) -> usize {
+        match self {
+            Self::Threshold(t) => t.arity(),
+            Self::Remainder(r) => r.arity(),
+        }
+    }
+}
+
+impl Protocol for LinearAtom {
+    type State = LinState;
+    type Input = usize;
+    type Output = bool;
+
+    fn input(&self, i: &usize) -> LinState {
+        match self {
+            Self::Threshold(t) => t.input(i),
+            Self::Remainder(r) => r.input(i),
+        }
+    }
+
+    fn output(&self, q: &LinState) -> bool {
+        q.out
+    }
+
+    fn delta(&self, p: &LinState, q: &LinState) -> (LinState, LinState) {
+        match self {
+            Self::Threshold(t) => t.delta(p, q),
+            Self::Remainder(r) => r.delta(p, q),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_core::{seeded_rng, Simulation};
+
+    /// Drives a linear protocol on the given symbol counts and asserts it
+    /// stabilizes to the ground-truth verdict.
+    fn check_stabilizes<P>(p: P, counts: &[u64], expected: bool, seed: u64)
+    where
+        P: Protocol<State = LinState, Input = usize, Output = bool>,
+    {
+        let inputs = counts
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| (i, k))
+            .collect::<Vec<_>>();
+        let mut sim = Simulation::from_counts(p, inputs);
+        let mut rng = seeded_rng(seed);
+        let n = sim.population();
+        let horizon = (n * n * 64).max(100_000);
+        let rep = sim.measure_stabilization(&expected, horizon, &mut rng);
+        assert!(
+            rep.converged(),
+            "did not stabilize to {expected} on counts {counts:?}"
+        );
+        assert!(
+            rep.silent_tail() > horizon / 4,
+            "suspiciously short stable tail on counts {counts:?}"
+        );
+    }
+
+    #[test]
+    fn threshold_constructor_validates() {
+        assert!(ThresholdProtocol::new(vec![], 0).is_err());
+        let p = ThresholdProtocol::new(vec![3, -7], 2).unwrap();
+        assert_eq!(p.bound(), 7);
+        assert_eq!(p.arity(), 2);
+        assert_eq!(p.coefficient(1), -7);
+    }
+
+    #[test]
+    fn remainder_constructor_validates() {
+        assert!(RemainderProtocol::new(vec![1], 0, 1).is_err());
+        assert!(RemainderProtocol::new(vec![], 0, 3).is_err());
+        let p = RemainderProtocol::new(vec![1], -1, 3).unwrap();
+        assert_eq!(p.modulus(), 3);
+        // c normalized into [0, m).
+        assert!(p.eval(&[2]));
+    }
+
+    #[test]
+    fn threshold_eval_ground_truth() {
+        // 2*x0 - x1 < 3
+        let p = ThresholdProtocol::new(vec![2, -1], 3).unwrap();
+        assert!(p.eval(&[0, 0]));
+        assert!(p.eval(&[1, 0]));
+        assert!(!p.eval(&[2, 0]));
+        assert!(p.eval(&[2, 2]));
+    }
+
+    #[test]
+    fn threshold_stabilizes_positive_and_negative() {
+        // x1 >= 5  <=>  NOT(x1 < 5); drive the "x1 < 5" protocol.
+        let mk = || ThresholdProtocol::new(vec![0, 1], 5).unwrap();
+        check_stabilizes(mk(), &[20, 4], true, 1);
+        check_stabilizes(mk(), &[20, 5], false, 2);
+        check_stabilizes(mk(), &[20, 17], false, 3);
+    }
+
+    #[test]
+    fn threshold_with_negative_coefficients() {
+        // Majority-ish: x0 - x1 < 0, i.e. more 1s than 0s.
+        let mk = || ThresholdProtocol::new(vec![1, -1], 0).unwrap();
+        check_stabilizes(mk(), &[10, 11], true, 4);
+        check_stabilizes(mk(), &[11, 10], false, 5);
+        check_stabilizes(mk(), &[10, 10], false, 6);
+    }
+
+    #[test]
+    fn remainder_stabilizes() {
+        // x0 + 2*x1 ≡ 1 (mod 3)
+        let mk = || RemainderProtocol::new(vec![1, 2], 1, 3).unwrap();
+        check_stabilizes(mk(), &[5, 1], true, 7); // 5 + 2 = 7 ≡ 1 (mod 3)
+        check_stabilizes(mk(), &[5, 2], false, 8); // 9 ≡ 0
+        check_stabilizes(mk(), &[2, 1], true, 9); // 2 + 2 = 4 ≡ 1 (mod 3)
+    }
+
+    #[test]
+    fn remainder_small_case_truth_table() {
+        let p = RemainderProtocol::new(vec![1, 2], 1, 3).unwrap();
+        assert!(p.eval(&[5, 1]));
+        assert!(!p.eval(&[5, 2]));
+        assert!(p.eval(&[2, 1])); // 2 + 2 = 4 ≡ 1 (mod 3)
+    }
+
+    #[test]
+    fn threshold_sum_invariant_until_saturation() {
+        // Within bounds, each interaction preserves the sum of count fields.
+        let p = ThresholdProtocol::new(vec![1, -1], 0).unwrap();
+        let a = p.input(&0);
+        let b = p.input(&1);
+        let (a2, b2) = p.delta(&a, &b);
+        assert_eq!(a.count + b.count, a2.count + b2.count);
+        // Leaders merge.
+        assert!(a2.leader);
+        assert!(!b2.leader);
+    }
+
+    #[test]
+    fn nonleader_pairs_are_noops() {
+        let p = ThresholdProtocol::new(vec![1], 1).unwrap();
+        let x = LinState::new(false, false, 1);
+        let y = LinState::new(false, true, 0);
+        assert_eq!(p.delta(&x, &y), (x, y));
+        let r = RemainderProtocol::new(vec![1], 0, 2).unwrap();
+        assert_eq!(r.delta(&x, &y), (x, y));
+    }
+
+    #[test]
+    fn linear_atom_dispatches() {
+        let t = LinearAtom::Threshold(ThresholdProtocol::new(vec![1], 2).unwrap());
+        let r = LinearAtom::Remainder(RemainderProtocol::new(vec![1], 0, 2).unwrap());
+        assert!(t.eval(&[1]));
+        assert!(!t.eval(&[2]));
+        assert!(r.eval(&[4]));
+        assert!(!r.eval(&[3]));
+        assert_eq!(t.arity(), 1);
+        let s = t.input(&0);
+        assert!(s.leader);
+        assert!(!t.output(&s));
+    }
+
+    #[test]
+    fn remainder_eval_handles_negative_coefficients() {
+        // -x0 ≡ 2 (mod 3) with x0 = 1: -1 ≡ 2 ✓
+        let p = RemainderProtocol::new(vec![-1], 2, 3).unwrap();
+        assert!(p.eval(&[1]));
+        assert!(!p.eval(&[2]));
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_threshold_conserves_unclamped_sum_when_within_bounds(
+            u in -5i64..=5, v in -5i64..=5, lp: bool, lr: bool,
+        ) {
+            let p = ThresholdProtocol::new(vec![5, -5], 0).unwrap();
+            let a = LinState::new(lp, false, u);
+            let b = LinState::new(lr, false, v);
+            let (a2, b2) = p.delta(&a, &b);
+            // q + r = u + v always (Lemma 5 observation).
+            proptest::prop_assert_eq!(a2.count + b2.count, a.count + b.count);
+            // Counts stay in [-s, s].
+            proptest::prop_assert!(a2.count.abs() <= p.bound());
+            proptest::prop_assert!(b2.count.abs() <= p.bound());
+        }
+
+        #[test]
+        fn prop_remainder_preserves_sum_mod_m(
+            u in 0i64..7, v in 0i64..7, lp: bool, lr: bool,
+        ) {
+            let m = 7;
+            let p = RemainderProtocol::new(vec![1], 3, m).unwrap();
+            let a = LinState::new(lp, false, u);
+            let b = LinState::new(lr, false, v);
+            let (a2, b2) = p.delta(&a, &b);
+            proptest::prop_assert_eq!(
+                (a2.count + b2.count).rem_euclid(m),
+                (u + v).rem_euclid(m)
+            );
+        }
+
+        #[test]
+        fn prop_leader_count_never_increases(
+            lp: bool, lr: bool, u in -3i64..=3, v in -3i64..=3,
+        ) {
+            let p = ThresholdProtocol::new(vec![3], 1).unwrap();
+            let a = LinState::new(lp, false, u);
+            let b = LinState::new(lr, false, v);
+            let (a2, b2) = p.delta(&a, &b);
+            let before = usize::from(lp) + usize::from(lr);
+            let after = usize::from(a2.leader) + usize::from(b2.leader);
+            proptest::prop_assert!(after <= before);
+            // And at least one leader survives if there was one.
+            if before > 0 {
+                proptest::prop_assert!(after >= 1);
+            }
+        }
+
+        #[test]
+        fn prop_threshold_simulation_matches_eval(
+            x0 in 0u64..12, x1 in 0u64..12, seed in 0u64..4,
+        ) {
+            proptest::prop_assume!(x0 + x1 >= 2);
+            let p = ThresholdProtocol::new(vec![2, -3], 1).unwrap();
+            let expected = p.eval(&[x0, x1]);
+            let mut sim = Simulation::from_counts(p, [(0usize, x0), (1usize, x1)]);
+            let mut rng = seeded_rng(seed);
+            let rep = sim.measure_stabilization(&expected, 60_000, &mut rng);
+            proptest::prop_assert!(rep.converged());
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Majority and parity as instances of the Lemma 5 atoms.
+//!
+//! The paper names both among the Presburger-definable predicates its
+//! protocols cover (§2, §4.2): *majority* is the threshold
+//! `x₀ − x₁ < 0` and *parity* is the remainder `x₁ ≡ 1 (mod 2)`.
+
+use crate::linear::{RemainderProtocol, ThresholdProtocol};
+
+/// The majority predicate: "strictly more agents have input 1 than 0",
+/// i.e. the Lemma 5 threshold `x₀ − x₁ < 0`.
+///
+/// Input symbols: `0usize` for a `0`-vote, `1usize` for a `1`-vote.
+///
+/// # Example
+///
+/// ```
+/// use pp_core::prelude::*;
+/// use pp_protocols::majority;
+///
+/// let mut sim = Simulation::from_counts(majority(), [(0usize, 10), (1usize, 11)]);
+/// let mut rng = seeded_rng(8);
+/// assert!(sim.measure_stabilization(&true, 400_000, &mut rng).converged());
+/// ```
+pub fn majority() -> ThresholdProtocol {
+    ThresholdProtocol::new(vec![1, -1], 0).expect("static coefficients are valid")
+}
+
+/// The parity predicate: "the number of agents with input 1 is odd",
+/// i.e. the Lemma 5 remainder `x₁ ≡ 1 (mod 2)`.
+///
+/// Input symbols: `0usize` and `1usize`.
+///
+/// # Example
+///
+/// ```
+/// use pp_protocols::parity;
+///
+/// assert!(parity().eval(&[4, 3]));
+/// assert!(!parity().eval(&[5, 2]));
+/// ```
+pub fn parity() -> RemainderProtocol {
+    RemainderProtocol::new(vec![0, 1], 1, 2).expect("static coefficients are valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_core::{seeded_rng, Simulation};
+
+    #[test]
+    fn majority_ground_truth() {
+        let m = majority();
+        assert!(m.eval(&[3, 4]));
+        assert!(!m.eval(&[4, 4]));
+        assert!(!m.eval(&[5, 4]));
+    }
+
+    #[test]
+    fn parity_ground_truth() {
+        let p = parity();
+        assert!(p.eval(&[0, 1]));
+        assert!(p.eval(&[9, 7]));
+        assert!(!p.eval(&[9, 8]));
+        assert!(!p.eval(&[2, 0]));
+    }
+
+    #[test]
+    fn tie_is_not_majority() {
+        let mut sim = Simulation::from_counts(majority(), [(0usize, 8), (1usize, 8)]);
+        let mut rng = seeded_rng(12);
+        let rep = sim.measure_stabilization(&false, 200_000, &mut rng);
+        assert!(rep.converged());
+    }
+
+    #[test]
+    fn parity_stabilizes() {
+        let mut rng = seeded_rng(13);
+        let mut odd = Simulation::from_counts(parity(), [(0usize, 6), (1usize, 7)]);
+        assert!(odd.measure_stabilization(&true, 200_000, &mut rng).converged());
+        let mut even = Simulation::from_counts(parity(), [(0usize, 6), (1usize, 8)]);
+        assert!(even.measure_stabilization(&false, 200_000, &mut rng).converged());
+    }
+}

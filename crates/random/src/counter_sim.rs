@@ -1,0 +1,314 @@
+//! Simulating a counter machine on a population — §6.1 "Simulating
+//! counters" / "The benefits of a leader".
+//!
+//! A designated *leader* stores the finite-state control (the program
+//! counter of a [`CounterMachine`]); every other agent except the *timer*
+//! stores a vector of small counter shares in `0..=M`. The value of
+//! counter `i` is the sum of the `i`-th shares across the population, so a
+//! counter holds up to `(n−2)·M = O(n)` — the paper's "counters of
+//! capacity O(n)".
+//!
+//! * **Increment**: the leader waits for an encounter with an agent whose
+//!   share is below `M` and increments it (never errs; §6.1 notes the
+//!   timer is not used here).
+//! * **Decrement / zero test** (`DecJz`): the leader waits for either an
+//!   agent with a nonzero share (decrement it, take the nonzero branch) or
+//!   `k` consecutive timer encounters (take the zero branch). The zero
+//!   branch can be *wrong* with probability `Θ(n^{−k}/m)` (Theorem 9) —
+//!   the price of sequencing and iteration in this model.
+//!
+//! Interactions not involving the leader are no-ops and are sampled in
+//! bulk as geometric gaps (a pair involves the leader with probability
+//! `2/n`).
+
+use rand::Rng;
+
+use pp_machines::counter::{CounterMachine, Instr};
+
+use crate::zero_test::sample_geometric;
+
+/// Why a population run stopped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PopulationRunOutcome {
+    /// The program halted; counter values are the population sums.
+    Halted {
+        /// Final counter values (sums of shares).
+        counters: Vec<u128>,
+        /// Total population interactions elapsed.
+        interactions: u64,
+        /// Number of zero-branch decisions that were actually wrong
+        /// (known to the simulator, invisible to the agents).
+        silent_errors: u64,
+    },
+    /// An increment found the population at full capacity.
+    CapacityExceeded {
+        /// The counter being incremented.
+        counter: usize,
+    },
+    /// The interaction budget ran out.
+    OutOfInteractions,
+}
+
+impl PopulationRunOutcome {
+    /// The halted counter values, if the run halted.
+    pub fn counters(&self) -> Option<&[u128]> {
+        match self {
+            Self::Halted { counters, .. } => Some(counters),
+            _ => None,
+        }
+    }
+}
+
+/// A population executing a counter machine under uniform random pairing.
+#[derive(Debug, Clone)]
+pub struct PopulationCounterMachine {
+    program: CounterMachine,
+    n: usize,
+    k: u32,
+    max_share: u8,
+}
+
+impl PopulationCounterMachine {
+    /// Creates a population of `n` agents (1 leader + 1 timer + `n − 2`
+    /// share holders) executing `program`, with zero-test waiting
+    /// parameter `k` and per-agent share cap `max_share` (the paper's `M`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 4`, `k < 1`, or `max_share < 1`.
+    pub fn new(program: CounterMachine, n: usize, k: u32, max_share: u8) -> Self {
+        assert!(n >= 4, "population must have at least 4 agents");
+        assert!(k >= 1, "waiting parameter must be at least 1");
+        assert!(max_share >= 1, "share cap must be at least 1");
+        Self { program, n, k, max_share }
+    }
+
+    /// Total capacity of each simulated counter: `(n−2)·M`.
+    pub fn capacity(&self) -> u128 {
+        ((self.n - 2) as u128) * u128::from(self.max_share)
+    }
+
+    /// The compiled program.
+    pub fn program(&self) -> &CounterMachine {
+        &self.program
+    }
+
+    /// Runs the program with the given initial counter values, for at most
+    /// `max_interactions` population interactions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an initial value exceeds [`capacity`](Self::capacity) or
+    /// the number of initial values differs from the program's counters.
+    pub fn run(
+        &self,
+        initial: &[u128],
+        max_interactions: u64,
+        rng: &mut impl Rng,
+    ) -> PopulationRunOutcome {
+        let nc = self.program.num_counters();
+        assert_eq!(initial.len(), nc, "initial value arity mismatch");
+        let holders = self.n - 2;
+        // shares[a][c] = share of counter c held by agent a.
+        let mut shares = vec![vec![0u8; nc]; holders];
+        for (c, &v) in initial.iter().enumerate() {
+            assert!(v <= self.capacity(), "initial value {v} exceeds capacity");
+            let mut rest = v;
+            for agent in shares.iter_mut() {
+                if rest == 0 {
+                    break;
+                }
+                let take = rest.min(u128::from(self.max_share)) as u8;
+                agent[c] = take;
+                rest -= u128::from(take);
+            }
+        }
+        // Nonzero/full-agent bookkeeping for fast branch checks.
+        let mut totals: Vec<u128> = initial.to_vec();
+
+        let p_leader = 2.0 / self.n as f64;
+        let mut interactions = 0u64;
+        let mut silent_errors = 0u64;
+        let mut pc = 0usize;
+
+        'program: loop {
+            match self.program.instructions()[pc] {
+                Instr::Halt => {
+                    return PopulationRunOutcome::Halted {
+                        counters: totals,
+                        interactions,
+                        silent_errors,
+                    };
+                }
+                Instr::Inc { counter, next } => {
+                    if totals[counter] >= self.capacity() {
+                        return PopulationRunOutcome::CapacityExceeded { counter };
+                    }
+                    // Wait for an agent with a non-full share.
+                    loop {
+                        interactions += sample_geometric(p_leader, rng);
+                        if interactions >= max_interactions {
+                            return PopulationRunOutcome::OutOfInteractions;
+                        }
+                        let t = rng.gen_range(0..self.n - 1);
+                        if t == 0 {
+                            continue; // the timer; irrelevant here
+                        }
+                        let a = t - 1;
+                        if shares[a][counter] < self.max_share {
+                            shares[a][counter] += 1;
+                            totals[counter] += 1;
+                            pc = next;
+                            continue 'program;
+                        }
+                    }
+                }
+                Instr::DecJz { counter, nonzero, zero } => {
+                    let mut streak = 0u32;
+                    loop {
+                        interactions += sample_geometric(p_leader, rng);
+                        if interactions >= max_interactions {
+                            return PopulationRunOutcome::OutOfInteractions;
+                        }
+                        let t = rng.gen_range(0..self.n - 1);
+                        if t == 0 {
+                            // The timer.
+                            streak += 1;
+                            if streak >= self.k {
+                                if totals[counter] != 0 {
+                                    silent_errors += 1;
+                                }
+                                pc = zero;
+                                continue 'program;
+                            }
+                            continue;
+                        }
+                        let a = t - 1;
+                        if shares[a][counter] > 0 {
+                            shares[a][counter] -= 1;
+                            totals[counter] -= 1;
+                            pc = nonzero;
+                            continue 'program;
+                        }
+                        streak = 0;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_machines::programs;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn addition_on_population_matches_direct_run() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let pcm = PopulationCounterMachine::new(programs::cm_add(), 32, 2, 2);
+        for (a, b) in [(0u128, 0u128), (3, 4), (10, 7), (25, 5)] {
+            let direct = programs::cm_add().run(&[a, b], 10_000).unwrap();
+            let out = pcm.run(&[a, b], 50_000_000, &mut rng);
+            match out {
+                PopulationRunOutcome::Halted { counters, silent_errors, .. } => {
+                    if silent_errors == 0 {
+                        assert_eq!(counters, direct.counters, "{a}+{b}");
+                    }
+                }
+                other => panic!("did not halt: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn divmod_on_population() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let pcm = PopulationCounterMachine::new(programs::cm_divmod(3), 40, 2, 2);
+        let mut exact = 0u32;
+        let trials = 15;
+        for t in 0..trials {
+            let n = u128::from(t % 14);
+            let out = pcm.run(&[n, 0, 0], 100_000_000, &mut rng);
+            if let PopulationRunOutcome::Halted { counters, silent_errors, .. } = out {
+                if silent_errors == 0 {
+                    assert_eq!(counters[1], n / 3, "quotient of {n}");
+                    assert_eq!(counters[2], n % 3, "remainder of {n}");
+                    exact += 1;
+                }
+            } else {
+                panic!("did not halt: {out:?}");
+            }
+        }
+        assert!(exact >= trials - 5, "too many erroneous runs: {exact}/{trials}");
+    }
+
+    #[test]
+    fn capacity_errors_are_detected() {
+        // 4 agents → 2 holders × M=1 → capacity 2; incrementing thrice
+        // must fail.
+        let m = pp_machines::counter::CounterMachine::new(
+            vec![
+                Instr::Inc { counter: 0, next: 1 },
+                Instr::Inc { counter: 0, next: 2 },
+                Instr::Inc { counter: 0, next: 3 },
+                Instr::Halt,
+            ],
+            1,
+        )
+        .unwrap();
+        let pcm = PopulationCounterMachine::new(m, 4, 2, 1);
+        assert_eq!(pcm.capacity(), 2);
+        let mut rng = StdRng::seed_from_u64(0);
+        let out = pcm.run(&[0], 10_000_000, &mut rng);
+        assert_eq!(out, PopulationRunOutcome::CapacityExceeded { counter: 0 });
+    }
+
+    #[test]
+    fn zero_test_error_rate_decreases_with_k() {
+        // Program: single DecJz on a counter holding 1; the zero branch is
+        // an error. Measure error frequency for k=1 vs k=3.
+        let mk = || {
+            pp_machines::counter::CounterMachine::new(
+                vec![
+                    Instr::DecJz { counter: 0, nonzero: 1, zero: 1 },
+                    Instr::Halt,
+                ],
+                1,
+            )
+            .unwrap()
+        };
+        let mut rng = StdRng::seed_from_u64(9);
+        let rate = |k: u32, rng: &mut StdRng| {
+            let pcm = PopulationCounterMachine::new(mk(), 16, k, 2);
+            let trials = 20_000;
+            let mut errs = 0u64;
+            for _ in 0..trials {
+                if let PopulationRunOutcome::Halted { silent_errors, .. } =
+                    pcm.run(&[1], 10_000_000, rng)
+                {
+                    errs += silent_errors;
+                }
+            }
+            errs as f64 / trials as f64
+        };
+        let r1 = rate(1, &mut rng);
+        let r3 = rate(3, &mut rng);
+        assert!(
+            r3 < r1 / 20.0,
+            "error rate must drop sharply with k: k=1 {r1:.5}, k=3 {r3:.5}"
+        );
+    }
+
+    #[test]
+    fn out_of_interactions_reported() {
+        let pcm = PopulationCounterMachine::new(programs::cm_add(), 32, 4, 2);
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(
+            pcm.run(&[20, 20], 5, &mut rng),
+            PopulationRunOutcome::OutOfInteractions
+        );
+    }
+}

@@ -1,0 +1,240 @@
+//! Randomized leader election with timer marking and retrieval — §6.1
+//! "How to elect a leader".
+//!
+//! Every agent starts with its leader bit set. Leaders eliminate each
+//! other pairwise; each leader tries to mark one *timer* agent and uses
+//! `k` consecutive timer encounters to decide its initialization phase is
+//! over. When a leader defeats a rival that had marked a timer, it owes
+//! one timer *retrieval*: it converts the next timer(s) it meets back to
+//! ordinary agents before proceeding, so the population ends with exactly
+//! one leader and exactly one timer.
+//!
+//! The paper: "After a period of unrest lasting an expected Θ(n²)
+//! interactions, there will be just one agent with leader bit equal to 1",
+//! and the surviving leader then initializes everyone with high
+//! probability. Experiment E1 measures the `(n−1)²` unrest time for the
+//! bare protocol (`pp-protocols`' `LeaderElection`); this module measures
+//! the full timer dance.
+
+use rand::Rng;
+
+/// Phase of a leader agent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Still initializing (streak counts consecutive timer encounters).
+    Initializing {
+        /// Consecutive timer encounters so far.
+        streak: u32,
+    },
+    /// Initialization complete; computing.
+    Done,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Agent {
+    leader: bool,
+    timer: bool,
+    /// Leaders only: marked a timer already?
+    has_timer: bool,
+    /// Leaders only: timers owed for retrieval from defeated rivals.
+    pending_retrieval: u32,
+    phase: Phase,
+}
+
+/// Outcome of a full leader-election run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LeaderElectionOutcome {
+    /// Interactions until a single leader remained (the "period of
+    /// unrest", expected Θ(n²)).
+    pub unrest_interactions: u64,
+    /// Interactions until the surviving leader also finished its
+    /// initialization phase (including timer retrievals).
+    pub total_interactions: u64,
+    /// Number of timers left in the population (should be exactly 1).
+    pub final_timers: u64,
+}
+
+/// The §6.1 leader-election system over `n` agents with waiting
+/// parameter `k`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimerLeaderElection {
+    n: usize,
+    k: u32,
+}
+
+impl TimerLeaderElection {
+    /// Creates an election over `n ≥ 3` agents (a leader, a timer, and at
+    /// least one ordinary agent) with waiting parameter `k ≥ 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 3` or `k < 1`.
+    pub fn new(n: usize, k: u32) -> Self {
+        assert!(n >= 3, "need at least 3 agents");
+        assert!(k >= 1, "waiting parameter must be at least 1");
+        Self { n, k }
+    }
+
+    /// Runs the election to completion (single leader, initialization
+    /// done, all surplus timers retrieved), or until `max_interactions`.
+    ///
+    /// Returns `None` on timeout.
+    pub fn run(&self, rng: &mut impl Rng, max_interactions: u64) -> Option<LeaderElectionOutcome> {
+        let mut agents = vec![
+            Agent {
+                leader: true,
+                timer: false,
+                has_timer: false,
+                pending_retrieval: 0,
+                phase: Phase::Initializing { streak: 0 },
+            };
+            self.n
+        ];
+        let mut leaders = self.n as u64;
+        let mut interactions = 0u64;
+        let mut unrest = None;
+
+        while interactions < max_interactions {
+            interactions += 1;
+            let u = rng.gen_range(0..self.n);
+            let mut v = rng.gen_range(0..self.n - 1);
+            if v >= u {
+                v += 1;
+            }
+            self.interact(&mut agents, u, v, &mut leaders);
+            if leaders == 1 && unrest.is_none() {
+                unrest = Some(interactions);
+            }
+            if leaders == 1 {
+                // Finished when the unique leader is Done with no pending
+                // retrievals.
+                let l = agents.iter().find(|a| a.leader).expect("one leader");
+                if l.phase == Phase::Done && l.pending_retrieval == 0 {
+                    let timers = agents.iter().filter(|a| a.timer).count() as u64;
+                    return Some(LeaderElectionOutcome {
+                        unrest_interactions: unrest.unwrap_or(interactions),
+                        total_interactions: interactions,
+                        final_timers: timers,
+                    });
+                }
+            }
+        }
+        None
+    }
+
+    fn interact(&self, agents: &mut [Agent], u: usize, v: usize, leaders: &mut u64) {
+        match (agents[u].leader, agents[v].leader) {
+            (true, true) => {
+                // The responder demotes; the winner inherits a retrieval
+                // obligation if the loser had marked a timer, and restarts
+                // its initialization phase.
+                let loser_had_timer = agents[v].has_timer;
+                agents[v].leader = false;
+                agents[v].has_timer = false;
+                let inherited = agents[v].pending_retrieval;
+                agents[v].pending_retrieval = 0;
+                *leaders -= 1;
+                let w = &mut agents[u];
+                if loser_had_timer {
+                    w.pending_retrieval += 1;
+                }
+                w.pending_retrieval += inherited;
+                w.phase = Phase::Initializing { streak: 0 };
+            }
+            (true, false) => self.leader_meets(agents, u, v),
+            (false, true) => self.leader_meets(agents, v, u),
+            (false, false) => {}
+        }
+    }
+
+    /// Leader `l` encounters non-leader `o`.
+    fn leader_meets(&self, agents: &mut [Agent], l: usize, o: usize) {
+        let other_is_timer = agents[o].timer;
+        let leader = &mut agents[l];
+        if leader.pending_retrieval > 0 && other_is_timer {
+            // Retrieve a surplus timer.
+            leader.pending_retrieval -= 1;
+            agents[o].timer = false;
+            if let Phase::Initializing { streak } = &mut agents[l].phase {
+                *streak = 0;
+            }
+            return;
+        }
+        if !leader.has_timer && !other_is_timer {
+            // Mark the first non-timer agent encountered as the timer.
+            leader.has_timer = true;
+            agents[o].timer = true;
+            if let Phase::Initializing { streak } = &mut agents[l].phase {
+                *streak = 0;
+            }
+            return;
+        }
+        match &mut leader.phase {
+            Phase::Initializing { streak } => {
+                if other_is_timer {
+                    *streak += 1;
+                    if *streak >= self.k {
+                        leader.phase = Phase::Done;
+                    }
+                } else {
+                    // Initialize the agent; streak broken.
+                    *streak = 0;
+                }
+            }
+            Phase::Done => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn converges_to_one_leader_one_timer() {
+        let mut rng = StdRng::seed_from_u64(17);
+        for n in [3usize, 8, 32, 100] {
+            let e = TimerLeaderElection::new(n, 3);
+            let out = e.run(&mut rng, 200_000_000).expect("must converge");
+            assert_eq!(out.final_timers, 1, "n={n}");
+            assert!(out.unrest_interactions <= out.total_interactions);
+        }
+    }
+
+    #[test]
+    fn unrest_time_scales_quadratically() {
+        // E[unrest] for the bare merge process is (n−1)²; the timer dance
+        // only perturbs constants. Check the n² slope across a doubling.
+        let mut rng = StdRng::seed_from_u64(23);
+        let mean_unrest = |n: usize, rng: &mut StdRng| {
+            let e = TimerLeaderElection::new(n, 2);
+            let trials = 60;
+            let total: u64 = (0..trials)
+                .map(|_| e.run(rng, 500_000_000).unwrap().unrest_interactions)
+                .sum();
+            total as f64 / trials as f64
+        };
+        let m32 = mean_unrest(32, &mut rng);
+        let m64 = mean_unrest(64, &mut rng);
+        let ratio = m64 / m32;
+        assert!(
+            (2.5..6.5).contains(&ratio),
+            "expected ≈4x growth for 2x population, got {ratio:.2}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn tiny_population_rejected() {
+        TimerLeaderElection::new(2, 1);
+    }
+
+    #[test]
+    fn timeout_returns_none() {
+        let e = TimerLeaderElection::new(50, 3);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(e.run(&mut rng, 10), None);
+    }
+}

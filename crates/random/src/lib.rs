@@ -1,0 +1,49 @@
+//! Conjugating automata: the probabilistic layer of §6 of Angluin et al.
+//! (PODC 2004).
+//!
+//! Adding uniform random pairing to the population model lets protocols
+//! trade a small error probability for the ability to *sequence* and
+//! *iterate* — the paper's route from "semilinear predicates" all the way
+//! up to simulating logspace Turing machines with high probability. This
+//! crate implements every stage of that construction:
+//!
+//! * [`urn`] — the Lemma 11 urn process (timer token vs counter tokens)
+//!   with both Monte-Carlo simulation and the paper's closed-form loss
+//!   probability and draw-count bounds;
+//! * [`zero_test`] — the Theorem 9 population zero test: a leader decides
+//!   "is counter *i* zero?" by waiting for either a counter token or `k`
+//!   consecutive timer encounters;
+//! * [`leader`] — randomized leader election with timer marking and
+//!   retrieval (§6.1 "How to elect a leader"), measured at the claimed
+//!   Θ(n²) unrest time;
+//! * [`counter_protocol`] — the same designated-leader counter machine as
+//!   a literal `δ`-table [`pp_core::Protocol`], exactly analyzable by
+//!   `pp-analysis`;
+//! * [`urn_automaton`] — the §8 companion storage model (reference \[2\]):
+//!   a finite control sampling tokens from an urn;
+//! * [`counter_sim`] — a population that simulates a counter machine with
+//!   `O(1)` counters of capacity `O(n)` (§6.1 "Simulating counters" /
+//!   "Simulating a Turing machine"): distributed counter shares,
+//!   increment/decrement/zero-test, and the multiply/divide-by-`b` loops;
+//! * [`tm_sim`] — the Theorem 10 pipeline: a Turing machine is compiled to
+//!   counters (Minsky, from `pp-machines`) and executed on the population,
+//!   with measured error rates and interaction counts.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod counter_protocol;
+pub mod counter_sim;
+pub mod leader;
+pub mod tm_sim;
+pub mod urn;
+pub mod urn_automaton;
+pub mod zero_test;
+
+pub use counter_protocol::{CounterAgent, CounterProtocol};
+pub use counter_sim::{PopulationCounterMachine, PopulationRunOutcome};
+pub use leader::TimerLeaderElection;
+pub use tm_sim::PopulationTm;
+pub use urn::{UrnOutcome, UrnProcess};
+pub use urn_automaton::{UrnAutomaton, UrnRun};
+pub use zero_test::{ZeroTest, ZeroTestOutcome};

@@ -1,0 +1,214 @@
+//! Theorem 10: simulating a Turing machine on a population, with high
+//! probability.
+//!
+//! The pipeline is exactly the paper's: the TM tape becomes two
+//! Gödel-numbered stacks (Minsky, `pp-machines`), giving a 3-counter
+//! machine; the counters live as distributed shares across the population
+//! and the leader runs the control, using the randomized zero test for
+//! every `DecJz`. Theorem 10 bounds the end-to-end error by
+//! `O(n^{−c} log n)` and the expected interactions by
+//! `O(n^{d+2} log n + n^{2d+c+1})` for a `T(n) = O(n^d)` machine.
+//!
+//! Capacity note: a tape of `t` cells over alphabet size `b` Gödel-encodes
+//! to counters up to `bᵗ`, and the population provides capacity
+//! `(n−2)·M`. [`PopulationTm::max_tape_cells`] exposes the resulting tape
+//! budget; inputs must respect it (the paper's machines are logspace, so
+//! their tapes are short by construction).
+
+use rand::Rng;
+
+use pp_machines::minsky::{compile_tm, CompiledTm};
+use pp_machines::tm::TuringMachine;
+
+use crate::counter_sim::{PopulationCounterMachine, PopulationRunOutcome};
+
+/// Outcome of one population TM run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TmSimOutcome {
+    /// The simulation halted with this tape (possibly wrong if
+    /// `silent_errors > 0`).
+    Halted {
+        /// Final tape, trimmed.
+        tape: Vec<u8>,
+        /// Total population interactions.
+        interactions: u64,
+        /// Erroneous zero-test decisions along the way.
+        silent_errors: u64,
+    },
+    /// A counter overflowed the population capacity (tape too long for
+    /// this population).
+    CapacityExceeded,
+    /// The interaction budget ran out.
+    OutOfInteractions,
+}
+
+/// A Turing machine executed by a population of `n` agents (Theorem 10).
+#[derive(Debug, Clone)]
+pub struct PopulationTm {
+    compiled: CompiledTm,
+    population: PopulationCounterMachine,
+    n: usize,
+    max_share: u8,
+}
+
+impl PopulationTm {
+    /// Compiles `tm` and prepares a population of `n` agents with waiting
+    /// parameter `k` and per-agent share cap `max_share`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 4`, `k < 1`, or `max_share < 1`.
+    pub fn new(tm: &TuringMachine, n: usize, k: u32, max_share: u8) -> Self {
+        let compiled = compile_tm(tm);
+        let population =
+            PopulationCounterMachine::new(compiled.machine().clone(), n, k, max_share);
+        Self { compiled, population, n, max_share }
+    }
+
+    /// Population size.
+    pub fn population_size(&self) -> usize {
+        self.n
+    }
+
+    /// The largest number of tape cells whose Gödel number fits the
+    /// population's counter capacity.
+    pub fn max_tape_cells(&self) -> u32 {
+        let capacity = ((self.n - 2) as u128) * u128::from(self.max_share);
+        let b = self.compiled.base();
+        let mut cells = 0u32;
+        let mut v = 1u128;
+        while let Some(next) = v.checked_mul(b) {
+            if next - 1 > capacity {
+                break;
+            }
+            v = next;
+            cells += 1;
+        }
+        cells
+    }
+
+    /// Runs the TM on `input` (unary-ish symbol string) for at most
+    /// `max_interactions` population interactions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the encoded input exceeds the population capacity — check
+    /// [`max_tape_cells`](Self::max_tape_cells) first.
+    pub fn run(
+        &self,
+        input: &[u8],
+        max_interactions: u64,
+        rng: &mut impl Rng,
+    ) -> TmSimOutcome {
+        let init = self.compiled.encode_input(input);
+        match self.population.run(init.as_ref(), max_interactions, rng) {
+            PopulationRunOutcome::Halted { counters, interactions, silent_errors } => {
+                TmSimOutcome::Halted {
+                    tape: self.compiled.decode_tape(&counters),
+                    interactions,
+                    silent_errors,
+                }
+            }
+            PopulationRunOutcome::CapacityExceeded { .. } => TmSimOutcome::CapacityExceeded,
+            PopulationRunOutcome::OutOfInteractions => TmSimOutcome::OutOfInteractions,
+        }
+    }
+
+    /// Reference run: the same compiled machine executed exactly (no
+    /// randomness), for error-rate measurements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the exact machine does not halt within `fuel` steps.
+    pub fn reference_tape(&self, input: &[u8], fuel: u64) -> Vec<u8> {
+        self.compiled.run(input, fuel).expect("reference run halts").tape
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_machines::programs;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn parity_tm_on_population_clean_runs_are_correct() {
+        // Every zero test errs with probability Θ(n^{−k}/m), and a TM run
+        // performs many, so individual runs may err; clean runs (no silent
+        // zero-test errors) must reproduce the reference tape exactly, and
+        // with k = 3 a decent fraction of runs is clean.
+        let tm = programs::tm_unary_parity();
+        let sim = PopulationTm::new(&tm, 16, 3, 2);
+        assert!(sim.max_tape_cells() >= 4, "capacity too small for the test");
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut clean = 0u32;
+        let trials = 10;
+        for t in 0..trials {
+            let n_ones = (t % 4) as usize;
+            let input = vec![1u8; n_ones];
+            let want = sim.reference_tape(&input, 1_000_000);
+            match sim.run(&input, 4_000_000_000, &mut rng) {
+                TmSimOutcome::Halted { tape, silent_errors, .. } => {
+                    if silent_errors == 0 {
+                        assert_eq!(tape, want, "n_ones={n_ones}");
+                        clean += 1;
+                    }
+                }
+                other => panic!("did not halt: {other:?}"),
+            }
+        }
+        assert!(clean >= 2, "expected some clean runs, got {clean}/{trials}");
+    }
+
+    #[test]
+    fn increment_tm_on_population() {
+        let tm = programs::tm_unary_increment();
+        let sim = PopulationTm::new(&tm, 24, 2, 2);
+        let mut rng = StdRng::seed_from_u64(4);
+        let input = vec![1u8; 3];
+        match sim.run(&input, 2_000_000_000, &mut rng) {
+            TmSimOutcome::Halted { tape, silent_errors, .. } => {
+                if silent_errors == 0 {
+                    assert_eq!(tape, vec![1u8; 4]);
+                }
+            }
+            other => panic!("did not halt: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn max_tape_cells_respects_capacity() {
+        let tm = programs::tm_unary_parity(); // base 2
+        let sim = PopulationTm::new(&tm, 10, 1, 1);
+        // capacity = 8 → 2^t − 1 ≤ 8 → t = 3.
+        assert_eq!(sim.max_tape_cells(), 3);
+    }
+
+    #[test]
+    fn capacity_exceeded_detected() {
+        // A TM that walks left forever writing 1s: its right stack's Gödel
+        // number doubles every step and must overflow the population.
+        let tm = pp_machines::tm::TuringMachine::new(
+            2,
+            2,
+            0,
+            1,
+            [((0, 0), pp_machines::tm::Action {
+                write: 1,
+                mv: pp_machines::tm::Move::Left,
+                next: 0,
+            })],
+        )
+        .unwrap();
+        // k = 4 keeps the zero tests reliable enough that the simulation
+        // follows the real (overflowing) execution path.
+        let sim = PopulationTm::new(&tm, 6, 4, 1); // capacity 4 → 2 cells
+        let mut rng = StdRng::seed_from_u64(1);
+        let out = sim.run(&[], 1_000_000_000, &mut rng);
+        assert!(
+            matches!(out, TmSimOutcome::CapacityExceeded),
+            "expected capacity error, got {out:?}"
+        );
+    }
+}

@@ -1,0 +1,240 @@
+//! The Lemma 11 urn process.
+//!
+//! An urn holds `N` tokens: `m` *counter* tokens, one *timer* token, and
+//! `N − 1 − m` blanks. Tokens are drawn with replacement. The process
+//! ends in a **win** when a counter token is drawn, and in a **loss** when
+//! the timer token is drawn `k` times in a row before any counter token.
+//!
+//! Lemma 11 gives exactly:
+//!
+//! 1. `P(loss) = (N−1) / (m·Nᵏ + (N−1−m)) ≤ 1/(m·N^{k−1})`;
+//! 2. conditioned on winning (and `m > 0`), `E[draws] ≤ N/m`;
+//! 3. for `m = 0`, `E[draws to lose] = O(Nᵏ)`.
+//!
+//! [`UrnProcess`] simulates the process; the `loss_probability` /
+//! `expected_draws_*` methods evaluate the closed forms, so experiment E4
+//! can put measured and analytic columns side by side.
+
+use rand::Rng;
+
+/// Outcome of one urn run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UrnOutcome {
+    /// `true` if a counter token was drawn before `k` consecutive timers.
+    pub won: bool,
+    /// Total draws performed (including the final, deciding draw).
+    pub draws: u64,
+}
+
+/// The Lemma 11 urn: `N` tokens of which `m` are counter tokens and one is
+/// the timer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UrnProcess {
+    n: u64,
+    m: u64,
+    k: u32,
+}
+
+impl UrnProcess {
+    /// Creates an urn with `n` tokens total, `m` counter tokens, and
+    /// waiting parameter `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `n ≥ m + 1` (the timer needs its own token — the
+    /// Lemma 11 case where the timer is distinct from all counter tokens)
+    /// and `k ≥ 1`.
+    pub fn new(n: u64, m: u64, k: u32) -> Self {
+        assert!(n > m, "urn needs room for the timer besides {m} counter tokens");
+        assert!(n >= 1, "urn must be non-empty");
+        assert!(k >= 1, "waiting parameter must be at least 1");
+        Self { n, m, k }
+    }
+
+    /// Urn size `N`.
+    pub fn size(&self) -> u64 {
+        self.n
+    }
+
+    /// Number of counter tokens `m`.
+    pub fn counter_tokens(&self) -> u64 {
+        self.m
+    }
+
+    /// Waiting parameter `k`.
+    pub fn waiting_parameter(&self) -> u32 {
+        self.k
+    }
+
+    /// Runs the process once.
+    pub fn run(&self, rng: &mut impl Rng) -> UrnOutcome {
+        let mut streak = 0u32;
+        let mut draws = 0u64;
+        loop {
+            draws += 1;
+            let t = rng.gen_range(0..self.n);
+            if t < self.m {
+                return UrnOutcome { won: true, draws };
+            } else if t == self.m {
+                // The timer token.
+                streak += 1;
+                if streak == self.k {
+                    return UrnOutcome { won: false, draws };
+                }
+            } else {
+                streak = 0;
+            }
+        }
+    }
+
+    /// Lemma 11(1): the exact loss probability
+    /// `(N−1) / (m·Nᵏ + (N−1−m))`.
+    ///
+    /// For `m = 0` this is 1 (the process can only lose).
+    pub fn loss_probability(&self) -> f64 {
+        let n = self.n as f64;
+        let m = self.m as f64;
+        let nk = n.powi(self.k as i32);
+        (n - 1.0) / (m * nk + (n - 1.0 - m))
+    }
+
+    /// Lemma 11(1)'s upper bound `1/(m·N^{k−1})` (only for `m > 0`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m = 0`.
+    pub fn loss_probability_bound(&self) -> f64 {
+        assert!(self.m > 0, "bound requires counter tokens");
+        1.0 / (self.m as f64 * (self.n as f64).powi(self.k as i32 - 1))
+    }
+
+    /// Lemma 11(2): the bound `N/m` on the expected draws up to and
+    /// including the first counter token, conditioned on winning.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m = 0`.
+    pub fn expected_draws_bound(&self) -> f64 {
+        assert!(self.m > 0, "bound requires counter tokens");
+        self.n as f64 / self.m as f64
+    }
+
+    /// For `m = 0`: the exact expected number of draws until `k`
+    /// consecutive timer draws, `(1 − pᵏ) / (pᵏ(1−p))` with `p = 1/N`
+    /// (the classical waiting time for a success run), which is `O(Nᵏ)` as
+    /// Lemma 11(3) states.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m > 0`.
+    pub fn expected_draws_to_lose(&self) -> f64 {
+        assert!(self.m == 0, "closed form applies to the m = 0 case");
+        let p = 1.0 / self.n as f64;
+        let pk = p.powi(self.k as i32);
+        (1.0 - pk) / (pk * (1.0 - p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mc_loss_rate(urn: UrnProcess, trials: u64, seed: u64) -> f64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut losses = 0u64;
+        for _ in 0..trials {
+            if !urn.run(&mut rng).won {
+                losses += 1;
+            }
+        }
+        losses as f64 / trials as f64
+    }
+
+    #[test]
+    fn loss_probability_matches_monte_carlo() {
+        // Small N and k so losses are frequent enough to measure.
+        for (n, m, k) in [(6u64, 1u64, 1u32), (6, 2, 1), (8, 1, 2), (5, 3, 1)] {
+            let urn = UrnProcess::new(n, m, k);
+            let analytic = urn.loss_probability();
+            let trials: u64 = if cfg!(debug_assertions) { 100_000 } else { 400_000 };
+            let measured = mc_loss_rate(urn, trials, 42 + n + m + u64::from(k));
+            let se = (analytic * (1.0 - analytic) / trials as f64).sqrt();
+            assert!(
+                (measured - analytic).abs() < 6.0 * se + 1e-4,
+                "N={n} m={m} k={k}: measured {measured:.5} vs analytic {analytic:.5}"
+            );
+        }
+    }
+
+    #[test]
+    fn loss_probability_bound_dominates_exact() {
+        for (n, m, k) in [(10u64, 1u64, 2u32), (20, 3, 2), (50, 5, 3)] {
+            let urn = UrnProcess::new(n, m, k);
+            assert!(urn.loss_probability() <= urn.loss_probability_bound() + 1e-15);
+        }
+    }
+
+    #[test]
+    fn expected_draws_bound_holds_empirically() {
+        let urn = UrnProcess::new(12, 3, 2);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut total = 0u64;
+        let mut wins = 0u64;
+        let trials: u64 = if cfg!(debug_assertions) { 50_000 } else { 200_000 };
+        for _ in 0..trials {
+            let o = urn.run(&mut rng);
+            if o.won {
+                wins += 1;
+                total += o.draws;
+            }
+        }
+        let mean = total as f64 / wins as f64;
+        assert!(
+            mean <= urn.expected_draws_bound() * 1.02,
+            "mean {mean:.3} exceeds bound {}",
+            urn.expected_draws_bound()
+        );
+    }
+
+    #[test]
+    fn m0_expected_loss_time_matches_closed_form() {
+        let urn = UrnProcess::new(4, 0, 2);
+        let analytic = urn.expected_draws_to_lose(); // (1-p²)/(p²(1-p)), p=1/4
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut total = 0u64;
+        let trials: u64 = if cfg!(debug_assertions) { 25_000 } else { 100_000 };
+        for _ in 0..trials {
+            let o = urn.run(&mut rng);
+            assert!(!o.won, "m = 0 can only lose");
+            total += o.draws;
+        }
+        let mean = total as f64 / trials as f64;
+        let ratio = mean / analytic;
+        assert!((0.97..1.03).contains(&ratio), "mean {mean:.2} vs {analytic:.2}");
+    }
+
+    #[test]
+    fn m_equals_zero_always_loses() {
+        let urn = UrnProcess::new(5, 0, 1);
+        assert_eq!(urn.loss_probability(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "room for the timer")]
+    fn too_many_counter_tokens_rejected() {
+        UrnProcess::new(3, 3, 1);
+    }
+
+    #[test]
+    fn k1_loss_probability_closed_form_sanity() {
+        // k = 1: lose iff the timer comes before any counter token:
+        // P = 1/(m+1) among the relevant tokens — matches the formula.
+        let urn = UrnProcess::new(10, 4, 1);
+        let formula = urn.loss_probability();
+        let direct = (10.0 - 1.0) / (4.0 * 10.0 + (10.0 - 1.0 - 4.0));
+        assert!((formula - direct).abs() < 1e-15);
+        assert!((formula - 1.0 / 5.0).abs() < 0.03, "≈ 1/(m+1)");
+    }
+}

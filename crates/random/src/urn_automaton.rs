@@ -1,0 +1,362 @@
+//! Urn automata — the companion storage model of §8.
+//!
+//! "One direction we have explored \[2\] is to define a novel storage
+//! device, the *urn*, which contains a multiset of tokens from a finite
+//! alphabet. It functions as auxiliary storage for a finite control …
+//! Access to the tokens in the urn is by uniform random sampling, making
+//! it similar to the model of conjugating automata."
+//!
+//! This module renders that model executable: a finite control repeatedly
+//! samples one token uniformly from the urn; the transition function maps
+//! `(state, token)` to a new state plus a multiset of tokens to put back
+//! (none = consume, one = replace, several = grow the urn). The automaton
+//! halts on reaching a halt state, or when the urn empties.
+//!
+//! Two example automata show the model's two regimes:
+//!
+//! * [`parity_automaton`] — consume-and-toggle; exact (it halts when the
+//!   urn is empty, which the *control* observes — unlike a population,
+//!   the automaton's sampling loop knows when nothing is left);
+//! * [`majority_automaton`] — pairwise cancellation with a k-streak
+//!   stopping rule; correct with high probability, mirroring the
+//!   conjugating-automaton zero test.
+
+use rand::Rng;
+
+/// A transition: next control state plus tokens returned to the urn.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UrnAction {
+    /// Next control state.
+    pub next: usize,
+    /// Tokens put (back) into the urn.
+    pub put: Vec<u8>,
+}
+
+/// Errors from construction or execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum UrnError {
+    /// A transition mentions an out-of-range state or token.
+    BadTransition {
+        /// Offending state.
+        state: usize,
+        /// Offending token.
+        token: u8,
+    },
+    /// The run exceeded its step budget.
+    OutOfFuel {
+        /// The exhausted budget.
+        fuel: u64,
+    },
+}
+
+impl std::fmt::Display for UrnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::BadTransition { state, token } => {
+                write!(f, "transition from state {state} on token {token} is out of range")
+            }
+            Self::OutOfFuel { fuel } => write!(f, "no halt within {fuel} samples"),
+        }
+    }
+}
+
+impl std::error::Error for UrnError {}
+
+/// Outcome of a halted urn-automaton run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UrnRun {
+    /// Control state at halt.
+    pub state: usize,
+    /// Final urn contents as per-token counts.
+    pub urn: Vec<u64>,
+    /// Samples drawn.
+    pub samples: u64,
+}
+
+/// An urn automaton: finite control + a token urn accessed by uniform
+/// random sampling.
+#[derive(Debug, Clone)]
+pub struct UrnAutomaton {
+    num_states: usize,
+    num_tokens: u8,
+    start: usize,
+    /// `halt[s]` marks state `s` as halting.
+    halt: Vec<bool>,
+    /// `delta[s * num_tokens + t]`.
+    delta: Vec<UrnAction>,
+}
+
+impl UrnAutomaton {
+    /// Creates an automaton.
+    ///
+    /// * `delta(state, token)` must be defined for every pair: supply a
+    ///   dense table in row-major `(state, token)` order.
+    /// * A run halts in any state with `halt[state]`, or when the urn
+    ///   empties (the control observes exhaustion).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UrnError::BadTransition`] if any action mentions an
+    /// out-of-range state or token.
+    ///
+    /// # Panics
+    ///
+    /// Panics if table or `halt` dimensions are inconsistent or `start`
+    /// is out of range.
+    pub fn new(
+        num_states: usize,
+        num_tokens: u8,
+        start: usize,
+        halt: Vec<bool>,
+        delta: Vec<UrnAction>,
+    ) -> Result<Self, UrnError> {
+        assert_eq!(halt.len(), num_states, "halt flags must cover all states");
+        assert_eq!(
+            delta.len(),
+            num_states * num_tokens as usize,
+            "transition table must be dense"
+        );
+        assert!(start < num_states, "start state out of range");
+        for (i, a) in delta.iter().enumerate() {
+            let state = i / num_tokens as usize;
+            let token = (i % num_tokens as usize) as u8;
+            if a.next >= num_states || a.put.iter().any(|&t| t >= num_tokens) {
+                return Err(UrnError::BadTransition { state, token });
+            }
+        }
+        Ok(Self { num_states, num_tokens, start, halt, delta })
+    }
+
+    /// Number of control states.
+    pub fn num_states(&self) -> usize {
+        self.num_states
+    }
+
+    /// Token alphabet size.
+    pub fn num_tokens(&self) -> u8 {
+        self.num_tokens
+    }
+
+    /// Runs on an initial urn (`initial[t]` copies of token `t`) for at
+    /// most `fuel` samples.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UrnError::OutOfFuel`] if no halt occurs in time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial.len() != num_tokens`.
+    pub fn run(
+        &self,
+        initial: &[u64],
+        fuel: u64,
+        rng: &mut impl Rng,
+    ) -> Result<UrnRun, UrnError> {
+        assert_eq!(initial.len(), self.num_tokens as usize, "urn arity mismatch");
+        let mut urn = initial.to_vec();
+        let mut total: u64 = urn.iter().sum();
+        let mut state = self.start;
+        let mut samples = 0u64;
+        while !self.halt[state] && total > 0 {
+            if samples >= fuel {
+                return Err(UrnError::OutOfFuel { fuel });
+            }
+            samples += 1;
+            // Uniform sample.
+            let mut x = rng.gen_range(0..total);
+            let mut token = 0u8;
+            for (t, &c) in urn.iter().enumerate() {
+                if x < c {
+                    token = t as u8;
+                    break;
+                }
+                x -= c;
+            }
+            urn[token as usize] -= 1;
+            total -= 1;
+            let action = &self.delta[state * self.num_tokens as usize + token as usize];
+            state = action.next;
+            for &t in &action.put {
+                urn[t as usize] += 1;
+                total += 1;
+            }
+        }
+        Ok(UrnRun { state, urn, samples })
+    }
+}
+
+/// Exact parity: one token type; the control toggles between states 0/1 as
+/// it consumes tokens and reads the answer off its state when the urn
+/// empties. Halts in state = (count mod 2).
+pub fn parity_automaton() -> UrnAutomaton {
+    UrnAutomaton::new(
+        2,
+        1,
+        0,
+        vec![false, false], // halts only by urn exhaustion
+        vec![
+            UrnAction { next: 1, put: vec![] }, // state 0, token 0: toggle
+            UrnAction { next: 0, put: vec![] }, // state 1, token 0: toggle
+        ],
+    )
+    .expect("static table is valid")
+}
+
+/// Majority with high probability: tokens `A = 0`, `B = 1`. The control
+/// holds at most one token: a held `A` cancels a sampled `B` and vice
+/// versa; sampling `k` consecutive tokens of the kind already held is
+/// taken as evidence the other kind is exhausted.
+///
+/// States encode `(holding, streak)`:
+/// `0` = empty-handed; `1 + h*k + s` = holding kind `h` with streak `s`;
+/// halt states `H_A = 1 + 2k`, `H_B = 2 + 2k` declare the winner.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn majority_automaton(k: u32) -> UrnAutomaton {
+    assert!(k >= 1, "streak parameter must be positive");
+    let k = k as usize;
+    let hold = |h: usize, s: usize| 1 + h * k + s; // s in 0..k
+    let halt_a = 1 + 2 * k;
+    let halt_b = 2 + 2 * k;
+    let num_states = halt_b + 1;
+    let mut delta = Vec::with_capacity(num_states * 2);
+    let mut halt = vec![false; num_states];
+    halt[halt_a] = true;
+    halt[halt_b] = true;
+    for s in 0..num_states {
+        for t in 0..2usize {
+            let action = if s == 0 {
+                // Empty-handed: pick the token up.
+                UrnAction { next: hold(t, 0), put: vec![] }
+            } else if s == halt_a || s == halt_b {
+                UrnAction { next: s, put: vec![t as u8] }
+            } else {
+                let h = (s - 1) / k;
+                let streak = (s - 1) % k;
+                if t == h {
+                    // Same kind again: streak grows; put it back.
+                    let next = if streak + 1 >= k {
+                        if h == 0 {
+                            halt_a
+                        } else {
+                            halt_b
+                        }
+                    } else {
+                        hold(h, streak + 1)
+                    };
+                    UrnAction { next, put: vec![t as u8] }
+                } else {
+                    // Opposite kind: cancel both, start over.
+                    UrnAction { next: 0, put: vec![] }
+                }
+            };
+            delta.push(action);
+        }
+    }
+    UrnAutomaton::new(num_states, 2, 0, halt, delta).expect("static table is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_core::seeded_rng;
+
+    #[test]
+    fn construction_validates() {
+        let bad = UrnAutomaton::new(
+            1,
+            1,
+            0,
+            vec![false],
+            vec![UrnAction { next: 5, put: vec![] }],
+        );
+        assert!(matches!(bad, Err(UrnError::BadTransition { .. })));
+        let bad_token = UrnAutomaton::new(
+            1,
+            1,
+            0,
+            vec![false],
+            vec![UrnAction { next: 0, put: vec![9] }],
+        );
+        assert!(matches!(bad_token, Err(UrnError::BadTransition { .. })));
+    }
+
+    #[test]
+    fn parity_is_exact() {
+        let a = parity_automaton();
+        let mut rng = seeded_rng(3);
+        for count in 0u64..20 {
+            let run = a.run(&[count], 1000, &mut rng).unwrap();
+            assert_eq!(run.state as u64, count % 2, "count = {count}");
+            assert_eq!(run.samples, count, "consumes every token exactly once");
+            assert_eq!(run.urn, vec![0]);
+        }
+    }
+
+    #[test]
+    fn majority_with_clear_margin_is_usually_right() {
+        let a = majority_automaton(4);
+        let mut rng = seeded_rng(7);
+        let halt_b = 2 + 2 * 4; // see constructor layout
+        let mut right = 0u32;
+        let trials = 200;
+        for _ in 0..trials {
+            let run = a.run(&[20, 60], 1_000_000, &mut rng).unwrap();
+            if run.state == halt_b {
+                right += 1;
+            }
+        }
+        assert!(right > trials * 9 / 10, "correct {right}/{trials}");
+    }
+
+    #[test]
+    fn majority_cancellation_preserves_difference() {
+        // The cancellation invariant: when the automaton halts, the urn's
+        // A−B difference equals the initial difference up to the held/k
+        // returned tokens; with a clear winner declared, the loser count
+        // should be (nearly) zero most of the time.
+        let a = majority_automaton(5);
+        let mut rng = seeded_rng(11);
+        let run = a.run(&[5, 25], 1_000_000, &mut rng).unwrap();
+        // Winner B: all 5 A-tokens cancelled 5 B-tokens.
+        assert!(run.urn[0] <= 5);
+    }
+
+    #[test]
+    fn fuel_exhaustion_detected() {
+        // A looping automaton that always puts the token back.
+        let a = UrnAutomaton::new(
+            1,
+            1,
+            0,
+            vec![false],
+            vec![UrnAction { next: 0, put: vec![0] }],
+        )
+        .unwrap();
+        let mut rng = seeded_rng(0);
+        assert_eq!(a.run(&[1], 100, &mut rng), Err(UrnError::OutOfFuel { fuel: 100 }));
+    }
+
+    #[test]
+    fn growing_urn_is_supported() {
+        // Every sample duplicates the token once, then halts at state 1.
+        let a = UrnAutomaton::new(
+            2,
+            1,
+            0,
+            vec![false, true],
+            vec![
+                UrnAction { next: 1, put: vec![0, 0] },
+                UrnAction { next: 1, put: vec![0] },
+            ],
+        )
+        .unwrap();
+        let mut rng = seeded_rng(1);
+        let run = a.run(&[3], 100, &mut rng).unwrap();
+        assert_eq!(run.urn, vec![4]); // consumed 1, put back 2
+    }
+}

@@ -1,0 +1,196 @@
+//! The Theorem 9 zero test on a population.
+//!
+//! A unique leader wants to know whether any of the other `n − 1` agents
+//! carries a nonzero counter share. One agent holds the *timer* token. The
+//! leader watches its own interactions: seeing a counter token means
+//! "definitely nonzero"; seeing the timer `k` times in a row with no other
+//! token in between makes it conclude "probably zero".
+//!
+//! Theorem 9: with `m > 0` nonzero-share agents the test errs with
+//! probability `Θ(n^{−k}/m)` and, conditioned on a correct outcome,
+//! completes in `O(n²/m)` expected interactions; with `m = 0` it takes
+//! `O(n^{k+1})` interactions. The extra factor of `n` over the urn process
+//! comes from the leader participating in only `2/n` of all interactions.
+
+use rand::Rng;
+
+use crate::urn::UrnProcess;
+
+/// Outcome of one population zero test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ZeroTestOutcome {
+    /// The leader's verdict: `true` = "counter is zero".
+    pub reported_zero: bool,
+    /// Total population interactions elapsed (each involving any pair of
+    /// agents, not just the leader).
+    pub interactions: u64,
+}
+
+/// A Theorem 9 zero test instance: population of `n` agents — 1 leader,
+/// 1 timer (distinct from the leader), `m` counter-token holders, and
+/// `n − 2 − m` blanks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ZeroTest {
+    n: u64,
+    m: u64,
+    k: u32,
+}
+
+impl ZeroTest {
+    /// Creates a zero test over a population of `n` agents with `m`
+    /// nonzero-share agents and waiting parameter `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `n ≥ m + 2` (leader and timer need their own agents)
+    /// and `k ≥ 1`.
+    pub fn new(n: u64, m: u64, k: u32) -> Self {
+        assert!(n >= m + 2, "population must fit a leader and timer besides {m} tokens");
+        assert!(k >= 1, "waiting parameter must be at least 1");
+        Self { n, m, k }
+    }
+
+    /// The underlying urn process over the `n − 1` non-leader agents.
+    pub fn urn(&self) -> UrnProcess {
+        UrnProcess::new(self.n - 1, self.m, self.k)
+    }
+
+    /// Runs the test once, counting every population interaction.
+    ///
+    /// Non-leader interactions do not affect the test, so they are sampled
+    /// in bulk: the number of interactions between two leader encounters is
+    /// geometric with success probability `2/n` (an ordered pair involves
+    /// the leader with probability `2/n`).
+    pub fn run(&self, rng: &mut impl Rng) -> ZeroTestOutcome {
+        let p_leader = 2.0 / self.n as f64;
+        let mut interactions = 0u64;
+        let mut streak = 0u32;
+        loop {
+            interactions += sample_geometric(p_leader, rng);
+            // The other participant is uniform among the n − 1 non-leaders:
+            // indices 0..m are counter tokens, m is the timer, rest blank.
+            let t = rng.gen_range(0..self.n - 1);
+            if t < self.m {
+                return ZeroTestOutcome { reported_zero: false, interactions };
+            } else if t == self.m {
+                streak += 1;
+                if streak == self.k {
+                    return ZeroTestOutcome { reported_zero: true, interactions };
+                }
+            } else {
+                streak = 0;
+            }
+        }
+    }
+
+    /// The exact probability of *incorrectly* reporting zero when `m > 0`
+    /// (Lemma 11(1) over the `n − 1` non-leader agents).
+    pub fn false_zero_probability(&self) -> f64 {
+        if self.m == 0 {
+            return 0.0; // reporting zero is then correct
+        }
+        self.urn().loss_probability()
+    }
+
+    /// Theorem 9(2)'s interaction bound for the `m > 0` case: `O(n²/m)`,
+    /// evaluated with constant 1 as `n²/m` for table display.
+    pub fn interaction_scale_nonzero(&self) -> f64 {
+        (self.n * self.n) as f64 / self.m as f64
+    }
+
+    /// Theorem 9(2)'s interaction bound for the `m = 0` case: `O(n^{k+1})`,
+    /// evaluated with constant 1 as `n^{k+1}` for table display.
+    pub fn interaction_scale_zero(&self) -> f64 {
+        (self.n as f64).powi(self.k as i32 + 1)
+    }
+}
+
+/// Samples the number of Bernoulli(`p`) trials up to and including the
+/// first success (support `1, 2, 3, …`).
+pub(crate) fn sample_geometric(p: f64, rng: &mut impl Rng) -> u64 {
+    debug_assert!(p > 0.0 && p <= 1.0);
+    // Inverse CDF: ⌈ln(U)/ln(1−p)⌉.
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    if p >= 1.0 {
+        return 1;
+    }
+    let x = (u.ln() / (1.0 - p).ln()).ceil();
+    x.max(1.0) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn geometric_mean_is_one_over_p() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for &p in &[0.5, 0.1, 0.02] {
+            let trials = 200_000;
+            let total: u64 = (0..trials).map(|_| sample_geometric(p, &mut rng)).sum();
+            let mean = total as f64 / trials as f64;
+            let expect = 1.0 / p;
+            assert!(
+                (mean / expect - 1.0).abs() < 0.03,
+                "p={p}: mean {mean:.2} vs {expect:.2}"
+            );
+        }
+    }
+
+    #[test]
+    fn error_rate_matches_urn_analysis() {
+        let zt = ZeroTest::new(10, 1, 1);
+        let analytic = zt.false_zero_probability();
+        let mut rng = StdRng::seed_from_u64(5);
+        let trials = 200_000;
+        let mut wrong = 0u64;
+        for _ in 0..trials {
+            if zt.run(&mut rng).reported_zero {
+                wrong += 1;
+            }
+        }
+        let measured = wrong as f64 / trials as f64;
+        let se = (analytic * (1.0 - analytic) / trials as f64).sqrt();
+        assert!(
+            (measured - analytic).abs() < 6.0 * se + 1e-4,
+            "measured {measured:.5} vs analytic {analytic:.5}"
+        );
+    }
+
+    #[test]
+    fn zero_case_always_reports_zero() {
+        let zt = ZeroTest::new(12, 0, 2);
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..100 {
+            assert!(zt.run(&mut rng).reported_zero);
+        }
+        assert_eq!(zt.false_zero_probability(), 0.0);
+    }
+
+    #[test]
+    fn interactions_scale_like_n_squared_over_m() {
+        // Doubling m should roughly halve the interaction count.
+        let mut rng = StdRng::seed_from_u64(11);
+        let mean = |m: u64, rng: &mut StdRng| {
+            let zt = ZeroTest::new(64, m, 2);
+            let trials = 4000;
+            let total: u64 = (0..trials).map(|_| zt.run(rng).interactions).sum();
+            total as f64 / trials as f64
+        };
+        let m2 = mean(2, &mut rng);
+        let m8 = mean(8, &mut rng);
+        let ratio = m2 / m8;
+        assert!(
+            (2.5..6.0).contains(&ratio),
+            "expected ≈4x gap, got {ratio:.2} ({m2:.0} vs {m8:.0})"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "leader and timer")]
+    fn population_too_small_rejected() {
+        ZeroTest::new(3, 2, 1);
+    }
+}

@@ -1,0 +1,49 @@
+//! Language acceptance and one-way communication (§3.5, §8).
+//!
+//! 1. Symmetric languages: `{w : |w|_a = |w|_b}` is non-regular but its
+//!    Parikh image is semilinear, so a population accepts it (Corollary 4).
+//! 2. One-way protocols: count-to-k still works when interactions can only
+//!    change the responder (§8's observation model).
+//!
+//! Run with: `cargo run --release --example language_acceptance`
+
+use population_protocols::core::prelude::*;
+use population_protocols::presburger::{parse, SymmetricLanguage};
+use population_protocols::protocols::oneway::{is_one_way, one_way_count_threshold};
+
+fn main() {
+    println!("=== Corollary 4: accepting {{w : #a(w) = #b(w)}} ===\n");
+    let lang = SymmetricLanguage::new(
+        vec!['a', 'b'],
+        parse("na = nb").unwrap().formula,
+    )
+    .expect("formula compiles");
+
+    for word in ["abab", "aabb", "abb", "bbbaaa", "ba"] {
+        let by_parikh = lang.contains(word);
+        let by_population = lang.accepts(word);
+        println!(
+            "  {word:<8} Parikh image says {by_parikh:<5}  population stabilized to {by_population}"
+        );
+        assert_eq!(by_parikh, by_population);
+    }
+
+    println!("\n=== §8 one-way communication: count-to-3 by observation only ===\n");
+    let protocol = one_way_count_threshold(3);
+    println!(
+        "protocol is structurally one-way: {}",
+        is_one_way(protocol.clone(), &[true, false])
+    );
+    let mut rng = seeded_rng(5);
+    for ones in [2u64, 3, 7] {
+        let mut sim = Simulation::from_counts(protocol.clone(), [(true, ones), (false, 20 - ones)]);
+        let expected = ones >= 3;
+        let rep = sim.measure_stabilization(&expected, 500_000, &mut rng);
+        println!(
+            "  {ones} ones among 20 agents: predicate = {expected}, stabilized = {} \
+             (at interaction {})",
+            rep.converged(),
+            rep.stabilized_at.unwrap_or(0)
+        );
+    }
+}

@@ -1,0 +1,65 @@
+//! Quickstart: the paper's opening scenario (§1).
+//!
+//! A flock of birds carries temperature sensors. Two questions:
+//!
+//! 1. Do at least five birds have elevated temperatures? (count-to-5)
+//! 2. Do at least 5% of the birds have elevated temperatures?
+//!    (compiled from the Presburger formula `20·hot ≥ hot + normal`)
+//!
+//! Run with: `cargo run --example quickstart`
+
+use population_protocols::core::prelude::*;
+use population_protocols::presburger::{compile::compile_parsed, parse};
+use population_protocols::protocols::CountThreshold;
+
+fn main() {
+    let mut rng = seeded_rng(2004);
+
+    // ---------------------------------------------------------------
+    // 1. Count-to-five: 6 hot birds among 200.
+    // ---------------------------------------------------------------
+    let flock_size = 200u64;
+    let hot_birds = 6u64;
+    let mut sim = Simulation::from_counts(
+        CountThreshold::new(5),
+        [(true, hot_birds), (false, flock_size - hot_birds)],
+    );
+    let report = sim.measure_stabilization(&true, 3_000_000, &mut rng);
+    println!("=== Are at least 5 birds hot? (count-to-5 protocol) ===");
+    println!("flock size:          {flock_size}");
+    println!("hot birds:           {hot_birds}");
+    println!(
+        "stabilized:          {} (after {} interactions)",
+        report.converged(),
+        report.stabilized_at.unwrap_or(0),
+    );
+    println!("every sensor reads:  {:?}\n", sim.consensus_output());
+
+    // ---------------------------------------------------------------
+    // 2. At least 5%? Compile the Presburger predicate from §4.2.
+    // ---------------------------------------------------------------
+    let parsed = parse("20 * hot >= hot + normal").expect("formula parses");
+    let protocol = compile_parsed(&parsed).expect("formula compiles");
+    println!("=== Are at least 5% of the birds hot? (compiled Presburger) ===");
+    println!("formula:             20*hot >= hot + normal");
+    println!(
+        "compiled atoms:      {} (Lemma 5 threshold/remainder protocols)",
+        protocol.atoms().len()
+    );
+
+    for hot in [9u64, 10u64] {
+        let normal = flock_size - hot;
+        let expected = protocol.eval(&[hot, normal]);
+        let mut sim = Simulation::from_counts(
+            protocol.clone(),
+            [(parsed.index_of("hot").unwrap(), hot), (parsed.index_of("normal").unwrap(), normal)],
+        );
+        let report = sim.measure_stabilization(&expected, 3_000_000, &mut rng);
+        println!(
+            "hot = {hot:3} / {flock_size}: predicate = {expected}, \
+             stabilized = {} at interaction {}",
+            report.converged(),
+            report.stabilized_at.unwrap_or(0),
+        );
+    }
+}

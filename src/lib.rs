@@ -1,0 +1,50 @@
+//! # population-protocols
+//!
+//! A comprehensive Rust implementation of *"Computation in networks of
+//! passively mobile finite-state sensors"* (Angluin, Aspnes, Diamadi,
+//! Fischer, Peralta — PODC 2004): the population-protocol model, the
+//! conjugating-automaton probabilistic layer, Presburger-to-protocol
+//! compilation, restricted-interaction simulation, exact verification, and
+//! the counter-machine/Turing-machine simulation stack.
+//!
+//! This crate is a facade re-exporting the workspace crates:
+//!
+//! * [`core`] — the model: protocols, configurations, schedulers, engine;
+//! * [`graphs`] — interaction graphs;
+//! * [`protocols`] — the concrete protocol library (thresholds, remainders,
+//!   majority, leader election, combinators, the Theorem 7 simulator);
+//! * [`presburger`] — Presburger arithmetic, quantifier elimination,
+//!   semilinear sets, and the formula-to-protocol compiler;
+//! * [`analysis`] — exact reachability/SCC verification and Markov-chain
+//!   convergence analysis;
+//! * [`machines`] — counter-machine and Turing-machine substrates;
+//! * [`random`] — the conjugating-automaton constructions of §6 (urn
+//!   process, zero test, leader election, counter and TM simulation).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use population_protocols::core::prelude::*;
+//!
+//! // "At least five birds have elevated temperatures" (§1), as a protocol.
+//! let count_to_five = FnProtocol::new(
+//!     |&hot: &bool| u8::from(hot),
+//!     |&q: &u8| q == 5,
+//!     |&p: &u8, &q: &u8| if p + q >= 5 { (5, 5) } else { (p + q, 0) },
+//! );
+//! let mut sim = Simulation::from_counts(count_to_five, [(true, 7), (false, 93)]);
+//! let mut rng = seeded_rng(0);
+//! let report = sim.measure_stabilization(&true, 500_000, &mut rng);
+//! assert!(report.converged());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use pp_analysis as analysis;
+pub use pp_core as core;
+pub use pp_graphs as graphs;
+pub use pp_machines as machines;
+pub use pp_presburger as presburger;
+pub use pp_protocols as protocols;
+pub use pp_random as random;

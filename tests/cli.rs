@@ -1,0 +1,66 @@
+//! End-to-end tests of the `pp` command-line binary.
+
+use std::process::Command;
+
+fn pp(args: &[&str]) -> (bool, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_pp"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    let text = format!(
+        "{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    (out.status.success(), text)
+}
+
+#[test]
+fn qe_prints_quantifier_free_form() {
+    let (ok, text) = pp(&["qe", "exists q. x = 2 * q"]);
+    assert!(ok, "{text}");
+    assert!(text.contains("quantifier-free form"), "{text}");
+    assert!(text.contains("2 | "), "must contain a divisibility atom: {text}");
+}
+
+#[test]
+fn simulate_reports_stabilization() {
+    let (ok, text) = pp(&["simulate", "a > b", "a=5", "b=3", "--seed", "7"]);
+    assert!(ok, "{text}");
+    assert!(text.contains("ground truth = true"), "{text}");
+    assert!(text.contains("stabilized to true"), "{text}");
+}
+
+#[test]
+fn verify_runs_exhaustively() {
+    let (ok, text) = pp(&["verify", "x = 1 mod 2", "--max-n", "4"]);
+    assert!(ok, "{text}");
+    assert!(text.contains("verified exhaustively"), "{text}");
+    assert!(text.contains("all stably correct"), "{text}");
+}
+
+#[test]
+fn analyze_prints_exact_expectation() {
+    let (ok, text) = pp(&["analyze", "a > b", "a=3", "b=2"]);
+    assert!(ok, "{text}");
+    assert!(text.contains("exact E[interactions"), "{text}");
+    assert!(text.contains("commits to"), "{text}");
+}
+
+#[test]
+fn graph_subcommand_runs_theorem7() {
+    let (ok, text) = pp(&["graph", "--kind", "cycle", "a > b", "a=3", "b=2", "--seed", "3"]);
+    assert!(ok, "{text}");
+    assert!(text.contains("Theorem 7"), "{text}");
+    assert!(text.contains("stabilized to true"), "{text}");
+}
+
+#[test]
+fn errors_are_reported_with_usage() {
+    let (ok, text) = pp(&["bogus"]);
+    assert!(!ok);
+    assert!(text.contains("usage:"), "{text}");
+    let (ok, text) = pp(&["simulate", "a > b", "zz=1"]);
+    assert!(!ok);
+    assert!(text.contains("does not occur"), "{text}");
+}

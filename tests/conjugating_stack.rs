@@ -1,0 +1,123 @@
+//! Integration tests across the §6 stack: urn process ↔ zero test ↔
+//! counter simulation ↔ Turing machines, plus exact-vs-empirical
+//! convergence times.
+
+use population_protocols::analysis::MarkovAnalysis;
+use population_protocols::core::prelude::*;
+use population_protocols::machines::programs;
+use population_protocols::protocols::majority;
+use population_protocols::random::counter_sim::PopulationRunOutcome;
+use population_protocols::random::{PopulationCounterMachine, UrnProcess, ZeroTest};
+
+#[test]
+fn zero_test_error_equals_urn_loss_probability() {
+    // The zero test's decision process *is* the urn over n−1 tokens.
+    let zt = ZeroTest::new(12, 2, 2);
+    let urn = UrnProcess::new(11, 2, 2);
+    assert_eq!(zt.false_zero_probability(), urn.loss_probability());
+
+    let mut rng = seeded_rng(5);
+    let trials = 150_000;
+    let mut zt_errors = 0u64;
+    for _ in 0..trials {
+        if zt.run(&mut rng).reported_zero {
+            zt_errors += 1;
+        }
+    }
+    let measured = zt_errors as f64 / trials as f64;
+    let analytic = urn.loss_probability();
+    let se = (analytic * (1.0 - analytic) / trials as f64).sqrt();
+    assert!(
+        (measured - analytic).abs() < 6.0 * se + 1e-4,
+        "measured {measured:.5} vs analytic {analytic:.5}"
+    );
+}
+
+#[test]
+fn counter_machine_on_population_agrees_with_direct_execution() {
+    let mut rng = seeded_rng(10);
+    // Multiplication: the Gödel-style workload of §6.1.
+    let pcm = PopulationCounterMachine::new(programs::cm_multiply(), 36, 3, 2);
+    let mut clean_checked = 0u32;
+    for (a, b) in [(2u128, 3u128), (4, 4), (5, 2), (0, 7)] {
+        let direct = programs::cm_multiply().run(&[a, b, 0, 0], 100_000).unwrap();
+        match pcm.run(&[a, b, 0, 0], 2_000_000_000, &mut rng) {
+            PopulationRunOutcome::Halted { counters, silent_errors, .. } => {
+                if silent_errors == 0 {
+                    assert_eq!(counters, direct.counters, "{a}×{b}");
+                    clean_checked += 1;
+                }
+            }
+            other => panic!("{a}×{b} did not halt: {other:?}"),
+        }
+    }
+    assert!(clean_checked >= 2, "too few clean runs to be meaningful");
+}
+
+#[test]
+fn exact_expected_commit_time_predicts_simulation() {
+    // Majority, n = 6 (4 ones vs 2 zeros): exact Markov expected time to
+    // output-committed vs Monte-Carlo measurement of the same quantity.
+    let inputs = [(0usize, 2u64), (1usize, 4u64)];
+    let exact = MarkovAnalysis::analyze(majority(), inputs)
+        .expected_steps_to_commit()
+        .expect("majority commits");
+
+    // Monte Carlo: detect commitment via the exact committed set — here we
+    // replay and measure the last interaction at which any agent's output
+    // differed from the stable verdict, which lower-bounds commitment and
+    // should land within a factor ~2 of it.
+    let mut rng = seeded_rng(3);
+    let trials = 2000;
+    let mut total = 0u64;
+    for _ in 0..trials {
+        let mut sim = Simulation::from_counts(majority(), inputs);
+        let rep = sim.measure_stabilization(&true, 200_000, &mut rng);
+        total += rep.stabilized_at.expect("stabilizes");
+    }
+    let mc = total as f64 / trials as f64;
+    assert!(
+        mc <= exact * 1.5 + 20.0,
+        "stabilization ({mc:.1}) should not exceed commitment ({exact:.1}) by much"
+    );
+    assert!(
+        mc >= exact * 0.05,
+        "stabilization ({mc:.1}) implausibly far below commitment ({exact:.1})"
+    );
+}
+
+#[test]
+fn theorem8_shape_convergence_scales_near_n2_log_n() {
+    // Theorem 8: O(n² log n) expected interactions for Presburger
+    // predicates. Measure stabilization of majority across a doubling and
+    // check the growth exponent is ≈ 2 (log factor tolerated in slack).
+    let mean_time = |n: u64, seed: u64| -> f64 {
+        let trials = 40;
+        let mut total = 0u64;
+        let mut rng = seeded_rng(seed);
+        for _ in 0..trials {
+            let mut sim =
+                Simulation::from_counts(majority(), [(0usize, n / 2), (1usize, n / 2 + 1)]);
+            let rep = sim.measure_stabilization(&true, 600 * n * n, &mut rng);
+            total += rep.stabilized_at.expect("stabilizes");
+        }
+        total as f64 / trials as f64
+    };
+    let t32 = mean_time(32, 1);
+    let t64 = mean_time(64, 2);
+    let ratio = t64 / t32;
+    // n² scaling predicts 4×; with the log factor, a little more. Allow
+    // a generous band that still excludes linear (2×) and cubic (8×).
+    assert!(
+        (2.8..7.5).contains(&ratio),
+        "doubling n scaled time by {ratio:.2} (t32 = {t32:.0}, t64 = {t64:.0})"
+    );
+}
+
+#[test]
+fn population_counter_machine_rejects_undersized_population() {
+    let result = std::panic::catch_unwind(|| {
+        PopulationCounterMachine::new(programs::cm_add(), 3, 2, 2)
+    });
+    assert!(result.is_err(), "n = 3 must be rejected (leader + timer + holders)");
+}

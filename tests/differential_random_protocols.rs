@@ -1,0 +1,121 @@
+//! Differential testing: the exact analyzer versus the simulator on
+//! *randomly generated* protocols.
+//!
+//! The strongest internal check in the workspace: for arbitrary transition
+//! tables (not hand-written protocols), the configuration-chain analysis
+//! and Monte-Carlo simulation must agree on (a) which output classes the
+//! population can commit to and with what probabilities, and (b) the
+//! expected number of interactions until commitment.
+
+use std::collections::HashSet;
+
+use population_protocols::analysis::MarkovAnalysis;
+use population_protocols::core::prelude::*;
+use rand::Rng;
+
+const Q: u8 = 3;
+
+/// A protocol with a pseudo-random transition table over states `0..Q`.
+fn random_protocol(
+    seed: u64,
+) -> impl pp_core::Protocol<State = u8, Input = bool, Output = bool> + Clone {
+    let mut rng = seeded_rng(seed);
+    // The top state is epidemic-absorbing (so most tables eventually
+    // commit); the rest of the table is uniformly random.
+    let table: Vec<(u8, u8)> = (0..Q * Q)
+        .map(|i| {
+            let (p, q) = (i / Q, i % Q);
+            if p == Q - 1 || q == Q - 1 {
+                (Q - 1, Q - 1)
+            } else {
+                (rng.gen_range(0..Q), rng.gen_range(0..Q))
+            }
+        })
+        .collect();
+    FnProtocol::new(
+        |&b: &bool| u8::from(b),
+        |&q: &u8| q % 2 == 0,
+        move |&p: &u8, &q: &u8| table[(p * Q + q) as usize],
+    )
+}
+
+/// The multiset of state *values* in a configuration (interner-independent).
+fn value_multiset<P: pp_core::Protocol<State = u8>>(
+    rt: &pp_core::DenseRuntime<P>,
+    config: &pp_core::CountConfig,
+) -> Vec<(u8, u64)> {
+    let mut v: Vec<(u8, u64)> = config.support().map(|(id, c)| (*rt.state(id), c)).collect();
+    v.sort_unstable();
+    v
+}
+
+#[test]
+fn random_protocols_exact_vs_monte_carlo() {
+    let inputs = [(true, 3u64), (false, 3u64)];
+    let mut committed_cases = 0u32;
+    for seed in 0..12u64 {
+        let proto = random_protocol(seed);
+        let m = MarkovAnalysis::analyze(proto.clone(), inputs);
+        let Some(exact_time) = m.expected_steps_to_commit() else {
+            continue; // this random table never commits; nothing to compare
+        };
+        committed_cases += 1;
+
+        // The committed configurations, as interner-independent multisets.
+        let committed: HashSet<Vec<(u8, u64)>> = (0..m.graph().len())
+            .filter(|&i| m.is_committed(i))
+            .map(|i| value_multiset(m.graph().runtime(), &m.graph().config(i).to_counts()))
+            .collect();
+
+        // Monte-Carlo: steps until the trajectory enters the committed set.
+        // (Fewer trials under the debug profile to keep `cargo test` quick;
+        // tolerances below are set for the release trial count.)
+        let trials: u64 = if cfg!(debug_assertions) { 400 } else { 1500 };
+        let mut total = 0u64;
+        let mut class_hits = vec![0u64; m.classes().len()];
+        for t in 0..trials {
+            let mut sim = Simulation::from_counts(proto.clone(), inputs);
+            let mut rng = seeded_rng(1_000_000 + seed * 10_000 + t);
+            while !committed.contains(&value_multiset(sim.runtime(), sim.config())) {
+                sim.step(&mut rng);
+                assert!(sim.steps() < 3_000_000, "seed {seed}: no commitment in MC");
+            }
+            total += sim.steps();
+            // Which class did we land in?
+            let mut hist: Vec<(bool, u64)> = sim.output_histogram();
+            hist.sort_by_key(|&(o, _)| o);
+            let ci = m
+                .classes()
+                .iter()
+                .position(|cls| {
+                    let mut c = cls.clone();
+                    c.sort_by_key(|&(o, _)| o);
+                    c == hist
+                })
+                .expect("landed in a known class");
+            class_hits[ci] += 1;
+        }
+        let mc_time = total as f64 / trials as f64;
+        let rel = (mc_time - exact_time).abs() / exact_time.max(1.0);
+        let tol = if cfg!(debug_assertions) { 0.3 } else { 0.15 };
+        assert!(
+            rel < tol,
+            "seed {seed}: exact E[T] {exact_time:.2} vs MC {mc_time:.2}"
+        );
+
+        let probs = m.commit_probabilities();
+        for (ci, &hits) in class_hits.iter().enumerate() {
+            let mc_p = hits as f64 / trials as f64;
+            let se = (probs[ci] * (1.0 - probs[ci]) / trials as f64).sqrt();
+            assert!(
+                (mc_p - probs[ci]).abs() < 5.0 * se + 0.02,
+                "seed {seed} class {ci}: exact {} vs MC {mc_p}",
+                probs[ci]
+            );
+        }
+    }
+    assert!(
+        committed_cases >= 4,
+        "too few random tables committed ({committed_cases}/12) for the test to be meaningful"
+    );
+}

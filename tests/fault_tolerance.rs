@@ -1,0 +1,128 @@
+//! Fault injection (§8): "If an agent dies, say from an exhausted battery,
+//! the interactions between the remaining agents are unaffected. Of course,
+//! many of the algorithms we describe here would not survive the failure of
+//! a single agent, especially those based on leader election."
+//!
+//! These tests make both halves of that observation concrete.
+
+use population_protocols::core::prelude::*;
+use population_protocols::protocols::linear::LinState;
+use population_protocols::protocols::{majority, CountThreshold};
+
+fn epidemic() -> impl pp_core::Protocol<State = bool, Input = bool, Output = bool> + Clone {
+    FnProtocol::new(
+        |&b: &bool| b,
+        |&q: &bool| q,
+        |&p: &bool, &q: &bool| (p || q, p || q),
+    )
+}
+
+#[test]
+fn epidemic_survives_crashes_of_uninfected_agents() {
+    let mut sim = Simulation::from_counts(epidemic(), [(true, 1), (false, 20)]);
+    let mut rng = seeded_rng(1);
+    // Kill five healthy agents before the epidemic spreads.
+    for _ in 0..5 {
+        assert!(sim.crash_agent_in_state(&false));
+    }
+    assert_eq!(sim.population(), 16);
+    let rep = sim.measure_stabilization(&true, 100_000, &mut rng);
+    assert!(rep.converged(), "epidemic is robust to non-seed crashes");
+}
+
+#[test]
+fn epidemic_dies_with_its_seed() {
+    let mut sim = Simulation::from_counts(epidemic(), [(true, 1), (false, 20)]);
+    // Kill the only infected agent before it spreads.
+    assert!(sim.crash_agent_in_state(&true));
+    let mut rng = seeded_rng(2);
+    sim.run(50_000, &mut rng);
+    assert_eq!(sim.consensus_output(), Some(&false), "no seed, no alert");
+}
+
+#[test]
+fn count_to_k_loses_tokens_with_crashed_accumulators() {
+    // 5 hot birds; the predicate is true. Crash an agent carrying an
+    // accumulated count of 2 before the alert fires: the remaining tokens
+    // sum to 3 < 5 and the population stabilizes to the WRONG answer —
+    // exactly the fragility §8 warns about.
+    let mut sim = Simulation::from_counts(CountThreshold::new(5), [(true, 5), (false, 15)]);
+    let mut rng = seeded_rng(3);
+    // Run until some agent holds a partial count of exactly 2 (and no
+    // alert has fired).
+    let mut found = false;
+    for _ in 0..100_000 {
+        sim.step(&mut rng);
+        if sim.count_of_state(&5) > 0 {
+            break; // alert fired first; try another seed below
+        }
+        if sim.count_of_state(&2) > 0 {
+            found = true;
+            break;
+        }
+    }
+    if !found {
+        // Alert fired before any 2-token formed under this seed; the
+        // scenario needs a token to kill, so re-run deterministically with
+        // another seed where a 2 forms first.
+        sim = Simulation::from_counts(CountThreshold::new(5), [(true, 5), (false, 15)]);
+        let mut rng2 = seeded_rng(1234);
+        loop {
+            sim.step(&mut rng2);
+            assert_eq!(sim.count_of_state(&5), 0, "seed must form a 2-token before alerting");
+            if sim.count_of_state(&2) > 0 {
+                break;
+            }
+        }
+    }
+    assert!(sim.crash_agent_in_state(&2), "kill the token carrier");
+    let rep = sim.measure_stabilization(&false, 400_000, &mut rng);
+    assert!(
+        rep.converged(),
+        "after losing 2 of 5 tokens the population must stabilize to false"
+    );
+}
+
+#[test]
+fn majority_leader_crash_freezes_outputs() {
+    // The Lemma 5 majority protocol funnels everything through a unique
+    // leader. Crash every leader and the output bits can never change
+    // again — stale verdicts persist (the §8 leader-election fragility).
+    let mut sim = Simulation::from_counts(majority(), [(0usize, 6), (1usize, 7)]);
+    let mut rng = seeded_rng(5);
+    sim.run(50, &mut rng); // partial progress; leaders still merging
+    // Crash all remaining leaders.
+    let leader_states: Vec<LinState> = sim
+        .config()
+        .support()
+        .map(|(id, _)| *sim.runtime().state(id))
+        .filter(|s| s.leader)
+        .collect();
+    let mut crashed = 0u64;
+    for s in leader_states {
+        while sim.population() > 2 && sim.crash_agent_in_state(&s) {
+            crashed += 1;
+        }
+    }
+    assert!(crashed > 0, "some leader must have been crashed");
+    // With no leaders, every transition is a no-op: effective steps freeze.
+    let before = sim.effective_steps();
+    sim.run(20_000, &mut rng);
+    assert_eq!(
+        sim.effective_steps(),
+        before,
+        "a leaderless Lemma 5 population is frozen"
+    );
+}
+
+#[test]
+fn effective_steps_lag_total_steps() {
+    let mut sim = Simulation::from_counts(epidemic(), [(true, 1), (false, 31)]);
+    let mut rng = seeded_rng(8);
+    sim.run(100_000, &mut rng);
+    // After convergence all interactions are no-ops: the epidemic needs at
+    // most n−1 = 31 effective interactions ever.
+    assert!(sim.effective_steps() <= 31);
+    assert_eq!(sim.steps(), 100_000);
+    assert_eq!(sim.consensus_output(), Some(&true));
+}

@@ -1,0 +1,154 @@
+//! End-to-end integration: Presburger text → Cooper QE → compiled protocol
+//! → exact verification (all inputs, small n) → randomized simulation.
+//!
+//! This is the full Theorem 5 / Corollary 3 pipeline exercised across
+//! crate boundaries.
+
+use population_protocols::analysis::verify::verify_predicate;
+use population_protocols::core::prelude::*;
+use population_protocols::presburger::compile::{compile, compile_parsed, integer_input_formula};
+use population_protocols::presburger::{parse, SemilinearSet};
+
+/// Formulas from or close to the paper, each verified exhaustively for all
+/// symbol counts with 2 ≤ n ≤ 5 and simulated at a larger instance.
+const FORMULAS: &[&str] = &[
+    "ones >= 5",                              // count-to-five (§1)
+    "20 * hot >= hot + normal",               // ≥5% of the flock (§1, §4.2)
+    "b < a",                                  // majority
+    "ones = 1 mod 2",                         // parity
+    "x - 2 * y = 0 mod 3",                    // §4.3 example
+    "exists q. x = 2 * q",                    // evenness via QE
+    "a + b < 4 \\/ a = b",                    // Boolean combination
+    "!(a < 2) /\\ a = 1 mod 3",               // negation + congruence
+];
+
+/// Calls `f` on every count vector of length `k` with entries in `0..=max`.
+fn for_each_count_vector(k: usize, max: u64, mut f: impl FnMut(&[u64])) {
+    let mut counts = vec![0u64; k];
+    loop {
+        f(&counts);
+        let mut i = 0;
+        while i < k {
+            counts[i] += 1;
+            if counts[i] <= max {
+                break;
+            }
+            counts[i] = 0;
+            i += 1;
+        }
+        if i == k {
+            return;
+        }
+    }
+}
+
+#[test]
+fn formulas_verify_exhaustively_for_small_populations() {
+    for src in FORMULAS {
+        let parsed = parse(src).unwrap_or_else(|e| panic!("{src}: {e}"));
+        let protocol = compile_parsed(&parsed).unwrap();
+        let k = parsed.vars.len();
+        for_each_count_vector(k, 5, |counts| {
+            let n: u64 = counts.iter().sum();
+            if !(2..=5).contains(&n) {
+                return;
+            }
+            let expected = protocol.eval(counts);
+            let report = verify_predicate(
+                protocol.clone(),
+                counts.iter().enumerate().map(|(i, &c)| (i, c)),
+                expected,
+            );
+            assert!(
+                report.holds(),
+                "{src} at {counts:?}: expected {expected}, verdict {:?}",
+                report.verdict
+            );
+        });
+    }
+}
+
+#[test]
+fn formulas_simulate_correctly_at_larger_sizes() {
+    let mut rng = seeded_rng(1234);
+    for (fi, src) in FORMULAS.iter().enumerate() {
+        let parsed = parse(src).unwrap();
+        let protocol = compile_parsed(&parsed).unwrap();
+        let k = parsed.vars.len();
+        // Two pseudo-random instances per formula.
+        for inst in 0..2u64 {
+            let counts: Vec<u64> =
+                (0..k).map(|i| (fi as u64 * 7 + inst * 13 + i as u64 * 5) % 12).collect();
+            if counts.iter().sum::<u64>() < 2 {
+                continue;
+            }
+            let expected = protocol.eval(&counts);
+            let mut sim = Simulation::from_counts(
+                protocol.clone(),
+                counts.iter().enumerate().map(|(i, &c)| (i, c)),
+            );
+            let report = sim.measure_stabilization(&expected, 600_000, &mut rng);
+            assert!(
+                report.converged(),
+                "{src} at {counts:?} did not stabilize to {expected}"
+            );
+        }
+    }
+}
+
+#[test]
+fn semilinear_set_to_protocol_corollary4() {
+    // L = {(x, y) : (x, y) = (1, 0) + k(2, 1) + l(0, 3)} — a linear set.
+    // Corollary 4 route: semilinear → formula → (QE) → protocol.
+    let lin = population_protocols::presburger::LinearSet::new(
+        vec![1, 0],
+        vec![vec![2, 1], vec![0, 3]],
+    );
+    let sls = SemilinearSet::new(vec![lin.clone()]);
+    let formula = sls.to_formula();
+    let protocol = compile(&formula, 2).unwrap();
+    for x in 0u64..7 {
+        for y in 0u64..7 {
+            assert_eq!(
+                protocol.eval(&[x, y]),
+                sls.contains(&[x, y]),
+                "membership mismatch at ({x},{y})"
+            );
+        }
+    }
+    // And exhaustively verify stability for all n ≤ 5 inputs.
+    for x in 0u64..=5 {
+        for y in 0u64..=(5 - x) {
+            if x + y < 2 {
+                continue;
+            }
+            let expected = sls.contains(&[x, y]);
+            let report =
+                verify_predicate(protocol.clone(), [(0usize, x), (1usize, y)], expected);
+            assert!(report.holds(), "({x},{y}): {:?}", report.verdict);
+        }
+    }
+}
+
+#[test]
+fn integer_input_convention_corollary3() {
+    // Φ(y) = y ≡ 1 (mod 3) with alphabet {+1, −1, 0} (Corollary 3).
+    let phi = parse("y = 1 mod 3").unwrap().formula;
+    let alphabet = vec![vec![1i64], vec![-1], vec![0]];
+    let phi2 = integer_input_formula(&phi, &alphabet);
+    let protocol = compile(&phi2, 3).unwrap();
+    for plus in 0u64..6 {
+        for minus in 0u64..6 {
+            for zero in 0u64..3 {
+                let y = plus as i64 - minus as i64;
+                let expected = y.rem_euclid(3) == 1;
+                assert_eq!(protocol.eval(&[plus, minus, zero]), expected);
+            }
+        }
+    }
+    // Exact verification at small sizes.
+    let report = verify_predicate(protocol.clone(), [(0usize, 3), (1usize, 2), (2usize, 0)], true);
+    assert!(report.holds(), "{:?}", report.verdict); // y = 1 ≡ 1 ✓
+    let report = verify_predicate(protocol, [(0usize, 2), (1usize, 2), (2usize, 1)], false);
+    assert!(report.holds(), "{:?}", report.verdict); // y = 0
+}

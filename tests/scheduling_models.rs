@@ -1,0 +1,58 @@
+//! Integration tests for the §8 scheduling variants: weighted sampling and
+//! synchronous parallel rounds must preserve stable verdicts.
+
+use population_protocols::core::prelude::*;
+use population_protocols::core::scheduler::WeightedPairScheduler;
+use population_protocols::protocols::{majority, parity, CountThreshold};
+
+#[test]
+fn weighted_sampling_preserves_verdicts() {
+    let n = 14usize;
+    let inputs: Vec<usize> = (0..n).map(|i| usize::from(i < 8)).collect(); // 8 ones
+    for profile in [
+        vec![1.0; n],
+        (0..n).map(|i| 1.0 + i as f64).collect::<Vec<_>>(),
+        (0..n).map(|i| 2f64.powi(-((i % 8) as i32))).collect::<Vec<_>>(),
+    ] {
+        let mut sim = AgentSimulation::from_inputs(
+            majority(),
+            &inputs,
+            WeightedPairScheduler::new(profile.clone()),
+        );
+        let mut rng = seeded_rng(4);
+        let rep = sim.measure_stabilization(&true, 3_000_000, &mut rng);
+        assert!(rep.converged(), "majority under weights {profile:?}");
+    }
+}
+
+#[test]
+fn parallel_rounds_preserve_verdicts() {
+    let mut rng = seeded_rng(9);
+    // Count-to-5, positive and negative.
+    let mut sim = Simulation::from_counts(CountThreshold::new(5), [(true, 6), (false, 30)]);
+    let rounds = sim.measure_stabilization_parallel(&true, 4000, &mut rng);
+    assert!(rounds.is_some(), "count-to-5 positive under parallel rounds");
+
+    let mut sim = Simulation::from_counts(CountThreshold::new(5), [(true, 4), (false, 32)]);
+    let rounds = sim.measure_stabilization_parallel(&false, 4000, &mut rng);
+    assert_eq!(rounds, Some(0), "negative case never alerts");
+
+    // Parity under parallel rounds.
+    let mut sim = Simulation::from_counts(parity(), [(0usize, 9), (1usize, 7)]);
+    let rounds = sim.measure_stabilization_parallel(&true, 20_000, &mut rng);
+    assert!(rounds.is_some(), "odd parity under parallel rounds");
+}
+
+#[test]
+fn parallel_rounds_agree_with_sequential_on_quotient() {
+    use population_protocols::core::convention::integer_output;
+    use population_protocols::protocols::QuotientProtocol;
+
+    let m = 13u64;
+    let mut sim = Simulation::from_counts(QuotientProtocol::new(3), [(true, m), (false, 7)]);
+    let mut rng = seeded_rng(2);
+    for _ in 0..4000 {
+        sim.parallel_round(&mut rng);
+    }
+    assert_eq!(integer_output(&sim.output_histogram()), (m / 3) as i64);
+}

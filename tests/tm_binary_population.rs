@@ -1,0 +1,54 @@
+//! Theorem 10 beyond unary: the binary-increment TM (alphabet size 3, so
+//! base-3 Gödel counters) executed by a population.
+
+use population_protocols::core::seeded_rng;
+use population_protocols::machines::programs;
+use population_protocols::random::tm_sim::TmSimOutcome;
+use population_protocols::random::PopulationTm;
+
+/// LSB-first binary encoding with digits '0' = 1, '1' = 2.
+fn encode(mut v: u64) -> Vec<u8> {
+    let mut out = Vec::new();
+    if v == 0 {
+        out.push(1);
+    }
+    while v > 0 {
+        out.push(if v & 1 == 1 { 2 } else { 1 });
+        v >>= 1;
+    }
+    out
+}
+
+fn decode(tape: &[u8]) -> u64 {
+    tape.iter()
+        .enumerate()
+        .map(|(i, &d)| if d == 2 { 1u64 << i } else { 0 })
+        .sum()
+}
+
+#[test]
+fn binary_increment_on_population() {
+    let tm = programs::tm_binary_increment();
+    // Base 3, values up to 7 need 3 digits → Gödel numbers < 27;
+    // capacity (n−2)·M = 28·2 = 56 gives headroom for the carry pass.
+    let sim = PopulationTm::new(&tm, 30, 3, 2);
+    assert!(sim.max_tape_cells() >= 3);
+    let mut rng = seeded_rng(21);
+    let mut clean = 0u32;
+    let trials = [0u64, 1, 2, 3, 5];
+    for &v in &trials {
+        let input = encode(v);
+        let reference = sim.reference_tape(&input, 1_000_000);
+        match sim.run(&input, u64::MAX / 2, &mut rng) {
+            TmSimOutcome::Halted { tape, silent_errors, .. } => {
+                if silent_errors == 0 {
+                    assert_eq!(tape, reference, "v = {v}");
+                    assert_eq!(decode(&tape), v + 1, "v = {v}");
+                    clean += 1;
+                }
+            }
+            other => panic!("v = {v}: {other:?}"),
+        }
+    }
+    assert!(clean >= 2, "expected some clean runs: {clean}/{}", trials.len());
+}
