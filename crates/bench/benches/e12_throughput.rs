@@ -1,84 +1,111 @@
-//! E12 — engineering throughput of the simulation engines (criterion).
+//! E12 — engineering throughput of the simulation engines.
 //!
 //! Not a paper claim: this table documents the cost of one interaction in
 //! the count-based engine (O(|Q|), independent of n) and the agent-based
 //! engine, so experiment budgets elsewhere can be sized.
+//!
+//! Each row reports nanoseconds per interaction, measured with a warmup
+//! batch followed by timed batches (no external benchmarking harness: the
+//! build environment is offline, so this target self-times with
+//! `std::time::Instant`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use pp_core::{seeded_rng, AgentSimulation, Simulation};
+use std::time::Instant;
+
+use pp_bench::{fmt, print_header};
 use pp_core::scheduler::UniformPairScheduler;
+use pp_core::{seeded_rng, AgentSimulation, Simulation};
 use pp_presburger::{compile::compile_parsed, parse};
 use pp_protocols::{majority, CountThreshold, GraphSimulator};
 
-fn bench_count_engine(c: &mut Criterion) {
-    let mut group = c.benchmark_group("count_engine");
-    for &n in &[1_000u64, 100_000, 10_000_000] {
-        group.throughput(Throughput::Elements(1));
-        group.bench_with_input(BenchmarkId::new("majority_step", n), &n, |b, &n| {
-            let mut sim =
-                Simulation::from_counts(majority(), [(0usize, n / 2), (1usize, n / 2 + 1)]);
-            let mut rng = seeded_rng(1);
-            b.iter(|| sim.step(&mut rng));
-        });
+/// Times `batch` invocations of `f` after a warmup batch; returns ns/call.
+fn time_per_call(batch: u64, mut f: impl FnMut()) -> f64 {
+    for _ in 0..batch / 4 {
+        f();
     }
-    group.bench_function("count_to_5_step_n1e6", |b| {
+    let start = Instant::now();
+    for _ in 0..batch {
+        f();
+    }
+    start.elapsed().as_nanos() as f64 / batch as f64
+}
+
+fn bench_count_engine() {
+    println!("count engine (one `step`, O(|Q|) per interaction):");
+    print_header(&["case", "n", "ns/step"], &[28, 12, 10]);
+    for &n in &[1_000u64, 100_000, 10_000_000] {
+        let mut sim =
+            Simulation::from_counts(majority(), [(0usize, n / 2), (1usize, n / 2 + 1)]);
+        let mut rng = seeded_rng(1);
+        let ns = time_per_call(400_000, || {
+            sim.step(&mut rng);
+        });
+        println!("{:>28} {:>12} {:>10}", "majority_step", n, fmt(ns));
+    }
+    {
         let mut sim =
             Simulation::from_counts(CountThreshold::new(5), [(true, 10), (false, 999_990)]);
         let mut rng = seeded_rng(2);
-        b.iter(|| sim.step(&mut rng));
-    });
-    group.bench_function("compiled_formula_step_n1e4", |b| {
+        let ns = time_per_call(400_000, || {
+            sim.step(&mut rng);
+        });
+        println!("{:>28} {:>12} {:>10}", "count_to_5_step", 1_000_000, fmt(ns));
+    }
+    {
         let proto = compile_parsed(&parse("b < a /\\ a = 1 mod 3").unwrap()).unwrap();
         let mut sim = Simulation::from_counts(proto, [(0usize, 5_000), (1usize, 5_001)]);
         let mut rng = seeded_rng(3);
-        b.iter(|| sim.step(&mut rng));
-    });
-    group.finish();
+        let ns = time_per_call(200_000, || {
+            sim.step(&mut rng);
+        });
+        println!("{:>28} {:>12} {:>10}", "compiled_formula_step", 10_001, fmt(ns));
+    }
 }
 
-fn bench_leap_engine(c: &mut Criterion) {
-    let mut group = c.benchmark_group("leap_engine");
+fn bench_leap_engine() {
     // Whole epidemic runs: the leaping engine fast-forwards no-ops, so a
     // full run to quiescence is n−1 leaps regardless of how many
     // interactions they span.
+    println!("\nleap engine (full epidemic run to quiescence):");
+    print_header(&["case", "n", "µs/run"], &[28, 12, 10]);
     for &n in &[1_000u64, 100_000] {
-        group.bench_with_input(BenchmarkId::new("epidemic_full_run", n), &n, |b, &n| {
-            let mut rng = seeded_rng(9);
-            b.iter(|| {
-                let epidemic = pp_core::FnProtocol::new(
-                    |&b: &bool| b,
-                    |&q: &bool| q,
-                    |&p: &bool, &q: &bool| (p || q, p || q),
-                );
-                let mut sim = Simulation::from_counts(epidemic, [(true, 1), (false, n - 1)]);
-                sim.run_to_quiescence(u64::MAX, &mut rng).expect("quiesces")
-            });
-        });
-    }
-    group.finish();
-}
-
-fn bench_agent_engine(c: &mut Criterion) {
-    let mut group = c.benchmark_group("agent_engine");
-    for &n in &[100usize, 10_000] {
-        group.throughput(Throughput::Elements(1));
-        group.bench_with_input(BenchmarkId::new("graphsim_step", n), &n, |b, &n| {
-            let inputs: Vec<usize> = (0..n).map(|i| usize::from(i % 2 == 0)).collect();
-            let mut sim = AgentSimulation::from_inputs(
-                GraphSimulator::new(majority()),
-                &inputs,
-                UniformPairScheduler::new(n),
+        let mut rng = seeded_rng(9);
+        let runs = if n >= 100_000 { 40 } else { 400 };
+        let start = Instant::now();
+        for _ in 0..runs {
+            let epidemic = pp_core::FnProtocol::new(
+                |&b: &bool| b,
+                |&q: &bool| q,
+                |&p: &bool, &q: &bool| (p || q, p || q),
             );
-            let mut rng = seeded_rng(4);
-            b.iter(|| sim.step(&mut rng));
-        });
+            let mut sim = Simulation::from_counts(epidemic, [(true, 1), (false, n - 1)]);
+            sim.run_to_quiescence(u64::MAX, &mut rng).expect("quiesces");
+        }
+        let us = start.elapsed().as_micros() as f64 / f64::from(runs);
+        println!("{:>28} {:>12} {:>10}", "epidemic_full_run", n, fmt(us));
     }
-    group.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_count_engine, bench_leap_engine, bench_agent_engine
+fn bench_agent_engine() {
+    println!("\nagent engine (one `step` through the Theorem 7 baton simulator):");
+    print_header(&["case", "n", "ns/step"], &[28, 12, 10]);
+    for &n in &[100usize, 10_000] {
+        let inputs: Vec<usize> = (0..n).map(|i| usize::from(i % 2 == 0)).collect();
+        let mut sim = AgentSimulation::from_inputs(
+            GraphSimulator::new(majority()),
+            &inputs,
+            UniformPairScheduler::new(n),
+        );
+        let mut rng = seeded_rng(4);
+        let ns = time_per_call(400_000, || {
+            sim.step(&mut rng);
+        });
+        println!("{:>28} {:>12} {:>10}", "graphsim_step", n, fmt(ns));
+    }
 }
-criterion_main!(benches);
+
+fn main() {
+    println!("\nE12: engine throughput (self-timed; offline build has no criterion)\n");
+    bench_count_engine();
+    bench_leap_engine();
+    bench_agent_engine();
+}

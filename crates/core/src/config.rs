@@ -196,6 +196,13 @@ impl AgentConfig {
         self.states[v as usize] = q2;
     }
 
+    /// Overwrites the state of agent `a` (transient corruption / churn in
+    /// [`faults`](crate::faults)).
+    #[inline]
+    pub fn set(&mut self, a: u32, s: StateId) {
+        self.states[a as usize] = s;
+    }
+
     /// Iterates over agent states in agent order.
     pub fn iter(&self) -> impl Iterator<Item = StateId> + '_ {
         self.states.iter().copied()

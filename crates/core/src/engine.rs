@@ -240,6 +240,34 @@ impl<P: Protocol> Simulation<P> {
         self.rt.state(id).clone()
     }
 
+    /// Rewrites the state of one uniformly random agent to `to` — transient
+    /// corruption in the sense of §8's self-stabilization discussion (the
+    /// adversary scrambles memory but the agent keeps interacting). Returns
+    /// the state the victim was in. Population size is unchanged.
+    pub fn corrupt_random_agent(&mut self, to: &P::State, rng: &mut impl Rng) -> P::State {
+        let idx = rng.gen_range(0..self.config.population());
+        let old = self.config.state_of_index(idx);
+        let new = self.rt.intern(to.clone());
+        self.config.remove(old, 1);
+        self.config.ensure_len(new.index() + 1);
+        self.config.add(new, 1);
+        let (oo, on) = (self.rt.output_of(old), self.rt.output_of(new));
+        if oo != on {
+            self.bump_output(oo, -1);
+            self.bump_output(on, 1);
+        }
+        self.rt.state(old).clone()
+    }
+
+    /// A uniformly random state among those the runtime has interned so far
+    /// (every state that has ever been occupied this run). Used by the
+    /// uniform corruption fault model.
+    pub fn random_known_state(&mut self, rng: &mut impl Rng) -> P::State {
+        let k = self.rt.state_count();
+        assert!(k > 0, "no states interned yet");
+        self.rt.state(StateId(rng.gen_range(0..k as u32))).clone()
+    }
+
     /// The dense runtime (state/output interner and transition cache).
     pub fn runtime(&self) -> &DenseRuntime<P> {
         &self.rt
@@ -596,13 +624,35 @@ impl<P: Protocol> Simulation<P> {
 
 /// Per-agent simulation driven by an arbitrary [`PairSampler`]; required for
 /// restricted interaction graphs (§5) where agent identity matters.
+///
+/// Supports crash faults: a crashed agent keeps its slot (the sampler's
+/// population is fixed) but never interacts again — matching §8's "if an
+/// agent dies, the interactions between the remaining agents are
+/// unaffected". Sampled pairs touching a crashed agent are rejected and
+/// redrawn; output accounting ([`consensus_output`](Self::consensus_output),
+/// [`output_histogram`](Self::output_histogram),
+/// [`measure_stabilization`](Self::measure_stabilization)) covers live
+/// agents only.
 #[derive(Debug)]
 pub struct AgentSimulation<P: Protocol, S> {
     rt: DenseRuntime<P>,
     agents: AgentConfig,
     sampler: S,
     steps: u64,
+    crashed: Vec<bool>,
+    live: usize,
 }
+
+/// Resampling budget when rejecting pairs that touch crashed agents. On any
+/// graph with at least one live edge the probability of exhausting this is
+/// astronomically small; exhaustion therefore signals a *starved* schedule
+/// (no live pair may exist at all, e.g. both endpoints of every edge
+/// crashed).
+const MAX_PAIR_RESAMPLES: u32 = 100_000;
+
+/// One executed interaction: the sampled edge `(u, v)` plus the agents'
+/// `(before, after)` state pairs.
+pub type StepTransition = ((u32, u32), (StateId, StateId), (StateId, StateId));
 
 impl<P: Protocol, S: PairSampler> AgentSimulation<P, S> {
     /// Creates a simulation assigning `inputs[i]` to agent `i`.
@@ -620,12 +670,87 @@ impl<P: Protocol, S: PairSampler> AgentSimulation<P, S> {
         );
         let mut rt = DenseRuntime::new(protocol);
         let agents: AgentConfig = inputs.iter().map(|x| rt.intern_input(x)).collect();
-        Self { rt, agents, sampler, steps: 0 }
+        let n = agents.population();
+        Self { rt, agents, sampler, steps: 0, crashed: vec![false; n], live: n }
     }
 
-    /// Population size.
+    /// Population size (including crashed agents, which keep their slot).
     pub fn population(&self) -> usize {
         self.agents.population()
+    }
+
+    /// Number of agents that have not crashed.
+    pub fn live_population(&self) -> usize {
+        self.live
+    }
+
+    /// Whether agent `a` has crashed.
+    pub fn is_crashed(&self, a: u32) -> bool {
+        self.crashed[a as usize]
+    }
+
+    /// Permanently stops agent `a` from interacting (crash fault, §8).
+    /// Returns `false` (and does nothing) if the agent is already crashed or
+    /// if crashing it would leave fewer than 2 live agents.
+    pub fn crash_agent(&mut self, a: u32) -> bool {
+        if self.crashed[a as usize] || self.live <= 2 {
+            return false;
+        }
+        self.crashed[a as usize] = true;
+        self.live -= 1;
+        true
+    }
+
+    /// Crashes one uniformly random live agent; `None` if the live
+    /// population is already at 2.
+    pub fn crash_random_live(&mut self, rng: &mut impl RngCore) -> Option<u32> {
+        if self.live <= 2 {
+            return None;
+        }
+        let a = self.random_live_agent(rng);
+        self.crash_agent(a).then_some(a)
+    }
+
+    /// A uniformly random live agent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if every agent has crashed (impossible through the public
+    /// API, which keeps at least 2 live).
+    pub fn random_live_agent(&mut self, rng: &mut impl RngCore) -> u32 {
+        assert!(self.live > 0, "no live agents");
+        let mut k = rng.gen_range(0..self.live);
+        for (i, &c) in self.crashed.iter().enumerate() {
+            if !c {
+                if k == 0 {
+                    return i as u32;
+                }
+                k -= 1;
+            }
+        }
+        unreachable!("live count out of sync with crash mask")
+    }
+
+    /// Overwrites the state of live agent `a` (transient corruption / churn),
+    /// returning the state it was in.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the agent has crashed — a dead sensor's memory is not part
+    /// of the computation.
+    pub fn set_agent_state(&mut self, a: u32, s: &P::State) -> P::State {
+        assert!(!self.crashed[a as usize], "cannot rewrite a crashed agent");
+        let old = self.agents.state(a);
+        let new = self.rt.intern(s.clone());
+        self.agents.set(a, new);
+        self.rt.state(old).clone()
+    }
+
+    /// A uniformly random state among those the runtime has interned so far.
+    pub fn random_known_state(&mut self, rng: &mut impl RngCore) -> P::State {
+        let k = self.rt.state_count();
+        assert!(k > 0, "no states interned yet");
+        self.rt.state(StateId(rng.gen_range(0..k as u32))).clone()
     }
 
     /// Interactions executed so far.
@@ -653,14 +778,45 @@ impl<P: Protocol, S: PairSampler> AgentSimulation<P, S> {
         &self.rt
     }
 
-    /// Executes one interaction along a sampled edge; returns the edge.
+    /// Draws sampler edges until one joins two live agents, or gives up
+    /// after `cap` rejections (`None` = starved: no live pair was found).
+    fn sample_live_pair(&mut self, rng: &mut impl RngCore, cap: u32) -> Option<(u32, u32)> {
+        if self.live < 2 {
+            return None;
+        }
+        for _ in 0..cap {
+            let (u, v) = self.sampler.sample(rng);
+            if !self.crashed[u as usize] && !self.crashed[v as usize] {
+                return Some((u, v));
+            }
+        }
+        None
+    }
+
+    /// Executes one interaction along a sampled edge between live agents;
+    /// returns the edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no live pair could be sampled (starved schedule); use
+    /// [`step_transitions`](Self::step_transitions) to handle starvation.
     pub fn step(&mut self, rng: &mut impl RngCore) -> (u32, u32) {
-        let (u, v) = self.sampler.sample(rng);
+        let (edge, _, _) = self
+            .step_transitions(rng)
+            .expect("no live interacting pair could be sampled");
+        edge
+    }
+
+    /// Executes one interaction between live agents, returning the edge and
+    /// the `(before, after)` state pairs; `None` if the schedule is starved
+    /// (no pair of live agents was sampled within the resampling budget).
+    pub fn step_transitions(&mut self, rng: &mut impl RngCore) -> Option<StepTransition> {
+        let (u, v) = self.sample_live_pair(rng, MAX_PAIR_RESAMPLES)?;
         let (p, q) = (self.agents.state(u), self.agents.state(v));
         let r = self.rt.transition(p, q);
         self.agents.apply((u, v), r);
         self.steps += 1;
-        (u, v)
+        Some(((u, v), (p, q), r))
     }
 
     /// Runs `steps` interactions.
@@ -670,21 +826,30 @@ impl<P: Protocol, S: PairSampler> AgentSimulation<P, S> {
         }
     }
 
-    /// If every agent currently has the same output, returns it.
+    /// If every *live* agent currently has the same output, returns it.
     pub fn consensus_output(&self) -> Option<&P::Output> {
-        let first = self.rt.output_of(self.agents.state(0));
-        for s in self.agents.iter().skip(1) {
-            if self.rt.output_of(s) != first {
-                return None;
+        let mut first: Option<OutputId> = None;
+        for (i, s) in self.agents.iter().enumerate() {
+            if self.crashed[i] {
+                continue;
+            }
+            let o = self.rt.output_of(s);
+            match first {
+                None => first = Some(o),
+                Some(f) if f != o => return None,
+                Some(_) => {}
             }
         }
-        Some(self.rt.output_value(first))
+        first.map(|o| self.rt.output_value(o))
     }
 
-    /// The multiset of current outputs as `(output, count)` pairs.
+    /// The multiset of current *live* outputs as `(output, count)` pairs.
     pub fn output_histogram(&self) -> Vec<(P::Output, u64)> {
         let mut hist: Vec<(P::Output, u64)> = Vec::new();
-        for s in self.agents.iter() {
+        for (i, s) in self.agents.iter().enumerate() {
+            if self.crashed[i] {
+                continue;
+            }
             let o = self.rt.output_value(self.rt.output_of(s)).clone();
             match hist.iter_mut().find(|(oo, _)| *oo == o) {
                 Some((_, c)) => *c += 1,
@@ -692,6 +857,17 @@ impl<P: Protocol, S: PairSampler> AgentSimulation<P, S> {
             }
         }
         hist
+    }
+
+    /// Number of live agents whose current output differs from `expected`.
+    pub fn wrong_output_count(&self, expected: &P::Output) -> u64 {
+        self.agents
+            .iter()
+            .enumerate()
+            .filter(|&(i, s)| {
+                !self.crashed[i] && self.rt.output_value(self.rt.output_of(s)) != expected
+            })
+            .count() as u64
     }
 
     /// Runs `horizon` interactions and reports when the output assignment
@@ -702,31 +878,24 @@ impl<P: Protocol, S: PairSampler> AgentSimulation<P, S> {
         horizon: u64,
         rng: &mut impl RngCore,
     ) -> StabilizationReport {
-        let mut wrong = self
-            .agents
-            .iter()
-            .filter(|&s| self.rt.output_value(self.rt.output_of(s)) != expected)
-            .count();
+        let mut wrong = self.wrong_output_count(expected);
         let mut last_wrong: Option<u64> = if wrong == 0 { None } else { Some(0) };
         let start = self.steps;
         for _ in 0..horizon {
-            let (u, v) = self.sampler.sample(rng);
-            let (p, q) = (self.agents.state(u), self.agents.state(v));
-            let (p2, q2) = self.rt.transition(p, q);
-            for (old, new) in [(p, p2), (q, q2)] {
-                if old == new {
-                    continue;
-                }
-                let was_ok = self.rt.output_value(self.rt.output_of(old)) == expected;
-                let is_ok = self.rt.output_value(self.rt.output_of(new)) == expected;
-                match (was_ok, is_ok) {
-                    (true, false) => wrong += 1,
-                    (false, true) => wrong -= 1,
-                    _ => {}
+            if let Some((_, (p, q), (p2, q2))) = self.step_transitions(rng) {
+                for (old, new) in [(p, p2), (q, q2)] {
+                    if old == new {
+                        continue;
+                    }
+                    let was_ok = self.rt.output_value(self.rt.output_of(old)) == expected;
+                    let is_ok = self.rt.output_value(self.rt.output_of(new)) == expected;
+                    match (was_ok, is_ok) {
+                        (true, false) => wrong += 1,
+                        (false, true) => wrong -= 1,
+                        _ => {}
+                    }
                 }
             }
-            self.agents.apply((u, v), (p2, q2));
-            self.steps += 1;
             if wrong > 0 {
                 last_wrong = Some(self.steps - start);
             }

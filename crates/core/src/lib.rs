@@ -69,6 +69,7 @@ pub mod config;
 pub mod convention;
 pub mod engine;
 pub mod error;
+pub mod faults;
 pub mod fxhash;
 pub mod protocol;
 pub mod registry;
@@ -78,15 +79,25 @@ pub mod prelude {
     //! Convenient glob import for the most common types.
     pub use crate::config::{AgentConfig, CanonicalConfig, CountConfig};
     pub use crate::convention::{all_agents_output, symbol_count_output, zero_nonzero_output};
-    pub use crate::engine::{seeded_rng, AgentSimulation, Simulation, StabilizationReport};
+    pub use crate::engine::{
+        seeded_rng, AgentSimulation, Simulation, StabilizationReport, StepTransition,
+    };
     pub use crate::error::PopulationError;
+    pub use crate::faults::{
+        Churn, CorruptionMode, CrashFaults, FaultCtx, FaultPlan, FaultRunReport,
+        InteractionDrop, RecoveryReport, TransientCorruption,
+    };
     pub use crate::protocol::{FnProtocol, Protocol};
     pub use crate::registry::{DenseRuntime, OutputId, StateId};
     pub use crate::scheduler::{EdgeListScheduler, PairSampler, UniformPairScheduler};
 }
 
 pub use config::{AgentConfig, CanonicalConfig, CountConfig};
-pub use engine::{seeded_rng, AgentSimulation, Simulation, StabilizationReport};
+pub use engine::{seeded_rng, AgentSimulation, Simulation, StabilizationReport, StepTransition};
 pub use error::PopulationError;
+pub use faults::{
+    Churn, CorruptionMode, CrashFaults, FaultCtx, FaultPlan, FaultRunReport,
+    InteractionDrop, RecoveryReport, TransientCorruption,
+};
 pub use protocol::{FnProtocol, Protocol};
 pub use registry::{DenseRuntime, OutputId, StateId};

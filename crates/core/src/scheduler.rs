@@ -14,6 +14,8 @@
 
 use rand::{Rng, RngCore};
 
+use crate::error::PopulationError;
+
 /// A source of ordered agent pairs `(initiator, responder)` for agent-based
 /// simulations.
 pub trait PairSampler {
@@ -37,10 +39,19 @@ impl UniformPairScheduler {
     ///
     /// # Panics
     ///
-    /// Panics if `n < 2`.
+    /// Panics if `n < 2`; [`try_new`](Self::try_new) reports the same
+    /// condition as an error instead.
     pub fn new(n: usize) -> Self {
-        assert!(n >= 2, "population must have at least 2 agents");
-        Self { n: u32::try_from(n).expect("population exceeds u32::MAX") }
+        Self::try_new(n).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible constructor: errors with
+    /// [`PopulationError::PopulationTooSmall`] if `n < 2`.
+    pub fn try_new(n: usize) -> Result<Self, PopulationError> {
+        if n < 2 {
+            return Err(PopulationError::PopulationTooSmall { n });
+        }
+        Ok(Self { n: u32::try_from(n).expect("population exceeds u32::MAX") })
     }
 }
 
@@ -74,17 +85,29 @@ impl EdgeListScheduler {
     /// # Panics
     ///
     /// Panics if the edge list is empty, contains a self-loop, or refers to
-    /// an agent outside `0..n`.
+    /// an agent outside `0..n`; [`try_new`](Self::try_new) reports the same
+    /// conditions as errors instead.
     pub fn new(n: usize, edges: Vec<(u32, u32)>) -> Self {
-        assert!(!edges.is_empty(), "interaction graph has no edges");
-        for &(u, v) in &edges {
-            assert!(u != v, "self-loop on agent {u}");
-            assert!(
-                (u as usize) < n && (v as usize) < n,
-                "edge ({u},{v}) out of range for population of size {n}"
-            );
+        Self::try_new(n, edges).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible constructor: errors with [`PopulationError::NoEdges`] on an
+    /// empty edge list, [`PopulationError::SelfLoop`] on an edge `(u, u)`,
+    /// or [`PopulationError::EdgeOutOfRange`] on an endpoint outside `0..n`.
+    pub fn try_new(n: usize, edges: Vec<(u32, u32)>) -> Result<Self, PopulationError> {
+        if edges.is_empty() {
+            return Err(PopulationError::NoEdges);
         }
-        Self { edges, n }
+        for &(u, v) in &edges {
+            if u == v {
+                return Err(PopulationError::SelfLoop { agent: u });
+            }
+            if (u as usize) >= n || (v as usize) >= n {
+                let agent = if (u as usize) >= n { u } else { v };
+                return Err(PopulationError::EdgeOutOfRange { agent, n });
+            }
+        }
+        Ok(Self { edges, n })
     }
 
     /// The directed edges this sampler draws from.
@@ -304,6 +327,34 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn edge_list_rejects_out_of_range() {
         EdgeListScheduler::new(3, vec![(0, 7)]);
+    }
+
+    #[test]
+    fn try_new_reports_structured_errors() {
+        assert_eq!(
+            UniformPairScheduler::try_new(1).unwrap_err(),
+            PopulationError::PopulationTooSmall { n: 1 },
+        );
+        assert_eq!(UniformPairScheduler::try_new(2).unwrap().population(), 2);
+        assert_eq!(
+            EdgeListScheduler::try_new(3, vec![]).unwrap_err(),
+            PopulationError::NoEdges,
+        );
+        assert_eq!(
+            EdgeListScheduler::try_new(3, vec![(0, 1), (2, 2)]).unwrap_err(),
+            PopulationError::SelfLoop { agent: 2 },
+        );
+        assert_eq!(
+            EdgeListScheduler::try_new(3, vec![(0, 1), (5, 1)]).unwrap_err(),
+            PopulationError::EdgeOutOfRange { agent: 5, n: 3 },
+        );
+        assert!(EdgeListScheduler::try_new(3, vec![(0, 1)]).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn uniform_new_panics_on_tiny_population() {
+        UniformPairScheduler::new(1);
     }
 
     #[test]

@@ -258,7 +258,10 @@ mod tests {
 
     #[test]
     fn runs_addition_as_a_real_protocol() {
-        let proto = CounterProtocol::new(programs::cm_add(), 2, 2);
+        // Waiting parameter k = 6: the per-zero-test error probability is
+        // small enough (Theorem 9) that a premature jump is overwhelmingly
+        // unlikely at n = 16, rather than relying on a lucky seed.
+        let proto = CounterProtocol::new(programs::cm_add(), 3, 2);
         let mut sim = proto.simulation(16, &[3, 4]);
         let mut rng = seeded_rng(1);
         let mut halted = false;
@@ -270,7 +273,7 @@ mod tests {
             }
         }
         assert!(halted, "leader must halt");
-        let proto2 = CounterProtocol::new(programs::cm_add(), 2, 2);
+        let proto2 = CounterProtocol::new(programs::cm_add(), 3, 2);
         let counters = proto2.decode_counters(sim.runtime(), sim.config());
         // c0 = 3 + 4 (if no zero-test error fired early; with value 7 the
         // only zero branch is the final one, which is correct by then).
