@@ -19,7 +19,7 @@ fn main() {
     print_header(&["graph", "edges", "runs", "E[stabilize]", "slowdown"], &[16, 6, 5, 14, 10]);
 
     let inputs: Vec<usize> = (0..n).map(|i| usize::from(i < ones)).collect();
-    let trials = 30u64;
+    let trials = if pp_bench::smoke() { 3u64 } else { 30u64 };
 
     // Baseline: bare protocol on the complete graph.
     let mut base_times = Vec::new();

@@ -28,10 +28,11 @@ fn main() {
     );
 
     // Epidemic: committed = all-infected; MC measures consensus directly.
-    for n in [6u64, 10, 14] {
+    let epi_ns: &[u64] = if pp_bench::smoke() { &[6] } else { &[6, 10, 14] };
+    for &n in epi_ns {
         let m = MarkovAnalysis::analyze(epidemic(), [(true, 1), (false, n - 1)]);
         let exact = m.expected_steps_to_commit().unwrap();
-        let trials = 4000;
+        let trials = if pp_bench::smoke() { 100 } else { 4000 };
         let mut total = 0u64;
         for seed in 0..trials {
             let mut sim = Simulation::from_counts(epidemic(), [(true, 1), (false, n - 1)]);
@@ -52,10 +53,12 @@ fn main() {
 
     // Majority: committed set = configurations from which outputs are
     // frozen; MC uses last-wrong-output time as a lower-bound proxy.
-    for (zeros, ones) in [(2u64, 3u64), (3, 4), (4, 5)] {
+    let maj_splits: &[(u64, u64)] =
+        if pp_bench::smoke() { &[(2, 3)] } else { &[(2, 3), (3, 4), (4, 5)] };
+    for &(zeros, ones) in maj_splits {
         let m = MarkovAnalysis::analyze(majority(), [(0usize, zeros), (1usize, ones)]);
         let exact = m.expected_steps_to_commit().unwrap();
-        let trials = 400;
+        let trials = if pp_bench::smoke() { 50 } else { 400 };
         let mut times = Vec::new();
         for seed in 0..trials {
             let mut sim = Simulation::from_counts(majority(), [(0usize, zeros), (1usize, ones)]);
@@ -76,10 +79,11 @@ fn main() {
     }
 
     // Count-to-3.
-    for n in [5u64, 8] {
+    let ct_ns: &[u64] = if pp_bench::smoke() { &[5] } else { &[5, 8] };
+    for &n in ct_ns {
         let m = MarkovAnalysis::analyze(CountThreshold::new(3), [(true, 3), (false, n - 3)]);
         let exact = m.expected_steps_to_commit().unwrap();
-        let trials = 400;
+        let trials = if pp_bench::smoke() { 50 } else { 400 };
         let mut times = Vec::new();
         for seed in 0..trials {
             let mut sim =

@@ -24,10 +24,11 @@ fn main() {
     let mut ns = Vec::new();
     let mut exact_ts = Vec::new();
     let mut approx_ts = Vec::new();
-    for n in [20u64, 40, 80, 160, 320] {
+    let n_list: &[u64] = if pp_bench::smoke() { &[20, 40] } else { &[20, 40, 80, 160, 320] };
+    for &n in n_list {
         let ones = n * 3 / 5;
         let zeros = n - ones;
-        let trials = (200_000 / (n * n)).clamp(10, 60);
+        let trials = if pp_bench::smoke() { 5 } else { (200_000 / (n * n)).clamp(10, 60) };
         let mut ex = Vec::new();
         let mut ap = Vec::new();
         for seed in 0..trials {
@@ -57,7 +58,12 @@ fn main() {
 
     println!("E13b: exact error probability of the 3-state protocol (Markov chain)\n");
     print_header(&["n", "ones", "zeros", "P[wrong verdict]"], &[5, 6, 6, 17]);
-    for (ones, zeros) in [(3u64, 2u64), (4, 3), (5, 4), (6, 3), (7, 5), (8, 4)] {
+    let splits: &[(u64, u64)] = if pp_bench::smoke() {
+        &[(3, 2), (4, 3)]
+    } else {
+        &[(3, 2), (4, 3), (5, 4), (6, 3), (7, 5), (8, 4)]
+    };
+    for &(ones, zeros) in splits {
         let m = MarkovAnalysis::analyze(ApproximateMajority, [(true, ones), (false, zeros)]);
         let probs = m.commit_probabilities();
         // Wrong classes: committed histograms whose consensus is not "true".

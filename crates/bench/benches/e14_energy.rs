@@ -19,9 +19,10 @@ fn main() {
         &["protocol", "n", "total", "effective", "eff/n", "stabilized"],
         &[12, 6, 12, 11, 8, 11],
     );
+    let n_list: &[u64] = if pp_bench::smoke() { &[32, 64] } else { &[32, 64, 128, 256] };
 
-    for n in [32u64, 64, 128, 256] {
-        let trials = 20;
+    for &n in n_list {
+        let trials = if pp_bench::smoke() { 3 } else { 20 };
         let mut eff = Vec::new();
         let mut stab = Vec::new();
         for seed in 0..trials {
@@ -43,8 +44,8 @@ fn main() {
         );
     }
     println!();
-    for n in [32u64, 64, 128, 256] {
-        let trials = 20;
+    for &n in n_list {
+        let trials = if pp_bench::smoke() { 3 } else { 20 };
         let mut eff = Vec::new();
         let mut stab = Vec::new();
         for seed in 0..trials {

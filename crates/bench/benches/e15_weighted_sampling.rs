@@ -24,7 +24,7 @@ fn main() {
 
     let n = 20usize;
     let inputs: Vec<usize> = (0..n).map(|i| usize::from(i % 20 < 11)).collect();
-    let trials = 40u64;
+    let trials = if pp_bench::smoke() { 5u64 } else { 40u64 };
 
     let profiles: Vec<(&str, Vec<f64>)> = vec![
         ("uniform", vec![1.0; n]),

@@ -26,7 +26,7 @@ fn row<P: Protocol<Output = bool> + Clone>(
     mk: impl Fn() -> Simulation<P>,
     expected: bool,
 ) {
-    let trials = 30u64;
+    let trials = if pp_bench::smoke() { 3u64 } else { 30u64 };
     let mut seq = Vec::new();
     let mut par = Vec::new();
     for seed in 0..trials {
@@ -65,7 +65,8 @@ fn main() {
     );
     println!("(*ratio = rounds / (2·seq/n); ≈ 1 when the clocks agree)\n");
 
-    for n in [64u64, 256, 1024] {
+    let epi_ns: &[u64] = if pp_bench::smoke() { &[64] } else { &[64, 256, 1024] };
+    for &n in epi_ns {
         // E[T] ≈ n ln n for the epidemic; a 30× margin suffices.
         let horizon = 30 * n * (64 - n.leading_zeros() as u64);
         row(
@@ -77,7 +78,8 @@ fn main() {
         );
     }
     println!();
-    for n in [32u64, 64, 128] {
+    let maj_ns: &[u64] = if pp_bench::smoke() { &[32] } else { &[32, 64, 128] };
+    for &n in maj_ns {
         // Output distribution is a coupon collector through the leader:
         // E[T] ≈ (n²/2)·ln n; allow a 12× margin.
         let horizon = (6.0 * (n * n) as f64 * (n as f64).ln()) as u64;

@@ -20,8 +20,10 @@ fn main() {
 
     let mut ns = Vec::new();
     let mut ts = Vec::new();
-    for n in [8u64, 16, 32, 64, 128, 256] {
-        let trials = (200_000 / (n * n)).clamp(20, 400);
+    let n_list: &[u64] =
+        if pp_bench::smoke() { &[8, 16] } else { &[8, 16, 32, 64, 128, 256] };
+    for &n in n_list {
+        let trials = if pp_bench::smoke() { 5 } else { (200_000 / (n * n)).clamp(20, 400) };
         let mut times = Vec::new();
         for seed in 0..trials {
             let mut sim = Simulation::from_counts(LeaderElection, [((), n)]);
@@ -36,7 +38,7 @@ fn main() {
         // Full §6.1 election with timer marking/retrieval (k = 2; the
         // initialization phase costs O(n^{k+1}) interactions, so large k at
         // large n is prohibitive — exactly the Theorem 9/10 trade-off).
-        let timer_trials = trials.min(15);
+        let timer_trials = if pp_bench::smoke() { 2 } else { trials.min(15) };
         let mut totals = Vec::new();
         let mut rng = seeded_rng(7 + n);
         let election = TimerLeaderElection::new(n as usize, 2);

@@ -53,8 +53,11 @@ fn main() {
 
     let mut ns = Vec::new();
     let mut ts = Vec::new();
-    for n in [8u64, 16, 32, 64, 128, 256] {
-        let trials = (4_000_000 / (n * n)).clamp(20, 2000);
+    let n_list: &[u64] =
+        if pp_bench::smoke() { &[8, 16] } else { &[8, 16, 32, 64, 128, 256] };
+    for &n in n_list {
+        let trials =
+            if pp_bench::smoke() { 10 } else { (4_000_000 / (n * n)).clamp(20, 2000) };
         let mut rng = seeded_rng(2 * n + 1);
         let times: Vec<f64> = (0..trials)
             .map(|_| interactions_until_leader_meets_all(n, &mut rng) as f64)

@@ -22,11 +22,12 @@ fn sweep<P: Protocol<Input = usize, Output = bool>>(
 ) -> f64 {
     let mut ns = Vec::new();
     let mut ts = Vec::new();
-    for n in [8u64, 16, 32, 64, 128] {
+    let n_list: &[u64] = if pp_bench::smoke() { &[8, 16] } else { &[8, 16, 32, 64, 128] };
+    for &n in n_list {
         let zeros = n * 5 / 8;
         let ones = n - zeros;
         let expected = truth(zeros, ones);
-        let trials = (240_000 / (n * n)).clamp(12, 200);
+        let trials = if pp_bench::smoke() { 5 } else { (240_000 / (n * n)).clamp(12, 200) };
         let mut times = Vec::new();
         for seed in 0..trials {
             let mut sim =

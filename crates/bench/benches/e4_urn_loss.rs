@@ -20,7 +20,11 @@ fn main() {
                 let urn = UrnProcess::new(n, m, k);
                 let analytic = urn.loss_probability();
                 // Pick trials so that we expect ≥ ~50 loss events, capped.
-                let trials = ((80.0 / analytic) as u64).clamp(20_000, 3_000_000);
+                let trials = if pp_bench::smoke() {
+                    2_000
+                } else {
+                    ((80.0 / analytic) as u64).clamp(20_000, 3_000_000)
+                };
                 let mut losses = 0u64;
                 for _ in 0..trials {
                     if !urn.run(&mut rng).won {

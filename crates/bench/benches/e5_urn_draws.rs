@@ -15,7 +15,7 @@ fn main() {
     for &n in &[8u64, 16, 32, 64] {
         for &m in &[1u64, 2, 4] {
             let urn = UrnProcess::new(n, m, 2);
-            let trials = 60_000;
+            let trials = if pp_bench::smoke() { 1_000 } else { 60_000 };
             let mut wins = Vec::new();
             for _ in 0..trials {
                 let o = urn.run(&mut rng);
@@ -41,7 +41,8 @@ fn main() {
             let urn = UrnProcess::new(n, 0, k);
             let exact = urn.expected_draws_to_lose();
             let trials = (40_000_000.0 / exact) as u64;
-            let trials = trials.clamp(500, 200_000);
+            let trials =
+                if pp_bench::smoke() { 200 } else { trials.clamp(500, 200_000) };
             let mut draws = Vec::new();
             for _ in 0..trials {
                 draws.push(urn.run(&mut rng).draws as f64);

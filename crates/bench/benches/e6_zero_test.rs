@@ -21,7 +21,11 @@ fn main() {
         for &m in &[1u64, 2, 4] {
             let zt = ZeroTest::new(n, m, 2);
             let analytic = zt.false_zero_probability();
-            let trials = ((60.0 / analytic) as u64).clamp(20_000, 1_500_000);
+            let trials = if pp_bench::smoke() {
+                2_000
+            } else {
+                ((60.0 / analytic) as u64).clamp(20_000, 1_500_000)
+            };
             let mut wrong = 0u64;
             for _ in 0..trials {
                 if zt.run(&mut rng).reported_zero {
@@ -44,10 +48,11 @@ fn main() {
         &["n", "m", "E[interactions]", "n²/m", "ratio"],
         &[5, 4, 16, 12, 8],
     );
-    for &n in &[16u64, 32, 64, 128] {
+    let n_list_b: &[u64] = if pp_bench::smoke() { &[16, 32] } else { &[16, 32, 64, 128] };
+    for &n in n_list_b {
         for &m in &[1u64, 4] {
             let zt = ZeroTest::new(n, m, 2);
-            let trials = 20_000;
+            let trials = if pp_bench::smoke() { 300 } else { 20_000 };
             let mut ok_times = Vec::new();
             for _ in 0..trials {
                 let o = zt.run(&mut rng);
@@ -75,10 +80,15 @@ fn main() {
     );
     let mut ns = Vec::new();
     let mut ts = Vec::new();
-    for &n in &[8u64, 16, 32, 64] {
+    let n_list_c: &[u64] = if pp_bench::smoke() { &[8, 16] } else { &[8, 16, 32, 64] };
+    for &n in n_list_c {
         let k = 2;
         let zt = ZeroTest::new(n, 0, k);
-        let trials = (30_000_000 / (n * n * n)).clamp(200, 20_000);
+        let trials = if pp_bench::smoke() {
+            50
+        } else {
+            (30_000_000 / (n * n * n)).clamp(200, 20_000)
+        };
         let times: Vec<f64> =
             (0..trials).map(|_| zt.run(&mut rng).interactions as f64).collect();
         let measured = mean(&times);

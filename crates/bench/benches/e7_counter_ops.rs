@@ -19,9 +19,10 @@ fn run_op(
     init: &dyn Fn(u64) -> Vec<u128>,
     k: u32,
 ) {
-    for n in [16u64, 32, 64] {
+    let n_list: &[u64] = if pp_bench::smoke() { &[16] } else { &[16, 32, 64] };
+    for &n in n_list {
         let pcm = PopulationCounterMachine::new(program.clone(), n as usize, k, 2);
-        let trials = 400;
+        let trials = if pp_bench::smoke() { 3 } else { 400 };
         let mut rng = seeded_rng(7 * n + u64::from(k));
         let mut interactions = Vec::new();
         let mut errors = 0u64;

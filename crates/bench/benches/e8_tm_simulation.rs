@@ -21,10 +21,11 @@ fn main() {
     let tm = programs::tm_unary_parity();
     let input = vec![1u8; 3];
 
-    for n in [12usize, 16, 24, 32] {
+    let n_list: &[usize] = if pp_bench::smoke() { &[12] } else { &[12, 16, 24, 32] };
+    for &n in n_list {
         let sim = PopulationTm::new(&tm, n, 3, 2);
         let reference = sim.reference_tape(&input, 1_000_000);
-        let trials = 30;
+        let trials = if pp_bench::smoke() { 3 } else { 30 };
         let mut rng = seeded_rng(8 + n as u64);
         let mut wrong = 0u64;
         let mut inter = Vec::new();

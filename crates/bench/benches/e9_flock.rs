@@ -15,10 +15,12 @@ fn main() {
         &[12, 6, 5, 6, 5, 14],
     );
 
-    for n in [40u64, 80, 160, 320] {
+    let n_list: &[u64] = if pp_bench::smoke() { &[40] } else { &[40, 80, 160, 320] };
+    for &n in n_list {
         for hot in [4u64, 5, n / 20, n / 20 + 1] {
             let expected = hot >= 5;
-            let trials = (400_000 / (n * n)).clamp(10, 100);
+            let trials =
+                if pp_bench::smoke() { 5 } else { (400_000 / (n * n)).clamp(10, 100) };
             let mut times = Vec::new();
             for seed in 0..trials {
                 let mut sim = Simulation::from_counts(
@@ -42,12 +44,13 @@ fn main() {
     }
 
     println!();
-    for n in [40u64, 80, 160, 320] {
+    for &n in n_list {
         // Just below and at the 5% boundary.
         for hot in [n / 20, n / 20 + 1] {
             let p = PercentThreshold::new(1, 20).unwrap();
             let expected = p.eval(n - hot, hot);
-            let trials = (400_000 / (n * n)).clamp(10, 100);
+            let trials =
+                if pp_bench::smoke() { 5 } else { (400_000 / (n * n)).clamp(10, 100) };
             let mut times = Vec::new();
             for seed in 0..trials {
                 let mut sim = Simulation::from_counts(

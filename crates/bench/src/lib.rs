@@ -1,12 +1,21 @@
-//! Shared helpers for the experiment harnesses (benches `e1`–`e12`).
+//! Shared helpers for the experiment harnesses (benches `e1`–`e18`).
 //!
 //! Each `benches/eN_*.rs` target regenerates one quantitative claim of
 //! Angluin et al. (PODC 2004), printing a paper-vs-measured table; see
 //! `DESIGN.md` §3 for the experiment index and `EXPERIMENTS.md` for
-//! recorded results.
+//! recorded results. The [`report`] module additionally emits each
+//! experiment's numbers as a machine-readable `BENCH_<exp>.json`.
+//!
+//! Every bench honours `PP_BENCH_SMOKE=1` ([`smoke`]): populations and
+//! trial counts drop to "does it run" size so CI can execute the whole
+//! bench suite in seconds.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod report;
+
+pub use report::{smoke, BenchReport, Value};
 
 /// Sample mean.
 pub fn mean(xs: &[f64]) -> f64 {

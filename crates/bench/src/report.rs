@@ -1,0 +1,309 @@
+//! Machine-readable experiment reports: every bench emits, next to its
+//! human-readable table, a `BENCH_<experiment>.json` file so the perf and
+//! accuracy trajectory of the repo can be tracked across commits without
+//! scraping stdout.
+//!
+//! The format is deliberately tiny (the build is offline — no serde):
+//!
+//! ```json
+//! {"schema":"pp-bench/v1","experiment":"e12_throughput","unix_time":1754300000,
+//!  "meta":{"smoke":false},
+//!  "rows":[{"case":"majority_step","n":1000,"ns_per_step":12.5}]}
+//! ```
+//!
+//! Files land in the workspace root (override with `PP_BENCH_DIR`). Under
+//! `PP_BENCH_SMOKE=1` ([`smoke`]) reports are still assembled — so the
+//! serialization path is exercised in CI — but not written to disk,
+//! keeping smoke runs side-effect free.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Whether this bench run is a CI smoke run (`PP_BENCH_SMOKE` set to
+/// anything but `0` or the empty string): populations and trial counts
+/// should be scaled down to "does it run at all" size, and reports are not
+/// written to disk.
+pub fn smoke() -> bool {
+    std::env::var("PP_BENCH_SMOKE").map(|v| !v.is_empty() && v != "0").unwrap_or(false)
+}
+
+/// A JSON-serializable scalar or list cell.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A float; non-finite values serialize as `null`.
+    F64(f64),
+    /// An unsigned integer.
+    U64(u64),
+    /// A signed integer.
+    I64(i64),
+    /// A string.
+    Str(String),
+    /// A boolean.
+    Bool(bool),
+    /// A homogeneous or heterogeneous list.
+    List(Vec<Value>),
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::U64(v.into())
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::U64(v as u64)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Self {
+        Value::List(v.into_iter().map(Into::into).collect())
+    }
+}
+
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl Value {
+    fn push_json(&self, out: &mut String) {
+        match self {
+            Value::F64(v) if !v.is_finite() => out.push_str("null"),
+            Value::F64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Value::U64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Value::I64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Value::Str(s) => push_json_str(out, s),
+            Value::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Value::List(xs) => {
+                out.push('[');
+                for (i, x) in xs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    x.push_json(out);
+                }
+                out.push(']');
+            }
+        }
+    }
+}
+
+fn push_json_object(out: &mut String, fields: &[(String, Value)]) {
+    out.push('{');
+    for (i, (k, v)) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_json_str(out, k);
+        out.push(':');
+        v.push_json(out);
+    }
+    out.push('}');
+}
+
+/// One experiment's machine-readable report: free-form metadata plus a list
+/// of uniform-ish rows (each row is an ordered set of `name: value` cells).
+#[derive(Debug, Clone, Default)]
+pub struct BenchReport {
+    experiment: String,
+    meta: Vec<(String, Value)>,
+    rows: Vec<Vec<(String, Value)>>,
+}
+
+impl BenchReport {
+    /// A new report for `experiment` (e.g. `"e12_throughput"`); the
+    /// experiment name becomes the `BENCH_<experiment>.json` file name.
+    /// Smoke mode is recorded in the metadata automatically.
+    pub fn new(experiment: &str) -> Self {
+        let mut r = Self { experiment: experiment.to_owned(), meta: Vec::new(), rows: Vec::new() };
+        r.set_meta("smoke", smoke());
+        r
+    }
+
+    /// Sets a metadata field (population size, trial count, …), replacing
+    /// any earlier value under the same key.
+    pub fn set_meta(&mut self, key: &str, value: impl Into<Value>) -> &mut Self {
+        let value = value.into();
+        if let Some(slot) = self.meta.iter_mut().find(|(k, _)| k == key) {
+            slot.1 = value;
+        } else {
+            self.meta.push((key.to_owned(), value));
+        }
+        self
+    }
+
+    /// Appends one measurement row from `(name, value)` cells.
+    pub fn push_row<K: Into<String>, V: Into<Value>>(
+        &mut self,
+        cells: impl IntoIterator<Item = (K, V)>,
+    ) -> &mut Self {
+        self.rows
+            .push(cells.into_iter().map(|(k, v)| (k.into(), v.into())).collect());
+        self
+    }
+
+    /// Number of rows recorded so far.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the report has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Serializes the report to a single-object JSON string.
+    pub fn to_json(&self) -> String {
+        let unix_time = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        let mut out = String::with_capacity(256 + 64 * self.rows.len());
+        out.push_str("{\"schema\":\"pp-bench/v1\",\"experiment\":");
+        push_json_str(&mut out, &self.experiment);
+        let _ = write!(out, ",\"unix_time\":{unix_time},\"meta\":");
+        push_json_object(&mut out, &self.meta);
+        out.push_str(",\"rows\":[");
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n  ");
+            push_json_object(&mut out, row);
+        }
+        out.push_str("\n]}\n");
+        out
+    }
+
+    /// Directory reports are written to: `PP_BENCH_DIR` if set, else the
+    /// workspace root (two levels up from the bench crate).
+    pub fn output_dir() -> PathBuf {
+        match std::env::var_os("PP_BENCH_DIR") {
+            Some(d) => PathBuf::from(d),
+            None => Path::new(env!("CARGO_MANIFEST_DIR")).join("../.."),
+        }
+    }
+
+    /// Serializes the report and — outside smoke mode — writes it to
+    /// `BENCH_<experiment>.json` in [`output_dir`](Self::output_dir),
+    /// printing the destination. In smoke mode the JSON is still built
+    /// (serialization bugs fail the smoke job) but nothing touches disk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the file cannot be written — a bench that silently loses
+    /// its report would defeat the trajectory tracking.
+    pub fn write(&self) {
+        let json = self.to_json();
+        if smoke() {
+            println!("[smoke] skipping write of BENCH_{}.json ({} rows)", self.experiment, self.rows.len());
+            return;
+        }
+        let path = Self::output_dir().join(format!("BENCH_{}.json", self.experiment));
+        std::fs::write(&path, json)
+            .unwrap_or_else(|e| panic!("failed to write {}: {e}", path.display()));
+        println!("wrote {}", path.display());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_serializes_schema_meta_and_rows() {
+        let mut r = BenchReport::new("e0_demo");
+        r.set_meta("n", 64u64);
+        r.set_meta("n", 128u64); // replaces
+        r.push_row([("case", Value::from("fast")), ("ns", Value::from(12.5))]);
+        r.push_row([("case", Value::from("slow")), ("ns", Value::from(f64::NAN))]);
+        let json = r.to_json();
+        assert!(json.starts_with("{\"schema\":\"pp-bench/v1\",\"experiment\":\"e0_demo\""));
+        assert!(json.contains("\"n\":128"));
+        assert!(!json.contains("\"n\":64"));
+        assert!(json.contains("{\"case\":\"fast\",\"ns\":12.5}"));
+        assert!(json.contains("{\"case\":\"slow\",\"ns\":null}"), "NaN must map to null");
+        assert_eq!(r.len(), 2);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let mut out = String::new();
+        push_json_str(&mut out, "a\"b\\c\nd\u{1}");
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn lists_and_ints_serialize() {
+        let mut out = String::new();
+        Value::from(vec![1u64, 2, 3]).push_json(&mut out);
+        assert_eq!(out, "[1,2,3]");
+        let mut out = String::new();
+        Value::from(-5i64).push_json(&mut out);
+        assert_eq!(out, "-5");
+        let mut out = String::new();
+        Value::from(true).push_json(&mut out);
+        assert_eq!(out, "true");
+    }
+}

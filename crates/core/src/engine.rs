@@ -28,6 +28,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
 
 use crate::config::{AgentConfig, CountConfig};
+use crate::observe::{InteractionEvent, NoProbe, Probe, Snapshot};
 use crate::protocol::Protocol;
 use crate::registry::{DenseRuntime, OutputId, StateId};
 use crate::scheduler::PairSampler;
@@ -87,14 +88,22 @@ impl StabilizationReport {
 /// let report = sim.measure_stabilization(&true, 100_000, &mut rng);
 /// assert!(report.converged());
 /// ```
+///
+/// # Observability
+///
+/// The second type parameter is a [`Probe`] (see [`crate::observe`]) that
+/// watches the run from inside the engine; the default [`NoProbe`] compiles
+/// the whole observability layer away. Attach one with
+/// [`with_probe`](Self::with_probe).
 #[derive(Debug, Clone)]
-pub struct Simulation<P: Protocol> {
+pub struct Simulation<P: Protocol, Pr = NoProbe> {
     rt: DenseRuntime<P>,
     config: CountConfig,
     /// Agents per output id, kept in sync with `config`.
     output_counts: Vec<u64>,
     steps: u64,
     effective_steps: u64,
+    probe: Pr,
 }
 
 impl<P: Protocol> Simulation<P> {
@@ -156,10 +165,137 @@ impl<P: Protocol> Simulation<P> {
 
     fn from_parts(rt: DenseRuntime<P>, config: CountConfig) -> Self {
         assert!(config.population() >= 2, "population must have at least 2 agents");
-        let mut sim =
-            Self { rt, config, output_counts: Vec::new(), steps: 0, effective_steps: 0 };
+        let mut sim = Self {
+            rt,
+            config,
+            output_counts: Vec::new(),
+            steps: 0,
+            effective_steps: 0,
+            probe: NoProbe,
+        };
         sim.rebuild_output_counts();
         sim
+    }
+}
+
+impl<P: Protocol, Pr: Probe> Simulation<P, Pr> {
+    /// Attaches a probe (see [`crate::observe`]), returning the probed
+    /// simulation; the probe's `on_attach` hook receives the current
+    /// configuration. Any previously attached probe is dropped.
+    ///
+    /// Pass `&mut probe` to keep ownership of the probe at the call site.
+    pub fn with_probe<Pr2: Probe>(self, mut probe: Pr2) -> Simulation<P, Pr2> {
+        if Pr2::ACTIVE {
+            probe.on_attach(&Snapshot {
+                step: self.steps,
+                occupancy: self.config.as_slice(),
+                outputs: &self.output_counts,
+            });
+        }
+        Simulation {
+            rt: self.rt,
+            config: self.config,
+            output_counts: self.output_counts,
+            steps: self.steps,
+            effective_steps: self.effective_steps,
+            probe,
+        }
+    }
+
+    /// The attached probe.
+    pub fn probe(&self) -> &Pr {
+        &self.probe
+    }
+
+    /// Mutable access to the attached probe (e.g. to reset a metrics window
+    /// between phases).
+    pub fn probe_mut(&mut self) -> &mut Pr {
+        &mut self.probe
+    }
+
+    /// Consumes the simulation and returns the probe.
+    pub fn into_probe(self) -> Pr {
+        self.probe
+    }
+
+    /// Interns `out` and returns its dense output id — e.g. to configure an
+    /// output-keyed probe such as
+    /// [`ConvergenceProbe`](crate::observe::ConvergenceProbe).
+    pub fn output_id(&mut self, out: &P::Output) -> OutputId {
+        self.rt.intern_output(out.clone())
+    }
+
+    /// Single accounting path for every executed interaction: sequential
+    /// [`step`](Self::step)s, [`leap`](Self::leap)s, and
+    /// [`parallel_round`](Self::parallel_round) pairs all come through here,
+    /// so the `steps`/`effective_steps` counters cannot drift between
+    /// execution paths and a probe sees every interaction exactly once.
+    /// Returns whether the interaction was effective.
+    #[inline]
+    fn note_interaction(
+        &mut self,
+        before: (StateId, StateId),
+        after: (StateId, StateId),
+        noops_skipped: u64,
+    ) -> bool {
+        self.steps += noops_skipped + 1;
+        let effective = after != before;
+        // Branchless: `effective` flips per interaction near convergence,
+        // so a conditional increment would be a mispredicted branch in the
+        // hottest loop of the engine.
+        self.effective_steps += u64::from(effective);
+        if Pr::ACTIVE {
+            let ev = InteractionEvent {
+                step: self.steps,
+                noops_skipped,
+                before,
+                after,
+                outputs_before: (self.rt.output_of(before.0), self.rt.output_of(before.1)),
+                outputs_after: (self.rt.output_of(after.0), self.rt.output_of(after.1)),
+                effective,
+            };
+            self.probe.on_interaction(&ev);
+        }
+        effective
+    }
+
+    /// Applies an effective transition to the configuration and the output
+    /// counts; returns whether the output *multiset* changed.
+    #[inline]
+    fn apply_effective(
+        &mut self,
+        before: (StateId, StateId),
+        after: (StateId, StateId),
+    ) -> bool {
+        self.config.apply(before, after);
+        let (op, oq) = (self.rt.output_of(before.0), self.rt.output_of(before.1));
+        let (op2, oq2) = (self.rt.output_of(after.0), self.rt.output_of(after.1));
+        if (op, oq) == (op2, oq2) || (op, oq) == (oq2, op2) {
+            false
+        } else {
+            self.bump_output(op, -1);
+            self.bump_output(oq, -1);
+            self.bump_output(op2, 1);
+            self.bump_output(oq2, 1);
+            if Pr::ACTIVE {
+                self.probe.on_output_change(self.steps);
+            }
+            true
+        }
+    }
+
+    /// Notifies the probe that a fault plan just damaged the configuration.
+    pub(crate) fn probe_fault_burst(&mut self, injected: u64) {
+        if Pr::ACTIVE {
+            self.probe.on_fault_burst(
+                injected,
+                &Snapshot {
+                    step: self.steps,
+                    occupancy: self.config.as_slice(),
+                    outputs: &self.output_counts,
+                },
+            );
+        }
     }
 
     fn rebuild_output_counts(&mut self) {
@@ -331,23 +467,10 @@ impl<P: Protocol> Simulation<P> {
     pub fn step(&mut self, rng: &mut impl Rng) -> bool {
         let (p, q) = self.sample_pair(rng);
         let (p2, q2) = self.rt.transition(p, q);
-        self.steps += 1;
-        if (p2, q2) == (p, q) {
+        if !self.note_interaction((p, q), (p2, q2), 0) {
             return false;
         }
-        self.effective_steps += 1;
-        self.config.apply((p, q), (p2, q2));
-        let (op, oq) = (self.rt.output_of(p), self.rt.output_of(q));
-        let (op2, oq2) = (self.rt.output_of(p2), self.rt.output_of(q2));
-        if (op, oq) == (op2, oq2) || (op, oq) == (oq2, op2) {
-            false
-        } else {
-            self.bump_output(op, -1);
-            self.bump_output(oq, -1);
-            self.bump_output(op2, 1);
-            self.bump_output(oq2, 1);
-            true
-        }
+        self.apply_effective((p, q), (p2, q2))
     }
 
     /// Runs `steps` interactions.
@@ -445,6 +568,7 @@ impl<P: Protocol> Simulation<P> {
     /// Returns the number of pairs matched (⌊n/2⌋). [`steps`](Self::steps)
     /// advances by that amount.
     pub fn parallel_round(&mut self, rng: &mut impl Rng) -> u64 {
+        let outputs_before = if Pr::ACTIVE { self.output_counts.clone() } else { Vec::new() };
         let mut pending = self.config.clone();
         let mut next = CountConfig::empty();
         next.ensure_len(self.rt.state_count());
@@ -456,9 +580,7 @@ impl<P: Protocol> Simulation<P> {
             let q = pending.state_of_index(rng.gen_range(0..m - 1));
             pending.remove(q, 1);
             let (p2, q2) = self.rt.transition(p, q);
-            if (p2, q2) != (p, q) {
-                self.effective_steps += 1;
-            }
+            self.note_interaction((p, q), (p2, q2), 0);
             next.ensure_len(self.rt.state_count());
             next.add(p2, 1);
             next.add(q2, 1);
@@ -470,8 +592,10 @@ impl<P: Protocol> Simulation<P> {
             next.add(leftover, 1);
         }
         self.config = next;
-        self.steps += pairs;
         self.rebuild_output_counts();
+        if Pr::ACTIVE && !hist_eq(&outputs_before, &self.output_counts) {
+            self.probe.on_output_change(self.steps);
+        }
         pairs
     }
 
@@ -554,17 +678,8 @@ impl<P: Protocol> Simulation<P> {
         let (p, q) = chosen;
         let (p2, q2) = self.rt.transition(p, q);
         debug_assert!((p2, q2) != (p, q), "reactive pair must change state");
-        self.config.apply((p, q), (p2, q2));
-        let (op, oq) = (self.rt.output_of(p), self.rt.output_of(q));
-        let (op2, oq2) = (self.rt.output_of(p2), self.rt.output_of(q2));
-        if (op, oq) != (op2, oq2) && (op, oq) != (oq2, op2) {
-            self.bump_output(op, -1);
-            self.bump_output(oq, -1);
-            self.bump_output(op2, 1);
-            self.bump_output(oq2, 1);
-        }
-        self.steps += skip;
-        self.effective_steps += 1;
+        self.note_interaction((p, q), (p2, q2), skip - 1);
+        self.apply_effective((p, q), (p2, q2));
         Some(skip)
     }
 
@@ -622,6 +737,13 @@ impl<P: Protocol> Simulation<P> {
     }
 }
 
+/// Zero-padded equality of two output histograms (lengths may differ when
+/// new outputs were interned mid-round).
+fn hist_eq(a: &[u64], b: &[u64]) -> bool {
+    let n = a.len().max(b.len());
+    (0..n).all(|i| a.get(i).copied().unwrap_or(0) == b.get(i).copied().unwrap_or(0))
+}
+
 /// Per-agent simulation driven by an arbitrary [`PairSampler`]; required for
 /// restricted interaction graphs (§5) where agent identity matters.
 ///
@@ -633,14 +755,20 @@ impl<P: Protocol> Simulation<P> {
 /// [`output_histogram`](Self::output_histogram),
 /// [`measure_stabilization`](Self::measure_stabilization)) covers live
 /// agents only.
+///
+/// Like [`Simulation`], the engine carries a [`Probe`] type parameter
+/// (default [`NoProbe`]); attach one with
+/// [`with_probe`](AgentSimulation::with_probe).
 #[derive(Debug)]
-pub struct AgentSimulation<P: Protocol, S> {
+pub struct AgentSimulation<P: Protocol, S, Pr = NoProbe> {
     rt: DenseRuntime<P>,
     agents: AgentConfig,
     sampler: S,
     steps: u64,
+    effective_steps: u64,
     crashed: Vec<bool>,
     live: usize,
+    probe: Pr,
 }
 
 /// Resampling budget when rejecting pairs that touch crashed agents. On any
@@ -671,7 +799,103 @@ impl<P: Protocol, S: PairSampler> AgentSimulation<P, S> {
         let mut rt = DenseRuntime::new(protocol);
         let agents: AgentConfig = inputs.iter().map(|x| rt.intern_input(x)).collect();
         let n = agents.population();
-        Self { rt, agents, sampler, steps: 0, crashed: vec![false; n], live: n }
+        Self {
+            rt,
+            agents,
+            sampler,
+            steps: 0,
+            effective_steps: 0,
+            crashed: vec![false; n],
+            live: n,
+            probe: NoProbe,
+        }
+    }
+}
+
+impl<P: Protocol, S: PairSampler, Pr: Probe> AgentSimulation<P, S, Pr> {
+    /// Attaches a probe (see [`crate::observe`]); its `on_attach` hook
+    /// receives the current *live* state and output histograms. Any
+    /// previously attached probe is dropped.
+    pub fn with_probe<Pr2: Probe>(self, mut probe: Pr2) -> AgentSimulation<P, S, Pr2> {
+        if Pr2::ACTIVE {
+            let (occ, outs) = self.live_histograms();
+            probe.on_attach(&Snapshot { step: self.steps, occupancy: &occ, outputs: &outs });
+        }
+        AgentSimulation {
+            rt: self.rt,
+            agents: self.agents,
+            sampler: self.sampler,
+            steps: self.steps,
+            effective_steps: self.effective_steps,
+            crashed: self.crashed,
+            live: self.live,
+            probe,
+        }
+    }
+
+    /// The attached probe.
+    pub fn probe(&self) -> &Pr {
+        &self.probe
+    }
+
+    /// Mutable access to the attached probe.
+    pub fn probe_mut(&mut self) -> &mut Pr {
+        &mut self.probe
+    }
+
+    /// Consumes the simulation and returns the probe.
+    pub fn into_probe(self) -> Pr {
+        self.probe
+    }
+
+    /// Histograms of *live* agents per state id and per output id.
+    fn live_histograms(&self) -> (Vec<u64>, Vec<u64>) {
+        let mut occ = vec![0u64; self.rt.state_count()];
+        let mut outs = vec![0u64; self.rt.output_count()];
+        for (i, s) in self.agents.iter().enumerate() {
+            if self.crashed[i] {
+                continue;
+            }
+            occ[s.index()] += 1;
+            outs[self.rt.output_of(s).index()] += 1;
+        }
+        (occ, outs)
+    }
+
+    /// Notifies the probe that a fault plan just damaged the configuration.
+    pub(crate) fn probe_fault_burst(&mut self, injected: u64) {
+        if Pr::ACTIVE {
+            let (occ, outs) = self.live_histograms();
+            self.probe.on_fault_burst(
+                injected,
+                &Snapshot { step: self.steps, occupancy: &occ, outputs: &outs },
+            );
+        }
+    }
+
+    /// The single accounting path for the agent engine, mirroring the count
+    /// engine's: bumps `steps`/`effective_steps` and feeds the probe.
+    #[inline]
+    fn note_interaction(&mut self, before: (StateId, StateId), after: (StateId, StateId)) {
+        self.steps += 1;
+        let effective = after != before;
+        self.effective_steps += u64::from(effective);
+        if Pr::ACTIVE {
+            let ev = InteractionEvent {
+                step: self.steps,
+                noops_skipped: 0,
+                before,
+                after,
+                outputs_before: (self.rt.output_of(before.0), self.rt.output_of(before.1)),
+                outputs_after: (self.rt.output_of(after.0), self.rt.output_of(after.1)),
+                effective,
+            };
+            let changed = ev.output_multiset_changed();
+            self.probe.on_interaction(&ev);
+            if changed {
+                self.probe.on_output_change(self.steps);
+            }
+        }
     }
 
     /// Population size (including crashed agents, which keep their slot).
@@ -758,6 +982,13 @@ impl<P: Protocol, S: PairSampler> AgentSimulation<P, S> {
         self.steps
     }
 
+    /// Interactions that changed at least one agent's state (§8's candidate
+    /// energy measure) — mirrors [`Simulation::effective_steps`], so the two
+    /// engines account energy identically.
+    pub fn effective_steps(&self) -> u64 {
+        self.effective_steps
+    }
+
     /// Current state of agent `a`.
     pub fn state_of(&self, a: u32) -> &P::State {
         self.rt.state(self.agents.state(a))
@@ -815,7 +1046,7 @@ impl<P: Protocol, S: PairSampler> AgentSimulation<P, S> {
         let (p, q) = (self.agents.state(u), self.agents.state(v));
         let r = self.rt.transition(p, q);
         self.agents.apply((u, v), r);
-        self.steps += 1;
+        self.note_interaction((p, q), r);
         Some(((u, v), (p, q), r))
     }
 

@@ -67,6 +67,7 @@
 use rand::{Rng, RngCore};
 
 use crate::engine::{AgentSimulation, Simulation};
+use crate::observe::Probe;
 use crate::protocol::Protocol;
 use crate::scheduler::PairSampler;
 
@@ -361,11 +362,11 @@ fn close_segment(
 }
 
 /// Adapter giving fault plans access to the multiset engine.
-struct CountCtx<'a, P: Protocol> {
-    sim: &'a mut Simulation<P>,
+struct CountCtx<'a, P: Protocol, Pr: Probe> {
+    sim: &'a mut Simulation<P, Pr>,
 }
 
-impl<P: Protocol> FaultCtx<P::State> for CountCtx<'_, P> {
+impl<P: Protocol, Pr: Probe> FaultCtx<P::State> for CountCtx<'_, P, Pr> {
     fn live_population(&self) -> u64 {
         self.sim.population()
     }
@@ -388,11 +389,11 @@ impl<P: Protocol> FaultCtx<P::State> for CountCtx<'_, P> {
 }
 
 /// Adapter giving fault plans access to the per-agent engine.
-struct AgentCtx<'a, P: Protocol, S> {
-    sim: &'a mut AgentSimulation<P, S>,
+struct AgentCtx<'a, P: Protocol, S, Pr: Probe> {
+    sim: &'a mut AgentSimulation<P, S, Pr>,
 }
 
-impl<P: Protocol, S: PairSampler> FaultCtx<P::State> for AgentCtx<'_, P, S> {
+impl<P: Protocol, S: PairSampler, Pr: Probe> FaultCtx<P::State> for AgentCtx<'_, P, S, Pr> {
     fn live_population(&self) -> u64 {
         self.sim.live_population() as u64
     }
@@ -411,7 +412,7 @@ impl<P: Protocol, S: PairSampler> FaultCtx<P::State> for AgentCtx<'_, P, S> {
     }
 }
 
-impl<P: Protocol> Simulation<P> {
+impl<P: Protocol, Pr: Probe> Simulation<P, Pr> {
     /// Number of agents whose current output differs from `expected`.
     fn wrong_now(&mut self, expected: &P::Output) -> u64 {
         self.population() - self.count_with_output(expected)
@@ -446,6 +447,7 @@ impl<P: Protocol> Simulation<P> {
             let applied = plan.inject(slot, &mut CountCtx { sim: self }, &mut *rng);
             if applied > 0 {
                 faults_injected += applied;
+                self.probe_fault_burst(applied);
                 segments.push(close_segment(seg_start, wrong, last_wrong));
                 seg_start = slot;
                 wrong = self.wrong_now(expected);
@@ -466,7 +468,7 @@ impl<P: Protocol> Simulation<P> {
     }
 }
 
-impl<P: Protocol, S: PairSampler> AgentSimulation<P, S> {
+impl<P: Protocol, S: PairSampler, Pr: Probe> AgentSimulation<P, S, Pr> {
     /// Runs `horizon` interaction slots on the per-agent engine, letting
     /// `plan` inject faults between interactions; see
     /// [`Simulation::run_with_faults`] for the slot and segmentation
@@ -494,6 +496,7 @@ impl<P: Protocol, S: PairSampler> AgentSimulation<P, S> {
             let applied = plan.inject(slot, &mut AgentCtx { sim: self }, &mut *rng);
             if applied > 0 {
                 faults_injected += applied;
+                self.probe_fault_burst(applied);
                 segments.push(close_segment(seg_start, wrong, last_wrong));
                 seg_start = slot;
                 wrong = self.wrong_output_count(expected);

@@ -71,6 +71,7 @@ pub mod engine;
 pub mod error;
 pub mod faults;
 pub mod fxhash;
+pub mod observe;
 pub mod protocol;
 pub mod registry;
 pub mod scheduler;
@@ -87,6 +88,10 @@ pub mod prelude {
         Churn, CorruptionMode, CrashFaults, FaultCtx, FaultPlan, FaultRunReport,
         InteractionDrop, RecoveryReport, TransientCorruption,
     };
+    pub use crate::observe::{
+        ConvergenceProbe, InteractionEvent, JsonlSink, MetricsProbe, NoProbe, Probe,
+        Snapshot, TimingProbe, TrajectoryProbe,
+    };
     pub use crate::protocol::{FnProtocol, Protocol};
     pub use crate::registry::{DenseRuntime, OutputId, StateId};
     pub use crate::scheduler::{EdgeListScheduler, PairSampler, UniformPairScheduler};
@@ -98,6 +103,10 @@ pub use error::PopulationError;
 pub use faults::{
     Churn, CorruptionMode, CrashFaults, FaultCtx, FaultPlan, FaultRunReport,
     InteractionDrop, RecoveryReport, TransientCorruption,
+};
+pub use observe::{
+    ConvergenceProbe, InteractionEvent, JsonlSink, MetricsProbe, NoProbe, Probe, Snapshot,
+    TimingProbe, TrajectoryProbe,
 };
 pub use protocol::{FnProtocol, Protocol};
 pub use registry::{DenseRuntime, OutputId, StateId};

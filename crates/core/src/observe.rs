@@ -1,0 +1,1042 @@
+//! Zero-cost observability: probes that watch a simulation from inside.
+//!
+//! The paper's claims are statements about *trajectories* — which rules of
+//! `δ` fire, how state occupancies evolve, when the output assignment last
+//! changes (§3.2, §6) — but an engine that only returns end-of-run
+//! aggregates forces every experiment to re-derive its own bookkeeping.
+//! This module adds a [`Probe`] trait to both engines: the engine emits one
+//! [`InteractionEvent`] per interaction (sequential step, leap, or matched
+//! pair of a parallel round) plus callbacks for output-assignment changes
+//! and fault bursts, and the probe folds them into whatever statistic the
+//! experiment needs.
+//!
+//! # Zero cost by monomorphization
+//!
+//! The probe is a type parameter of the simulation
+//! (`Simulation<P, Pr = NoProbe>`), not a trait object. Every hook site is
+//! guarded by the associated constant [`Probe::ACTIVE`]; for the default
+//! [`NoProbe`] (`ACTIVE = false`) the compiler removes event construction
+//! and dispatch entirely, so an unprobed run compiles to the same machine
+//! code as before the probe layer existed — same wall-clock, and (because
+//! probes never touch the RNG) the *same random stream* for the same seed,
+//! probed or not.
+//!
+//! # Built-in probes
+//!
+//! * [`MetricsProbe`] — per-rule firing counts, per-state occupancy
+//!   integrals, effective-interaction ratio;
+//! * [`TrajectoryProbe`] — state-histogram time series on a logarithmic
+//!   sampling schedule, bounded memory;
+//! * [`ConvergenceProbe`] — running last-output-change tracker: the online
+//!   form of the retrospective logic in
+//!   [`measure_stabilization`](crate::Simulation::measure_stabilization);
+//! * [`JsonlSink`] — streams events to JSON Lines for offline analysis;
+//! * [`TimingProbe`] — self-timed wall-clock profiling (ns/interaction).
+//!
+//! Probes compose: `(a, b)` is a probe that feeds both, and `&mut p`
+//! attaches a borrowed probe so the caller keeps ownership.
+//!
+//! # Example
+//!
+//! Count which rules fire while an epidemic spreads:
+//!
+//! ```
+//! use pp_core::observe::MetricsProbe;
+//! use pp_core::{seeded_rng, FnProtocol, Simulation};
+//!
+//! let epidemic = FnProtocol::new(
+//!     |&b: &bool| b,
+//!     |&q: &bool| q,
+//!     |&p: &bool, &q: &bool| (p || q, p || q),
+//! );
+//! let mut sim = Simulation::from_counts(epidemic, [(true, 1), (false, 31)])
+//!     .with_probe(MetricsProbe::new());
+//! let mut rng = seeded_rng(7);
+//! sim.run(10_000, &mut rng);
+//! let metrics = sim.probe();
+//! // Exactly n − 1 = 31 interactions changed a state: each infects one agent.
+//! assert_eq!(metrics.effective_interactions(), 31);
+//! assert_eq!(metrics.interactions(), 10_000);
+//! assert!(metrics.effective_ratio() < 0.01);
+//! ```
+
+use std::io::{self, Write};
+use std::time::{Duration, Instant};
+
+use crate::fxhash::FxHashMap;
+use crate::registry::{OutputId, StateId};
+
+/// One executed interaction, as seen by a [`Probe`].
+///
+/// Covers all three execution paths of the count engine (sequential
+/// [`step`](crate::Simulation::step), [`leap`](crate::Simulation::leap),
+/// one matched pair of a
+/// [`parallel_round`](crate::Simulation::parallel_round)) and the agent
+/// engine's [`step_transitions`](crate::AgentSimulation::step_transitions).
+/// For a parallel round the `before` states are the pre-round states (all
+/// pairs of a round are computed simultaneously).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InteractionEvent {
+    /// Engine interaction counter *after* this interaction (so the first
+    /// interaction of a fresh simulation has `step == 1`).
+    pub step: u64,
+    /// No-op interactions fast-forwarded in closed form immediately before
+    /// this one ([`leap`](crate::Simulation::leap) only; `0` elsewhere).
+    /// The occupancy was constant during the skipped interactions.
+    pub noops_skipped: u64,
+    /// `(initiator, responder)` states before the interaction.
+    pub before: (StateId, StateId),
+    /// `(initiator, responder)` states after: `δ(before)`.
+    pub after: (StateId, StateId),
+    /// Output ids of the `before` states.
+    pub outputs_before: (OutputId, OutputId),
+    /// Output ids of the `after` states.
+    pub outputs_after: (OutputId, OutputId),
+    /// Whether at least one state changed (the §8 energy criterion).
+    pub effective: bool,
+}
+
+impl InteractionEvent {
+    /// Whether this interaction changed the *multiset* of outputs (not
+    /// merely swapped outputs between the two agents).
+    pub fn output_multiset_changed(&self) -> bool {
+        let (b0, b1) = self.outputs_before;
+        let (a0, a1) = self.outputs_after;
+        (b0, b1) != (a0, a1) && (b0, b1) != (a1, a0)
+    }
+}
+
+/// A configuration snapshot handed to probes at attachment and after fault
+/// bursts (the only times occupancy changes outside an interaction).
+#[derive(Debug, Clone, Copy)]
+pub struct Snapshot<'a> {
+    /// Engine interaction counter at the snapshot.
+    pub step: u64,
+    /// Live agents per state id (`occupancy[s]` agents in state `s`).
+    pub occupancy: &'a [u64],
+    /// Live agents per output id.
+    pub outputs: &'a [u64],
+}
+
+impl Snapshot<'_> {
+    /// Live population at the snapshot.
+    pub fn population(&self) -> u64 {
+        self.occupancy.iter().sum()
+    }
+}
+
+/// An observer wired into the simulation inner loop.
+///
+/// All methods have empty defaults, so a probe implements only the hooks it
+/// needs. Implementations must not assume `occupancy`/`outputs` slices keep
+/// their length between calls: the runtime interns states lazily, so the
+/// slices grow as new states appear.
+pub trait Probe {
+    /// Whether the engine should construct and deliver events at all.
+    ///
+    /// Hook sites are guarded by `if Pr::ACTIVE { … }`; with the default
+    /// `true` everything is delivered, and [`NoProbe`] sets `false` so the
+    /// whole observability layer compiles away.
+    const ACTIVE: bool = true;
+
+    /// The probe was attached to a simulation (or a fresh segment began):
+    /// `snap` is the current configuration.
+    fn on_attach(&mut self, snap: &Snapshot<'_>) {
+        let _ = snap;
+    }
+
+    /// One interaction executed.
+    fn on_interaction(&mut self, ev: &InteractionEvent) {
+        let _ = ev;
+    }
+
+    /// The interaction at `step` changed the multiset of outputs.
+    ///
+    /// Derivable from [`InteractionEvent::output_multiset_changed`]; this
+    /// dedicated hook lets output-only probes ignore the event stream.
+    fn on_output_change(&mut self, step: u64) {
+        let _ = step;
+    }
+
+    /// A fault plan injected `injected` faults before the interaction at
+    /// `snap.step`; `snap` is the configuration *after* the damage, so
+    /// occupancy-tracking probes can resynchronize.
+    fn on_fault_burst(&mut self, injected: u64, snap: &Snapshot<'_>) {
+        let _ = (injected, snap);
+    }
+}
+
+/// The default probe: observes nothing, costs nothing.
+///
+/// With `ACTIVE = false`, every hook site in the engines is statically dead
+/// code, so `Simulation<P, NoProbe>` is byte-for-byte the pre-probe engine
+/// (same wall-clock, same RNG stream).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NoProbe;
+
+impl Probe for NoProbe {
+    const ACTIVE: bool = false;
+}
+
+/// Two probes compose into one that feeds both.
+impl<A: Probe, B: Probe> Probe for (A, B) {
+    const ACTIVE: bool = A::ACTIVE || B::ACTIVE;
+
+    fn on_attach(&mut self, snap: &Snapshot<'_>) {
+        self.0.on_attach(snap);
+        self.1.on_attach(snap);
+    }
+
+    fn on_interaction(&mut self, ev: &InteractionEvent) {
+        self.0.on_interaction(ev);
+        self.1.on_interaction(ev);
+    }
+
+    fn on_output_change(&mut self, step: u64) {
+        self.0.on_output_change(step);
+        self.1.on_output_change(step);
+    }
+
+    fn on_fault_burst(&mut self, injected: u64, snap: &Snapshot<'_>) {
+        self.0.on_fault_burst(injected, snap);
+        self.1.on_fault_burst(injected, snap);
+    }
+}
+
+/// A mutable borrow is a probe: attach `&mut probe` to keep ownership (and
+/// read the results without consuming the simulation).
+impl<Pr: Probe> Probe for &mut Pr {
+    const ACTIVE: bool = Pr::ACTIVE;
+
+    fn on_attach(&mut self, snap: &Snapshot<'_>) {
+        (**self).on_attach(snap);
+    }
+
+    fn on_interaction(&mut self, ev: &InteractionEvent) {
+        (**self).on_interaction(ev);
+    }
+
+    fn on_output_change(&mut self, step: u64) {
+        (**self).on_output_change(step);
+    }
+
+    fn on_fault_burst(&mut self, injected: u64, snap: &Snapshot<'_>) {
+        (**self).on_fault_burst(injected, snap);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// MetricsProbe
+// ---------------------------------------------------------------------------
+
+/// Per-rule firing counts, per-state occupancy integrals, and the
+/// effective-interaction ratio (§8's energy measure as a rate).
+///
+/// A *rule* is an ordered reactive pair `(p, q)` with `δ(p, q) ≠ (p, q)`;
+/// the probe counts how often each fired. The *occupancy integral* of a
+/// state is `Σ_t count_t(s)` over interactions `t` — divided by elapsed
+/// interactions it is the mean occupancy, the quantity phase analyses plot.
+/// Updates are `O(1)` per interaction: integrals accrue lazily per state,
+/// only when that state's count changes.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsProbe {
+    rule_firings: FxHashMap<(StateId, StateId), u64>,
+    occupancy: Vec<u64>,
+    /// `integral[s]` accrued through `last_accrual[s]`.
+    integral: Vec<u128>,
+    last_accrual: Vec<u64>,
+    start_step: u64,
+    last_step: u64,
+    interactions: u64,
+    effective: u64,
+    output_changes: u64,
+    fault_bursts: u64,
+    faults_injected: u64,
+}
+
+impl MetricsProbe {
+    /// A fresh metrics probe.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn ensure_state(&mut self, s: StateId) {
+        if s.index() >= self.occupancy.len() {
+            self.occupancy.resize(s.index() + 1, 0);
+            self.integral.resize(s.index() + 1, 0);
+            self.last_accrual.resize(s.index() + 1, self.last_step);
+        }
+    }
+
+    /// Brings `integral[s]` up to date through `step`.
+    fn accrue(&mut self, s: StateId, step: u64) {
+        self.ensure_state(s);
+        let dt = step - self.last_accrual[s.index()];
+        self.integral[s.index()] += u128::from(self.occupancy[s.index()]) * u128::from(dt);
+        self.last_accrual[s.index()] = step;
+    }
+
+    fn resync(&mut self, snap: &Snapshot<'_>) {
+        for i in 0..self.occupancy.len().max(snap.occupancy.len()) {
+            self.accrue(StateId(i as u32), snap.step);
+        }
+        self.occupancy.clear();
+        self.occupancy.extend_from_slice(snap.occupancy);
+        self.ensure_state(StateId(snap.occupancy.len().max(1) as u32 - 1));
+        self.last_step = snap.step;
+    }
+
+    /// Interactions observed (including leap-skipped no-ops).
+    pub fn interactions(&self) -> u64 {
+        self.interactions
+    }
+
+    /// Interactions that changed at least one state.
+    pub fn effective_interactions(&self) -> u64 {
+        self.effective
+    }
+
+    /// Fraction of observed interactions that changed a state.
+    pub fn effective_ratio(&self) -> f64 {
+        if self.interactions == 0 {
+            return 0.0;
+        }
+        self.effective as f64 / self.interactions as f64
+    }
+
+    /// Interactions that changed the output multiset.
+    pub fn output_changes(&self) -> u64 {
+        self.output_changes
+    }
+
+    /// Fault bursts observed and total faults they injected.
+    pub fn faults(&self) -> (u64, u64) {
+        (self.fault_bursts, self.faults_injected)
+    }
+
+    /// Firing count of the rule `(p, q)` (ordered initiator/responder pair).
+    pub fn rule_count(&self, p: StateId, q: StateId) -> u64 {
+        self.rule_firings.get(&(p, q)).copied().unwrap_or(0)
+    }
+
+    /// All fired rules with their counts, most-fired first.
+    pub fn rules_by_count(&self) -> Vec<((StateId, StateId), u64)> {
+        let mut v: Vec<_> = self.rule_firings.iter().map(|(&r, &c)| (r, c)).collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    }
+
+    /// Occupancy integral of `s`: `Σ` over observed interactions of the
+    /// number of agents in `s` (state-interactions).
+    pub fn occupancy_integral(&self, s: StateId) -> u128 {
+        let mut v = self.integral.get(s.index()).copied().unwrap_or(0);
+        if let Some(&c) = self.occupancy.get(s.index()) {
+            v += u128::from(c)
+                * u128::from(self.last_step - self.last_accrual.get(s.index()).copied().unwrap_or(self.last_step));
+        }
+        v
+    }
+
+    /// Mean occupancy of `s` over the observed window (0 if nothing was
+    /// observed yet).
+    pub fn mean_occupancy(&self, s: StateId) -> f64 {
+        let span = self.last_step - self.start_step;
+        if span == 0 {
+            return 0.0;
+        }
+        self.occupancy_integral(s) as f64 / span as f64
+    }
+
+    /// Resets all counters and re-anchors the observation window at the
+    /// current configuration — call between phases to get per-phase tables.
+    pub fn reset_window(&mut self) {
+        let occupancy = self.occupancy.clone();
+        let last_step = self.last_step;
+        *self = Self::default();
+        self.occupancy = occupancy;
+        self.integral = vec![0; self.occupancy.len()];
+        self.last_accrual = vec![last_step; self.occupancy.len()];
+        self.start_step = last_step;
+        self.last_step = last_step;
+    }
+}
+
+impl Probe for MetricsProbe {
+    fn on_attach(&mut self, snap: &Snapshot<'_>) {
+        self.occupancy = snap.occupancy.to_vec();
+        self.integral = vec![0; snap.occupancy.len()];
+        self.last_accrual = vec![snap.step; snap.occupancy.len()];
+        self.start_step = snap.step;
+        self.last_step = snap.step;
+    }
+
+    fn on_interaction(&mut self, ev: &InteractionEvent) {
+        self.interactions += ev.noops_skipped + 1;
+        if ev.effective {
+            self.effective += 1;
+            *self.rule_firings.entry(ev.before).or_insert(0) += 1;
+            // Occupancy changes at ev.step; it was constant through the
+            // skipped no-ops, so accrue the old counts first.
+            for s in [ev.before.0, ev.before.1, ev.after.0, ev.after.1] {
+                self.accrue(s, ev.step);
+            }
+            self.occupancy[ev.before.0.index()] -= 1;
+            self.occupancy[ev.before.1.index()] -= 1;
+            self.occupancy[ev.after.0.index()] += 1;
+            self.occupancy[ev.after.1.index()] += 1;
+        }
+        self.last_step = ev.step;
+    }
+
+    fn on_output_change(&mut self, _step: u64) {
+        self.output_changes += 1;
+    }
+
+    fn on_fault_burst(&mut self, injected: u64, snap: &Snapshot<'_>) {
+        self.fault_bursts += 1;
+        self.faults_injected += injected;
+        self.resync(snap);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TrajectoryProbe
+// ---------------------------------------------------------------------------
+
+/// State-histogram time series on a logarithmic sampling schedule.
+///
+/// Records the full occupancy vector at interaction indices that grow
+/// geometrically (factor [`growth`](Self::with_growth), default 1.25), so a
+/// horizon of `T` interactions costs `O(log T)` samples — bounded memory
+/// regardless of run length. If the sample buffer still fills (tiny growth
+/// factor, enormous horizon), every other sample is dropped and the factor
+/// doubles, keeping memory bounded while preserving log-spaced coverage.
+///
+/// Fault bursts force an extra sample (the damaged configuration), so
+/// recovery curves show the injection edge.
+#[derive(Debug, Clone)]
+pub struct TrajectoryProbe {
+    occupancy: Vec<u64>,
+    samples: Vec<(u64, Vec<u64>)>,
+    next_sample: u64,
+    growth: f64,
+    max_samples: usize,
+}
+
+impl Default for TrajectoryProbe {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TrajectoryProbe {
+    /// Sampling factor 1.25, at most 1024 retained samples.
+    pub fn new() -> Self {
+        Self::with_growth(1.25, 1024)
+    }
+
+    /// Custom geometric factor (> 1) and sample cap (≥ 8).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `growth <= 1.0` or `max_samples < 8`.
+    pub fn with_growth(growth: f64, max_samples: usize) -> Self {
+        assert!(growth > 1.0, "sampling factor must exceed 1, got {growth}");
+        assert!(max_samples >= 8, "need at least 8 samples, got {max_samples}");
+        Self {
+            occupancy: Vec::new(),
+            samples: Vec::new(),
+            next_sample: 0,
+            growth,
+            max_samples,
+        }
+    }
+
+    /// The recorded `(interaction index, occupancy)` series, in order.
+    pub fn samples(&self) -> &[(u64, Vec<u64>)] {
+        &self.samples
+    }
+
+    /// The occupancy tracked live (current configuration).
+    pub fn current_occupancy(&self) -> &[u64] {
+        &self.occupancy
+    }
+
+    fn push_sample(&mut self, step: u64) {
+        if self.samples.len() >= self.max_samples {
+            // Decimate: keep every other sample, coarsen the schedule.
+            let kept: Vec<_> =
+                self.samples.iter().step_by(2).cloned().collect();
+            self.samples = kept;
+            self.growth = self.growth * self.growth;
+        }
+        self.samples.push((step, self.occupancy.clone()));
+        let geometric = (step as f64 * self.growth).ceil() as u64;
+        self.next_sample = geometric.max(step + 1);
+    }
+
+    fn ensure_len(&mut self, len: usize) {
+        if self.occupancy.len() < len {
+            self.occupancy.resize(len, 0);
+        }
+    }
+}
+
+impl Probe for TrajectoryProbe {
+    fn on_attach(&mut self, snap: &Snapshot<'_>) {
+        self.occupancy = snap.occupancy.to_vec();
+        self.samples.clear();
+        self.push_sample(snap.step);
+    }
+
+    fn on_interaction(&mut self, ev: &InteractionEvent) {
+        // Sample points crossed by leap-skipped no-ops see the pre-event
+        // occupancy (nothing changed during the skips).
+        while self.next_sample < ev.step {
+            let at = self.next_sample;
+            self.push_sample(at);
+        }
+        if ev.effective {
+            let max = ev.after.0.index().max(ev.after.1.index()) + 1;
+            self.ensure_len(max);
+            self.occupancy[ev.before.0.index()] -= 1;
+            self.occupancy[ev.before.1.index()] -= 1;
+            self.occupancy[ev.after.0.index()] += 1;
+            self.occupancy[ev.after.1.index()] += 1;
+        }
+        if self.next_sample == ev.step {
+            self.push_sample(ev.step);
+        }
+    }
+
+    fn on_fault_burst(&mut self, _injected: u64, snap: &Snapshot<'_>) {
+        self.occupancy = snap.occupancy.to_vec();
+        self.push_sample(snap.step);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ConvergenceProbe
+// ---------------------------------------------------------------------------
+
+/// Running last-output-change tracker: the online form of the retrospective
+/// logic in [`measure_stabilization`](crate::Simulation::measure_stabilization).
+///
+/// Tracks, against an expected output id, how many live agents currently
+/// output something else (`wrong_now`), the last interaction after which
+/// any did (`last_wrong`), and the last interaction that changed the output
+/// multiset at all (`last_output_change`). From these,
+/// [`stabilized_at`](Self::stabilized_at) reproduces the
+/// [`StabilizationReport`](crate::StabilizationReport) convention without a
+/// second pass over the run.
+#[derive(Debug, Clone)]
+pub struct ConvergenceProbe {
+    expected: OutputId,
+    population: u64,
+    wrong: u64,
+    last_wrong: Option<u64>,
+    last_output_change: Option<u64>,
+}
+
+impl ConvergenceProbe {
+    /// Tracks convergence to the output with the given id (obtain one with
+    /// [`Simulation::output_id`](crate::Simulation::output_id)).
+    pub fn for_output(expected: OutputId) -> Self {
+        Self {
+            expected,
+            population: 0,
+            wrong: 0,
+            last_wrong: None,
+            last_output_change: None,
+        }
+    }
+
+    /// Number of live agents currently outputting something other than the
+    /// expected value.
+    pub fn wrong_now(&self) -> u64 {
+        self.wrong
+    }
+
+    /// Whether every live agent currently outputs the expected value.
+    pub fn converged(&self) -> bool {
+        self.wrong == 0
+    }
+
+    /// Last interaction index after which some agent's output was wrong
+    /// (`None` if never).
+    pub fn last_wrong(&self) -> Option<u64> {
+        self.last_wrong
+    }
+
+    /// Last interaction index that changed the output multiset.
+    pub fn last_output_change(&self) -> Option<u64> {
+        self.last_output_change
+    }
+
+    /// The first interaction index after which the output assignment was
+    /// continuously the expected one through the present — `None` while any
+    /// agent is still wrong. Matches
+    /// [`StabilizationReport::stabilized_at`](crate::StabilizationReport)
+    /// when the probe rode along a `measure_stabilization` call on a fresh
+    /// simulation.
+    pub fn stabilized_at(&self) -> Option<u64> {
+        if self.wrong > 0 {
+            None
+        } else {
+            Some(self.last_wrong.map_or(0, |t| t + 1))
+        }
+    }
+}
+
+impl Probe for ConvergenceProbe {
+    fn on_attach(&mut self, snap: &Snapshot<'_>) {
+        self.population = snap.population();
+        let right = snap.outputs.get(self.expected.index()).copied().unwrap_or(0);
+        self.wrong = self.population - right;
+        self.last_wrong = (self.wrong > 0).then_some(snap.step);
+    }
+
+    fn on_interaction(&mut self, ev: &InteractionEvent) {
+        // Wrongness held unchanged through the leap-skipped no-ops.
+        if self.wrong > 0 && ev.noops_skipped > 0 {
+            self.last_wrong = Some(ev.step - 1);
+        }
+        if ev.effective {
+            for (was, is) in [
+                (ev.outputs_before.0, ev.outputs_after.0),
+                (ev.outputs_before.1, ev.outputs_after.1),
+            ] {
+                match (was == self.expected, is == self.expected) {
+                    (true, false) => self.wrong += 1,
+                    (false, true) => self.wrong -= 1,
+                    _ => {}
+                }
+            }
+        }
+        if self.wrong > 0 {
+            self.last_wrong = Some(ev.step);
+        }
+    }
+
+    fn on_output_change(&mut self, step: u64) {
+        self.last_output_change = Some(step);
+    }
+
+    fn on_fault_burst(&mut self, _injected: u64, snap: &Snapshot<'_>) {
+        self.population = snap.population();
+        let right = snap.outputs.get(self.expected.index()).copied().unwrap_or(0);
+        self.wrong = self.population - right;
+        if self.wrong > 0 {
+            self.last_wrong = Some(snap.step);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// JsonlSink
+// ---------------------------------------------------------------------------
+
+/// Streams probe callbacks to a writer as JSON Lines, one object per line,
+/// for offline analysis.
+///
+/// Schema (`"ev"` discriminates): `attach` and `fault` carry the occupancy
+/// and output histograms; `step` carries the dense-id transition; `out`
+/// marks an output-multiset change. Interaction lines can be thinned with
+/// [`with_stride`](Self::with_stride) (every k-th event; attach/fault/out
+/// lines are always written), since a full event stream is one line per
+/// interaction.
+///
+/// I/O errors are counted ([`io_errors`](Self::io_errors)) and otherwise
+/// ignored: a probe must never abort the simulation it watches. Wrap the
+/// writer in [`std::io::BufWriter`] — the sink writes many small lines.
+pub struct JsonlSink<W: Write> {
+    out: W,
+    stride: u64,
+    events_seen: u64,
+    lines: u64,
+    io_errors: u64,
+}
+
+impl<W: Write> std::fmt::Debug for JsonlSink<W> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JsonlSink")
+            .field("stride", &self.stride)
+            .field("lines", &self.lines)
+            .field("io_errors", &self.io_errors)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// Writes every event to `out`.
+    pub fn new(out: W) -> Self {
+        Self::with_stride(out, 1)
+    }
+
+    /// Writes every `stride`-th interaction event (and every attach, fault,
+    /// and output-change line).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride` is 0.
+    pub fn with_stride(out: W, stride: u64) -> Self {
+        assert!(stride > 0, "stride must be positive");
+        Self { out, stride, events_seen: 0, lines: 0, io_errors: 0 }
+    }
+
+    /// Lines successfully written so far.
+    pub fn lines_written(&self) -> u64 {
+        self.lines
+    }
+
+    /// Write errors swallowed so far.
+    pub fn io_errors(&self) -> u64 {
+        self.io_errors
+    }
+
+    /// Flushes and returns the underlying writer.
+    pub fn into_inner(mut self) -> W {
+        let _ = self.out.flush();
+        self.out
+    }
+
+    fn emit(&mut self, res: io::Result<()>) {
+        match res {
+            Ok(()) => self.lines += 1,
+            Err(_) => self.io_errors += 1,
+        }
+    }
+
+    fn write_hist(out: &mut W, key: &str, hist: &[u64]) -> io::Result<()> {
+        write!(out, ",\"{key}\":[")?;
+        for (i, c) in hist.iter().enumerate() {
+            if i > 0 {
+                write!(out, ",")?;
+            }
+            write!(out, "{c}")?;
+        }
+        write!(out, "]")
+    }
+}
+
+impl<W: Write> Probe for JsonlSink<W> {
+    fn on_attach(&mut self, snap: &Snapshot<'_>) {
+        let res = (|| {
+            write!(self.out, "{{\"ev\":\"attach\",\"step\":{}", snap.step)?;
+            Self::write_hist(&mut self.out, "occupancy", snap.occupancy)?;
+            Self::write_hist(&mut self.out, "outputs", snap.outputs)?;
+            writeln!(self.out, "}}")
+        })();
+        self.emit(res);
+    }
+
+    fn on_interaction(&mut self, ev: &InteractionEvent) {
+        self.events_seen += 1;
+        if !self.events_seen.is_multiple_of(self.stride) {
+            return;
+        }
+        let res = writeln!(
+            self.out,
+            "{{\"ev\":\"step\",\"step\":{},\"skipped\":{},\"before\":[{},{}],\"after\":[{},{}],\"effective\":{}}}",
+            ev.step,
+            ev.noops_skipped,
+            ev.before.0 .0,
+            ev.before.1 .0,
+            ev.after.0 .0,
+            ev.after.1 .0,
+            ev.effective,
+        );
+        self.emit(res);
+    }
+
+    fn on_output_change(&mut self, step: u64) {
+        let res = writeln!(self.out, "{{\"ev\":\"out\",\"step\":{step}}}");
+        self.emit(res);
+    }
+
+    fn on_fault_burst(&mut self, injected: u64, snap: &Snapshot<'_>) {
+        let res = (|| {
+            write!(
+                self.out,
+                "{{\"ev\":\"fault\",\"step\":{},\"injected\":{injected}",
+                snap.step
+            )?;
+            Self::write_hist(&mut self.out, "occupancy", snap.occupancy)?;
+            Self::write_hist(&mut self.out, "outputs", snap.outputs)?;
+            writeln!(self.out, "}}")
+        })();
+        self.emit(res);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TimingProbe
+// ---------------------------------------------------------------------------
+
+/// Self-timed wall-clock profiling: the workspace dropped external
+/// benchmarking harnesses (offline build), so ns-per-interaction
+/// measurement lives here.
+///
+/// The clock starts at attachment; [`lap`](Self::lap) closes a timing
+/// window and returns `(interactions, elapsed)` for it, so a bench can
+/// time phases without re-attaching.
+#[derive(Debug, Clone)]
+pub struct TimingProbe {
+    started: Option<Instant>,
+    lap_start_interactions: u64,
+    interactions: u64,
+    effective: u64,
+}
+
+impl Default for TimingProbe {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TimingProbe {
+    /// A fresh timing probe; the clock starts when it is attached.
+    pub fn new() -> Self {
+        Self { started: None, lap_start_interactions: 0, interactions: 0, effective: 0 }
+    }
+
+    /// Interactions observed since attachment.
+    pub fn interactions(&self) -> u64 {
+        self.interactions
+    }
+
+    /// Effective (state-changing) interactions observed.
+    pub fn effective_interactions(&self) -> u64 {
+        self.effective
+    }
+
+    /// Wall-clock elapsed since attachment (zero if never attached).
+    pub fn elapsed(&self) -> Duration {
+        self.started.map_or(Duration::ZERO, |s| s.elapsed())
+    }
+
+    /// Mean nanoseconds per observed interaction (NaN before attachment).
+    pub fn ns_per_interaction(&self) -> f64 {
+        if self.interactions == 0 {
+            return f64::NAN;
+        }
+        self.elapsed().as_nanos() as f64 / self.interactions as f64
+    }
+
+    /// Closes the current timing window: returns `(interactions, elapsed)`
+    /// since the last lap (or attachment) and restarts the window clock.
+    pub fn lap(&mut self) -> (u64, Duration) {
+        let elapsed = self.elapsed();
+        let n = self.interactions - self.lap_start_interactions;
+        self.started = Some(Instant::now());
+        self.lap_start_interactions = self.interactions;
+        (n, elapsed)
+    }
+}
+
+impl Probe for TimingProbe {
+    fn on_attach(&mut self, _snap: &Snapshot<'_>) {
+        self.started = Some(Instant::now());
+        self.lap_start_interactions = self.interactions;
+    }
+
+    fn on_interaction(&mut self, ev: &InteractionEvent) {
+        self.interactions += ev.noops_skipped + 1;
+        if ev.effective {
+            self.effective += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(
+        step: u64,
+        before: (u32, u32),
+        after: (u32, u32),
+        ob: (u32, u32),
+        oa: (u32, u32),
+    ) -> InteractionEvent {
+        InteractionEvent {
+            step,
+            noops_skipped: 0,
+            before: (StateId(before.0), StateId(before.1)),
+            after: (StateId(after.0), StateId(after.1)),
+            outputs_before: (OutputId(ob.0), OutputId(ob.1)),
+            outputs_after: (OutputId(oa.0), OutputId(oa.1)),
+            effective: before != after,
+        }
+    }
+
+    #[test]
+    fn output_multiset_change_ignores_swaps() {
+        let e = ev(1, (0, 1), (1, 0), (0, 1), (1, 0));
+        assert!(!e.output_multiset_changed(), "swap preserves the multiset");
+        let e = ev(1, (0, 1), (1, 1), (0, 1), (1, 1));
+        assert!(e.output_multiset_changed());
+    }
+
+    #[test]
+    fn metrics_probe_counts_and_integrates() {
+        let mut m = MetricsProbe::new();
+        m.on_attach(&Snapshot { step: 0, occupancy: &[2, 1], outputs: &[2, 1] });
+        // Interaction 1: (1, 0) -> (1, 1): state 0 loses one, state 1 gains.
+        m.on_interaction(&ev(1, (1, 0), (1, 1), (1, 0), (1, 1)));
+        // Interaction 2: ineffective.
+        m.on_interaction(&ev(2, (1, 1), (1, 1), (1, 1), (1, 1)));
+        assert_eq!(m.interactions(), 2);
+        assert_eq!(m.effective_interactions(), 1);
+        assert_eq!(m.rule_count(StateId(1), StateId(0)), 1);
+        assert_eq!(m.rule_count(StateId(0), StateId(1)), 0);
+        // State 0: 2 agents for step 1, then 1 agent for step 2 → ∫ = 3.
+        assert_eq!(m.occupancy_integral(StateId(0)), 3);
+        // State 1: 1 agent for step 1, then 2 agents for step 2 → ∫ = 3.
+        assert_eq!(m.occupancy_integral(StateId(1)), 3);
+        assert!((m.mean_occupancy(StateId(0)) - 1.5).abs() < 1e-12);
+        assert!((m.effective_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn metrics_probe_window_reset() {
+        let mut m = MetricsProbe::new();
+        m.on_attach(&Snapshot { step: 0, occupancy: &[3], outputs: &[3] });
+        m.on_interaction(&ev(1, (0, 0), (0, 0), (0, 0), (0, 0)));
+        m.reset_window();
+        assert_eq!(m.interactions(), 0);
+        m.on_interaction(&ev(2, (0, 0), (0, 0), (0, 0), (0, 0)));
+        assert_eq!(m.interactions(), 1);
+        assert_eq!(m.occupancy_integral(StateId(0)), 3);
+    }
+
+    #[test]
+    fn metrics_probe_accounts_leap_skips() {
+        let mut m = MetricsProbe::new();
+        m.on_attach(&Snapshot { step: 0, occupancy: &[1, 1], outputs: &[1, 1] });
+        let mut e = ev(10, (0, 1), (1, 1), (0, 1), (1, 1));
+        e.noops_skipped = 9;
+        m.on_interaction(&e);
+        assert_eq!(m.interactions(), 10);
+        assert_eq!(m.effective_interactions(), 1);
+        // State 0 occupied by 1 agent through interactions 1..=10.
+        assert_eq!(m.occupancy_integral(StateId(0)), 10);
+    }
+
+    #[test]
+    fn trajectory_probe_log_schedule_is_sparse_and_bounded() {
+        let mut t = TrajectoryProbe::with_growth(1.5, 16);
+        t.on_attach(&Snapshot { step: 0, occupancy: &[4, 0], outputs: &[4] });
+        for step in 1..=100_000u64 {
+            t.on_interaction(&ev(step, (0, 0), (0, 0), (0, 0), (0, 0)));
+        }
+        let n = t.samples().len();
+        assert!(n <= 16, "decimation must bound memory, got {n}");
+        assert!(n >= 8, "log schedule keeps coverage, got {n}");
+        // Sample steps strictly increase.
+        let steps: Vec<u64> = t.samples().iter().map(|s| s.0).collect();
+        assert!(steps.windows(2).all(|w| w[0] < w[1]), "{steps:?}");
+        assert!(*steps.last().unwrap() <= 100_000);
+    }
+
+    #[test]
+    fn trajectory_probe_tracks_occupancy_through_events() {
+        let mut t = TrajectoryProbe::new();
+        t.on_attach(&Snapshot { step: 0, occupancy: &[2, 0], outputs: &[2] });
+        t.on_interaction(&ev(1, (0, 0), (1, 1), (0, 0), (1, 1)));
+        assert_eq!(t.current_occupancy(), &[0, 2]);
+        // The step-1 sample caught the post-interaction histogram.
+        let (at, hist) = t.samples().last().unwrap();
+        assert_eq!((*at, hist.as_slice()), (1, &[0u64, 2][..]));
+    }
+
+    #[test]
+    fn convergence_probe_tracks_wrongness() {
+        let expected = OutputId(1);
+        let mut c = ConvergenceProbe::for_output(expected);
+        c.on_attach(&Snapshot { step: 0, occupancy: &[3, 1], outputs: &[3, 1] });
+        assert_eq!(c.wrong_now(), 3);
+        assert!(!c.converged());
+        // Convert two wrong agents.
+        c.on_interaction(&ev(1, (1, 0), (1, 1), (1, 0), (1, 1)));
+        c.on_interaction(&ev(2, (1, 0), (1, 1), (1, 0), (1, 1)));
+        assert_eq!(c.wrong_now(), 1);
+        assert_eq!(c.stabilized_at(), None);
+        c.on_interaction(&ev(3, (1, 0), (1, 1), (1, 0), (1, 1)));
+        assert!(c.converged());
+        assert_eq!(c.stabilized_at(), Some(3));
+        assert_eq!(c.last_wrong(), Some(2));
+    }
+
+    #[test]
+    fn convergence_probe_initially_converged() {
+        let mut c = ConvergenceProbe::for_output(OutputId(0));
+        c.on_attach(&Snapshot { step: 0, occupancy: &[4], outputs: &[4] });
+        assert_eq!(c.stabilized_at(), Some(0));
+    }
+
+    #[test]
+    fn jsonl_sink_writes_valid_lines() {
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.on_attach(&Snapshot { step: 0, occupancy: &[2, 1], outputs: &[3] });
+        sink.on_interaction(&ev(1, (0, 1), (1, 1), (0, 0), (0, 0)));
+        sink.on_output_change(1);
+        sink.on_fault_burst(2, &Snapshot { step: 5, occupancy: &[3, 0], outputs: &[3] });
+        assert_eq!(sink.lines_written(), 4);
+        assert_eq!(sink.io_errors(), 0);
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(
+            lines[0],
+            "{\"ev\":\"attach\",\"step\":0,\"occupancy\":[2,1],\"outputs\":[3]}"
+        );
+        assert_eq!(
+            lines[1],
+            "{\"ev\":\"step\",\"step\":1,\"skipped\":0,\"before\":[0,1],\"after\":[1,1],\"effective\":true}"
+        );
+        assert_eq!(lines[2], "{\"ev\":\"out\",\"step\":1}");
+        assert!(lines[3].starts_with("{\"ev\":\"fault\",\"step\":5,\"injected\":2"));
+    }
+
+    #[test]
+    fn jsonl_sink_stride_thins_steps_only() {
+        let mut sink = JsonlSink::with_stride(Vec::new(), 10);
+        sink.on_attach(&Snapshot { step: 0, occupancy: &[2], outputs: &[2] });
+        for step in 1..=25u64 {
+            sink.on_interaction(&ev(step, (0, 0), (0, 0), (0, 0), (0, 0)));
+        }
+        sink.on_output_change(25);
+        // attach + steps 10, 20 + output change.
+        assert_eq!(sink.lines_written(), 4);
+    }
+
+    #[test]
+    fn tuple_probe_feeds_both() {
+        let mut pair = (MetricsProbe::new(), TrajectoryProbe::new());
+        pair.on_attach(&Snapshot { step: 0, occupancy: &[2], outputs: &[2] });
+        pair.on_interaction(&ev(1, (0, 0), (0, 0), (0, 0), (0, 0)));
+        assert_eq!(pair.0.interactions(), 1);
+        assert_eq!(pair.1.samples().len(), 2);
+        // NoProbe composition stays inactive; any live probe activates.
+        const { assert!(!<(NoProbe, NoProbe) as Probe>::ACTIVE) };
+        const { assert!(<(NoProbe, MetricsProbe) as Probe>::ACTIVE) };
+    }
+
+    #[test]
+    fn timing_probe_laps() {
+        let mut t = TimingProbe::new();
+        t.on_attach(&Snapshot { step: 0, occupancy: &[2], outputs: &[2] });
+        t.on_interaction(&ev(1, (0, 0), (0, 0), (0, 0), (0, 0)));
+        let mut e2 = ev(5, (0, 0), (0, 0), (0, 0), (0, 0));
+        e2.noops_skipped = 3;
+        t.on_interaction(&e2);
+        assert_eq!(t.interactions(), 5);
+        let (n, d) = t.lap();
+        assert_eq!(n, 5);
+        assert!(d >= Duration::ZERO);
+        let (n, _) = t.lap();
+        assert_eq!(n, 0);
+        assert!(t.ns_per_interaction().is_finite());
+    }
+}

@@ -135,7 +135,11 @@ impl<P: Protocol> DenseRuntime<P> {
         id
     }
 
-    fn intern_output(&mut self, out: P::Output) -> OutputId {
+    /// Interns an output value, returning its dense id.
+    ///
+    /// Useful for configuring output-keyed observers (e.g.
+    /// `observe::ConvergenceProbe`) before a run.
+    pub fn intern_output(&mut self, out: P::Output) -> OutputId {
         if let Some(&id) = self.output_index.get(&out) {
             return id;
         }

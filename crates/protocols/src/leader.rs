@@ -33,8 +33,8 @@ pub struct LeaderElection;
 impl LeaderElection {
     /// Runs `sim` until exactly one leader remains, returning the number of
     /// interactions taken, or `None` if `max_steps` elapse first.
-    pub fn run_until_unique(
-        sim: &mut pp_core::Simulation<Self>,
+    pub fn run_until_unique<Pr: pp_core::Probe>(
+        sim: &mut pp_core::Simulation<Self, Pr>,
         max_steps: u64,
         rng: &mut impl rand::Rng,
     ) -> Option<u64> {

@@ -217,7 +217,7 @@ pub mod strategy {
 }
 
 pub mod arbitrary {
-    //! Default strategies per type, behind [`any`](crate::prelude::any).
+    //! Default strategies per type, behind [`any`].
 
     use super::strategy::Strategy;
     use rand::rngs::StdRng;
