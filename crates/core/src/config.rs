@@ -100,6 +100,52 @@ impl CountConfig {
         self.counts[q2.index()] += 1;
     }
 
+    /// Applies `k` identical interactions in bulk: `k` initiators in state
+    /// `p` and `k` responders in state `q` move to `p2` and `q2`. Used by
+    /// the batched engine ([`crate::batch`]), where a whole batch's
+    /// transitions are grouped by state pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the configuration does not contain the
+    /// required `2k` agents.
+    #[inline]
+    pub fn apply_many(
+        &mut self,
+        (p, q): (StateId, StateId),
+        (p2, q2): (StateId, StateId),
+        k: u64,
+    ) {
+        if p == q {
+            debug_assert!(self.count(p) >= 2 * k, "need {} agents in state {p:?}", 2 * k);
+        } else {
+            debug_assert!(self.count(p) >= k && self.count(q) >= k);
+        }
+        self.ensure_len(p2.index().max(q2.index()) + 1);
+        self.counts[p.index()] -= k;
+        self.counts[q.index()] -= k;
+        self.counts[p2.index()] += k;
+        self.counts[q2.index()] += k;
+    }
+
+    /// Overwrites this configuration with a copy of `other`, reusing the
+    /// existing allocation (the capacity-preserving form of `clone_from`
+    /// for hot loops like
+    /// [`parallel_round`](crate::Simulation::parallel_round)).
+    pub fn copy_from(&mut self, other: &CountConfig) {
+        self.counts.clear();
+        self.counts.extend_from_slice(&other.counts);
+        self.n = other.n;
+    }
+
+    /// Empties the configuration to `len` zeroed state slots, reusing the
+    /// allocation.
+    pub fn reset(&mut self, len: usize) {
+        self.counts.clear();
+        self.counts.resize(len, 0);
+        self.n = 0;
+    }
+
     /// Iterates over `(state, count)` pairs with non-zero count.
     pub fn support(&self) -> impl Iterator<Item = (StateId, u64)> + '_ {
         self.counts
@@ -135,6 +181,13 @@ impl CountConfig {
             idx -= c;
         }
         panic!("agent index out of range");
+    }
+}
+
+impl Default for CountConfig {
+    /// The empty configuration (same as [`CountConfig::empty`]).
+    fn default() -> Self {
+        Self::empty()
     }
 }
 
@@ -259,6 +312,31 @@ mod tests {
         assert_eq!(cfg.count(s(1)), 0);
         assert_eq!(cfg.count(s(2)), 1);
         assert_eq!(cfg.count(s(0)), 1);
+    }
+
+    #[test]
+    fn apply_many_is_k_applies() {
+        let mut a = CountConfig::from_pairs([(s(0), 5), (s(1), 4)]);
+        let mut b = a.clone();
+        a.apply_many((s(0), s(1)), (s(2), s(1)), 3);
+        for _ in 0..3 {
+            b.apply((s(0), s(1)), (s(2), s(1)));
+        }
+        assert_eq!(a, b);
+        assert_eq!(a.population(), 9);
+    }
+
+    #[test]
+    fn copy_from_and_reset_reuse_allocation() {
+        let src = CountConfig::from_pairs([(s(1), 2), (s(3), 7)]);
+        let mut dst = CountConfig::empty();
+        dst.copy_from(&src);
+        assert_eq!(dst, src);
+        dst.reset(2);
+        assert_eq!(dst.population(), 0);
+        assert_eq!(dst.as_slice(), &[0, 0]);
+        dst.add(s(0), 1);
+        assert_eq!(dst.population(), 1);
     }
 
     #[test]

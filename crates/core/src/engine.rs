@@ -27,6 +27,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
 
+use crate::batch::BatchScratch;
 use crate::config::{AgentConfig, CountConfig};
 use crate::observe::{InteractionEvent, NoProbe, Probe, Snapshot};
 use crate::protocol::Protocol;
@@ -97,13 +98,30 @@ impl StabilizationReport {
 /// [`with_probe`](Self::with_probe).
 #[derive(Debug, Clone)]
 pub struct Simulation<P: Protocol, Pr = NoProbe> {
-    rt: DenseRuntime<P>,
-    config: CountConfig,
+    pub(crate) rt: DenseRuntime<P>,
+    pub(crate) config: CountConfig,
     /// Agents per output id, kept in sync with `config`.
-    output_counts: Vec<u64>,
-    steps: u64,
-    effective_steps: u64,
-    probe: Pr,
+    pub(crate) output_counts: Vec<u64>,
+    pub(crate) steps: u64,
+    pub(crate) effective_steps: u64,
+    pub(crate) probe: Pr,
+    scratch: EngineScratch,
+    pub(crate) batch: BatchScratch,
+}
+
+/// Reusable buffers for [`leap`](Simulation::leap) and
+/// [`parallel_round`](Simulation::parallel_round), kept on the simulation so
+/// the hot paths allocate nothing per call.
+#[derive(Debug, Clone, Default)]
+struct EngineScratch {
+    /// Per-reactive-pair weights under the current configuration.
+    leap_weights: Vec<u64>,
+    /// Agents not yet matched this round.
+    round_pending: CountConfig,
+    /// Post-round configuration under construction.
+    round_next: CountConfig,
+    /// Pre-round output histogram (probe-active rounds only).
+    round_outputs: Vec<u64>,
 }
 
 impl<P: Protocol> Simulation<P> {
@@ -172,6 +190,8 @@ impl<P: Protocol> Simulation<P> {
             steps: 0,
             effective_steps: 0,
             probe: NoProbe,
+            scratch: EngineScratch::default(),
+            batch: BatchScratch::default(),
         };
         sim.rebuild_output_counts();
         sim
@@ -199,6 +219,8 @@ impl<P: Protocol, Pr: Probe> Simulation<P, Pr> {
             steps: self.steps,
             effective_steps: self.effective_steps,
             probe,
+            scratch: self.scratch,
+            batch: self.batch,
         }
     }
 
@@ -232,7 +254,7 @@ impl<P: Protocol, Pr: Probe> Simulation<P, Pr> {
     /// execution paths and a probe sees every interaction exactly once.
     /// Returns whether the interaction was effective.
     #[inline]
-    fn note_interaction(
+    pub(crate) fn note_interaction(
         &mut self,
         before: (StateId, StateId),
         after: (StateId, StateId),
@@ -262,7 +284,7 @@ impl<P: Protocol, Pr: Probe> Simulation<P, Pr> {
     /// Applies an effective transition to the configuration and the output
     /// counts; returns whether the output *multiset* changed.
     #[inline]
-    fn apply_effective(
+    pub(crate) fn apply_effective(
         &mut self,
         before: (StateId, StateId),
         after: (StateId, StateId),
@@ -309,7 +331,7 @@ impl<P: Protocol, Pr: Probe> Simulation<P, Pr> {
     }
 
     #[inline]
-    fn bump_output(&mut self, o: OutputId, delta: i64) {
+    pub(crate) fn bump_output(&mut self, o: OutputId, delta: i64) {
         if o.index() >= self.output_counts.len() {
             self.output_counts.resize(self.rt.output_count(), 0);
         }
@@ -494,16 +516,27 @@ impl<P: Protocol, Pr: Probe> Simulation<P, Pr> {
         rng: &mut impl Rng,
     ) -> Option<u64> {
         let n = self.population();
-        if self.count_with_output(expected) == n {
+        // Resolve the expected output id once; the per-step check is then a
+        // single index instead of a scan over all interned outputs.
+        let oid = self.output_id(expected);
+        if self.count_of_output(oid) == n {
             return Some(self.steps);
         }
         for _ in 0..max_steps {
             self.step(rng);
-            if self.count_with_output(expected) == n {
+            if self.count_of_output(oid) == n {
                 return Some(self.steps);
             }
         }
         None
+    }
+
+    /// Number of agents whose current output has the given interned id
+    /// (see [`output_id`](Self::output_id)); the `O(1)` form of
+    /// [`count_with_output`](Self::count_with_output).
+    #[inline]
+    pub fn count_of_output(&self, oid: OutputId) -> u64 {
+        self.output_counts.get(oid.index()).copied().unwrap_or(0)
     }
 
     /// Runs `horizon` interactions and reports when the output assignment
@@ -515,12 +548,13 @@ impl<P: Protocol, Pr: Probe> Simulation<P, Pr> {
         rng: &mut impl Rng,
     ) -> StabilizationReport {
         let n = self.population();
+        let oid = self.output_id(expected);
         // `wrong` is recomputed only when the output multiset changes.
-        let mut wrong = self.count_with_output(expected) != n;
+        let mut wrong = self.count_of_output(oid) != n;
         let mut last_wrong: Option<u64> = if wrong { Some(0) } else { None };
         for i in 1..=horizon {
             if self.step(rng) {
-                wrong = self.count_with_output(expected) != n;
+                wrong = self.count_of_output(oid) != n;
             }
             if wrong {
                 last_wrong = Some(i);
@@ -568,10 +602,16 @@ impl<P: Protocol, Pr: Probe> Simulation<P, Pr> {
     /// Returns the number of pairs matched (⌊n/2⌋). [`steps`](Self::steps)
     /// advances by that amount.
     pub fn parallel_round(&mut self, rng: &mut impl Rng) -> u64 {
-        let outputs_before = if Pr::ACTIVE { self.output_counts.clone() } else { Vec::new() };
-        let mut pending = self.config.clone();
-        let mut next = CountConfig::empty();
-        next.ensure_len(self.rt.state_count());
+        if Pr::ACTIVE {
+            self.scratch.round_outputs.clear();
+            self.scratch.round_outputs.extend_from_slice(&self.output_counts);
+        }
+        // Reuse the round buffers across calls; `take` them off `self` so
+        // the matching loop below can still call `note_interaction`.
+        let mut pending = std::mem::take(&mut self.scratch.round_pending);
+        let mut next = std::mem::take(&mut self.scratch.round_next);
+        pending.copy_from(&self.config);
+        next.reset(self.rt.state_count());
         let mut pairs = 0u64;
         while pending.population() >= 2 {
             let m = pending.population();
@@ -591,9 +631,11 @@ impl<P: Protocol, Pr: Probe> Simulation<P, Pr> {
             let leftover = pending.state_of_index(0);
             next.add(leftover, 1);
         }
-        self.config = next;
+        // The displaced config buffer becomes next round's `next`.
+        self.scratch.round_next = std::mem::replace(&mut self.config, next);
+        self.scratch.round_pending = pending;
         self.rebuild_output_counts();
-        if Pr::ACTIVE && !hist_eq(&outputs_before, &self.output_counts) {
+        if Pr::ACTIVE && !hist_eq(&self.scratch.round_outputs, &self.output_counts) {
             self.probe.on_output_change(self.steps);
         }
         pairs
@@ -644,12 +686,20 @@ impl<P: Protocol, Pr: Probe> Simulation<P, Pr> {
     ) -> Option<u64> {
         let n = self.config.population();
         let total = (n * (n - 1)) as f64;
-        // Weight of reactive pairs under the current configuration.
+        // Per-pair weights under the current configuration, computed once
+        // into a reused scratch buffer (they are read again for selection).
+        let weights = &mut self.scratch.leap_weights;
+        weights.clear();
         let mut weight = 0u64;
         for &(p, q) in reactive {
             let cp = self.config.count(p);
-            let cq = self.config.count(q);
-            weight += if p == q { cp * cp.saturating_sub(1) } else { cp * cq };
+            let w = if p == q {
+                cp * cp.saturating_sub(1)
+            } else {
+                cp * self.config.count(q)
+            };
+            weights.push(w);
+            weight += w;
         }
         if weight == 0 {
             return None;
@@ -662,15 +712,16 @@ impl<P: Protocol, Pr: Probe> Simulation<P, Pr> {
             let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
             ((u.ln() / (1.0 - p_eff).ln()).ceil()).max(1.0) as u64
         };
-        // Choose the effective pair proportionally to its weight.
+        // Choose the effective pair proportionally to its weight, skipping
+        // pairs absent from the current configuration.
         let mut x = rng.gen_range(0..weight);
         let mut chosen = reactive[0];
-        for &(p, q) in reactive {
-            let cp = self.config.count(p);
-            let cq = self.config.count(q);
-            let w = if p == q { cp * cp.saturating_sub(1) } else { cp * cq };
+        for (i, &w) in self.scratch.leap_weights.iter().enumerate() {
+            if w == 0 {
+                continue;
+            }
             if x < w {
-                chosen = (p, q);
+                chosen = reactive[i];
                 break;
             }
             x -= w;
@@ -720,11 +771,12 @@ impl<P: Protocol, Pr: Probe> Simulation<P, Pr> {
         rng: &mut impl Rng,
     ) -> Option<u64> {
         let n = self.population();
-        let mut wrong = self.count_with_output(expected) != n;
+        let oid = self.output_id(expected);
+        let mut wrong = self.count_of_output(oid) != n;
         let mut last_wrong: Option<u64> = if wrong { Some(0) } else { None };
         for round in 1..=max_rounds {
             self.parallel_round(rng);
-            wrong = self.count_with_output(expected) != n;
+            wrong = self.count_of_output(oid) != n;
             if wrong {
                 last_wrong = Some(round);
             }

@@ -65,6 +65,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod config;
 pub mod convention;
 pub mod engine;
@@ -74,6 +75,7 @@ pub mod fxhash;
 pub mod observe;
 pub mod protocol;
 pub mod registry;
+pub mod sampling;
 pub mod scheduler;
 
 pub mod prelude {
@@ -89,8 +91,8 @@ pub mod prelude {
         InteractionDrop, RecoveryReport, TransientCorruption,
     };
     pub use crate::observe::{
-        ConvergenceProbe, InteractionEvent, JsonlSink, MetricsProbe, NoProbe, Probe,
-        Snapshot, TimingProbe, TrajectoryProbe,
+        BatchEvent, BatchPair, ConvergenceProbe, InteractionEvent, JsonlSink, MetricsProbe,
+        NoProbe, Probe, Snapshot, TimingProbe, TrajectoryProbe,
     };
     pub use crate::protocol::{FnProtocol, Protocol};
     pub use crate::registry::{DenseRuntime, OutputId, StateId};
@@ -105,8 +107,8 @@ pub use faults::{
     InteractionDrop, RecoveryReport, TransientCorruption,
 };
 pub use observe::{
-    ConvergenceProbe, InteractionEvent, JsonlSink, MetricsProbe, NoProbe, Probe, Snapshot,
-    TimingProbe, TrajectoryProbe,
+    BatchEvent, BatchPair, ConvergenceProbe, InteractionEvent, JsonlSink, MetricsProbe,
+    NoProbe, Probe, Snapshot, TimingProbe, TrajectoryProbe,
 };
 pub use protocol::{FnProtocol, Protocol};
 pub use registry::{DenseRuntime, OutputId, StateId};

@@ -106,6 +106,48 @@ impl InteractionEvent {
     }
 }
 
+/// One group of identical interactions inside a [`BatchEvent`]: `count`
+/// pairs whose initiator/responder were in `before` and moved to `after`.
+///
+/// The batched engine ([`crate::batch`]) samples the whole multiset of
+/// interacting pairs of a batch at once, so it naturally reports them
+/// grouped by `(initiator, responder)` state pair rather than one event per
+/// interaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchPair {
+    /// `(initiator, responder)` states before the interaction.
+    pub before: (StateId, StateId),
+    /// `(initiator, responder)` states after: `δ(before)`.
+    pub after: (StateId, StateId),
+    /// Output ids of the `before` states.
+    pub outputs_before: (OutputId, OutputId),
+    /// Output ids of the `after` states.
+    pub outputs_after: (OutputId, OutputId),
+    /// How many interactions of the batch had exactly this transition.
+    pub count: u64,
+    /// Whether at least one state changed.
+    pub effective: bool,
+}
+
+/// One sampled batch of interactions
+/// ([`Simulation::run_batched`](crate::Simulation::run_batched)), as seen by
+/// a [`Probe`].
+///
+/// The batch spans engine steps `first_step ..= first_step + len - 1`; all
+/// `2·len` participating agents are distinct (the batch is collision-free by
+/// construction), so the interactions commute and their order within the
+/// batch is not part of the sampled law. `pairs` reports them grouped by
+/// transition.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchEvent<'a> {
+    /// Engine step index of the first interaction of the batch.
+    pub first_step: u64,
+    /// Number of interactions in the batch (`Σ pairs[i].count`).
+    pub len: u64,
+    /// The batch's interactions, grouped by `(before, after)` transition.
+    pub pairs: &'a [BatchPair],
+}
+
 /// A configuration snapshot handed to probes at attachment and after fault
 /// bursts (the only times occupancy changes outside an interaction).
 #[derive(Debug, Clone, Copy)]
@@ -164,6 +206,41 @@ pub trait Probe {
     fn on_fault_burst(&mut self, injected: u64, snap: &Snapshot<'_>) {
         let _ = (injected, snap);
     }
+
+    /// The batched engine executed a whole collision-free batch of
+    /// interactions at once (see [`crate::batch`]).
+    ///
+    /// The default implementation replays the batch as `ev.len` ordinary
+    /// [`on_interaction`](Self::on_interaction) events (plus
+    /// [`on_output_change`](Self::on_output_change) whenever a replayed
+    /// interaction changed the output multiset), so existing probes work
+    /// under batching unchanged. Because the batch's agents are all
+    /// distinct, the replay — which visits the interactions grouped by
+    /// transition rather than in sampled order — is a valid ordering of the
+    /// batch. Probes that can fold a whole batch in `O(|pairs|)` (instead of
+    /// `O(len)`) should override this hook; overriders take on the
+    /// output-change accounting themselves.
+    fn on_batch(&mut self, ev: &BatchEvent<'_>) {
+        let mut step = ev.first_step;
+        for pair in ev.pairs {
+            for _ in 0..pair.count {
+                let iev = InteractionEvent {
+                    step,
+                    noops_skipped: 0,
+                    before: pair.before,
+                    after: pair.after,
+                    outputs_before: pair.outputs_before,
+                    outputs_after: pair.outputs_after,
+                    effective: pair.effective,
+                };
+                self.on_interaction(&iev);
+                if iev.output_multiset_changed() {
+                    self.on_output_change(step);
+                }
+                step += 1;
+            }
+        }
+    }
 }
 
 /// The default probe: observes nothing, costs nothing.
@@ -201,6 +278,11 @@ impl<A: Probe, B: Probe> Probe for (A, B) {
         self.0.on_fault_burst(injected, snap);
         self.1.on_fault_burst(injected, snap);
     }
+
+    fn on_batch(&mut self, ev: &BatchEvent<'_>) {
+        self.0.on_batch(ev);
+        self.1.on_batch(ev);
+    }
 }
 
 /// A mutable borrow is a probe: attach `&mut probe` to keep ownership (and
@@ -222,6 +304,10 @@ impl<Pr: Probe> Probe for &mut Pr {
 
     fn on_fault_burst(&mut self, injected: u64, snap: &Snapshot<'_>) {
         (**self).on_fault_burst(injected, snap);
+    }
+
+    fn on_batch(&mut self, ev: &BatchEvent<'_>) {
+        (**self).on_batch(ev);
     }
 }
 
@@ -1021,6 +1107,52 @@ mod tests {
         // NoProbe composition stays inactive; any live probe activates.
         const { assert!(!<(NoProbe, NoProbe) as Probe>::ACTIVE) };
         const { assert!(<(NoProbe, MetricsProbe) as Probe>::ACTIVE) };
+    }
+
+    #[test]
+    fn batch_replay_feeds_per_interaction_hooks() {
+        let mut m = MetricsProbe::new();
+        m.on_attach(&Snapshot { step: 0, occupancy: &[3, 2], outputs: &[3, 2] });
+        // A batch of 2 interactions: two (0, 1) -> (1, 1) conversions.
+        let pairs = [BatchPair {
+            before: (StateId(0), StateId(1)),
+            after: (StateId(1), StateId(1)),
+            outputs_before: (OutputId(0), OutputId(1)),
+            outputs_after: (OutputId(1), OutputId(1)),
+            count: 2,
+            effective: true,
+        }];
+        m.on_batch(&BatchEvent { first_step: 1, len: 2, pairs: &pairs });
+        assert_eq!(m.interactions(), 2);
+        assert_eq!(m.effective_interactions(), 2);
+        assert_eq!(m.rule_count(StateId(0), StateId(1)), 2);
+        // Replay derives output changes: both conversions changed the multiset.
+        assert_eq!(m.output_changes(), 2);
+        // Occupancy after the batch: both state-0 agents converted.
+        let mut t = TrajectoryProbe::new();
+        t.on_attach(&Snapshot { step: 0, occupancy: &[3, 2], outputs: &[3, 2] });
+        t.on_batch(&BatchEvent { first_step: 1, len: 2, pairs: &pairs });
+        assert_eq!(t.current_occupancy(), &[1, 4]);
+    }
+
+    #[test]
+    fn batch_replay_forwards_through_compositions() {
+        let pairs = [BatchPair {
+            before: (StateId(0), StateId(0)),
+            after: (StateId(0), StateId(0)),
+            outputs_before: (OutputId(0), OutputId(0)),
+            outputs_after: (OutputId(0), OutputId(0)),
+            count: 3,
+            effective: false,
+        }];
+        let mut m = MetricsProbe::new();
+        {
+            let mut pair = (&mut m, NoProbe);
+            pair.on_attach(&Snapshot { step: 0, occupancy: &[4], outputs: &[4] });
+            pair.on_batch(&BatchEvent { first_step: 1, len: 3, pairs: &pairs });
+        }
+        assert_eq!(m.interactions(), 3);
+        assert_eq!(m.effective_interactions(), 0);
     }
 
     #[test]

@@ -1,0 +1,598 @@
+//! Exact discrete samplers for count-based simulation.
+//!
+//! The batched engine ([`crate::batch`]) replaces Θ(√n) individual pair
+//! draws by a handful of draws from classical discrete distributions over
+//! the state counts of a [`CountConfig`](crate::CountConfig):
+//!
+//! * [`binomial`] — `Binomial(n, p)`, used by the conditional-binomial
+//!   multinomial decomposition;
+//! * [`hypergeometric`] — draws *without replacement*, the workhorse for
+//!   sampling agent states from a finite population;
+//! * [`multinomial_into`] — a multinomial vector via the chain of
+//!   conditional binomials `xᵢ ~ Binomial(m_rem, wᵢ / w_rem)`;
+//! * [`multivariate_hypergeometric_into`] — the without-replacement
+//!   analogue via conditional hypergeometrics.
+//!
+//! # Algorithms
+//!
+//! Every sampler consumes exactly **one** uniform word of the RNG stream
+//! per univariate draw (inversion), which keeps batched runs replayable and
+//! cheap:
+//!
+//! * small-mean draws use bottom-up inversion on the pmf recurrence
+//!   (expected `O(mean)` arithmetic, no transcendental calls);
+//! * large-mean draws use **mode-centered inversion inside the normal-scale
+//!   window**: the pmf at the mode is evaluated once through a Stirling
+//!   [`ln_gamma`], then probability is accumulated outward (mode, mode±1,
+//!   mode±2, …) by the exact pmf ratio recurrences until the target uniform
+//!   is crossed. The walk is cut off where the normal-scale tail mass drops
+//!   below f64 resolution (≈ ±40σ), so expected work is `O(σ)` — `O(n¼)`
+//!   for the batch engine's √n-sized draws.
+//!
+//! Both paths invert the *exact* pmf, so the sampled laws are exact up to
+//! f64 rounding (relative pmf error ≲ 1e-12 from the Stirling series);
+//! there is no normal-approximation bias.
+
+use rand::Rng;
+
+/// Natural log of the gamma function, Stirling series with argument shift.
+///
+/// Accurate to ~1e-13 relative for all `x ≥ 1`; used to evaluate pmfs at
+/// the mode. Only defined for positive `x`.
+pub fn ln_gamma(mut x: f64) -> f64 {
+    debug_assert!(x > 0.0, "ln_gamma needs x > 0, got {x}");
+    // Shift x above 10 where the Stirling series converges fast:
+    // ln Γ(x) = ln Γ(x + k) − Σ_{i=0}^{k−1} ln(x + i).
+    let mut shift = 0.0;
+    while x < 10.0 {
+        shift -= x.ln();
+        x += 1.0;
+    }
+    const LN_SQRT_2PI: f64 = 0.918_938_533_204_672_8;
+    let inv = 1.0 / x;
+    let inv2 = inv * inv;
+    // Stirling series: 1/12x − 1/360x³ + 1/1260x⁵ − 1/1680x⁷.
+    let series = inv
+        * (1.0 / 12.0 + inv2 * (-1.0 / 360.0 + inv2 * (1.0 / 1260.0 - inv2 / 1680.0)));
+    shift + (x - 0.5) * x.ln() - x + LN_SQRT_2PI + series
+}
+
+/// Largest argument served by the memoized [`ln_factorial`] table. Batch
+/// draws are √n-sized, so their small pmf arguments (the draw counts) hit
+/// the table while the population-sized ones fall through to [`ln_gamma`].
+const LN_FACT_TABLE: usize = 1024;
+
+fn ln_factorial_table() -> &'static [f64; LN_FACT_TABLE + 1] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[f64; LN_FACT_TABLE + 1]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0.0f64; LN_FACT_TABLE + 1];
+        for n in 2..=LN_FACT_TABLE {
+            t[n] = t[n - 1] + (n as f64).ln();
+        }
+        t
+    })
+}
+
+/// `ln n!`: table lookup for small `n`, [`ln_gamma`] beyond.
+#[inline]
+pub fn ln_factorial(n: u64) -> f64 {
+    if n <= LN_FACT_TABLE as u64 {
+        ln_factorial_table()[n as usize]
+    } else {
+        ln_gamma(n as f64 + 1.0)
+    }
+}
+
+/// `ln C(n, k)`; `-inf` when `k > n`.
+#[inline]
+fn ln_choose(n: u64, k: u64) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k)
+}
+
+/// Mean threshold below which bottom-up inversion beats the mode-centered
+/// walk (no `ln_gamma` evaluation, tiny constant).
+const SMALL_MEAN: f64 = 32.0;
+
+/// Draws `X ~ Binomial(n, p)`: the number of successes in `n` independent
+/// trials of probability `p`. Exactly one uniform is consumed (zero when
+/// the outcome is deterministic).
+///
+/// # Panics
+///
+/// Panics if `p` is not in `[0, 1]`.
+pub fn binomial(rng: &mut (impl Rng + ?Sized), n: u64, p: f64) -> u64 {
+    assert!((0.0..=1.0).contains(&p), "binomial probability {p} not in [0, 1]");
+    if n == 0 || p == 0.0 {
+        return 0;
+    }
+    if p == 1.0 {
+        return n;
+    }
+    // Work on the lighter tail.
+    if p > 0.5 {
+        return n - binomial(rng, n, 1.0 - p);
+    }
+    let u = rng.gen_f64();
+    let mean = n as f64 * p;
+    if mean <= SMALL_MEAN {
+        // Union bound: P(X ≥ 1) ≤ E[X], so P(X = 0) ≥ 1 − mean and
+        // `u < 1 − mean` certifies X = 0 without evaluating the pmf.
+        if u < 1.0 - mean {
+            return 0;
+        }
+        // Bottom-up inversion: p₀ = (1−p)ⁿ, then
+        // pmf(k+1) = pmf(k) · (n−k)/(k+1) · p/(1−p).
+        let ratio = p / (1.0 - p);
+        let mut pk = (n as f64 * (-p).ln_1p()).exp();
+        let mut cum = pk;
+        let mut k = 0u64;
+        while u >= cum && k < n {
+            pk *= (n - k) as f64 / (k + 1) as f64 * ratio;
+            k += 1;
+            cum += pk;
+            if pk <= f64::MIN_POSITIVE && u >= cum {
+                // Float tail exhausted: the remaining mass is below f64
+                // resolution; clamp to the current point.
+                break;
+            }
+        }
+        return k.min(n);
+    }
+    // Mode-centered inversion (large mean).
+    let mode = (((n + 1) as f64) * p).floor().min(n as f64) as u64;
+    let ln_pm = ln_choose(n, mode)
+        + mode as f64 * p.ln()
+        + (n - mode) as f64 * (-p).ln_1p();
+    let pm = ln_pm.exp();
+    let ratio = p / (1.0 - p);
+    mode_inversion(
+        u,
+        mode,
+        0,
+        n,
+        pm,
+        // pmf(k+1)/pmf(k)
+        |k| (n - k) as f64 / (k + 1) as f64 * ratio,
+        // pmf(k−1)/pmf(k)
+        |k| k as f64 / (n - k + 1) as f64 / ratio,
+    )
+}
+
+/// Draws `X ~ Hypergeometric(total, successes, draws)`: the number of
+/// successes in `draws` draws *without replacement* from a population of
+/// `total` items containing `successes` successes. Consumes at most one
+/// uniform.
+///
+/// # Panics
+///
+/// Panics if `successes > total` or `draws > total`.
+pub fn hypergeometric(
+    rng: &mut (impl Rng + ?Sized),
+    total: u64,
+    successes: u64,
+    draws: u64,
+) -> u64 {
+    assert!(successes <= total, "successes {successes} > total {total}");
+    assert!(draws <= total, "draws {draws} > total {total}");
+    // Support: lo ≤ X ≤ hi.
+    let lo = draws.saturating_sub(total - successes);
+    let hi = draws.min(successes);
+    if lo == hi {
+        return lo;
+    }
+    // Symmetry reductions onto the lighter tail: swap successes/failures
+    // (X ↦ draws − X) so the success fraction is ≤ 1/2, then swap
+    // draws/successes (the pmf is symmetric in them).
+    if 2 * successes > total {
+        return draws - hypergeometric(rng, total, total - successes, draws);
+    }
+    if draws < successes {
+        // Sample with the smaller of (draws, successes) as the draw count:
+        // identical law, shorter inversion walk.
+        return hypergeometric(rng, total, draws, successes);
+    }
+    let u = rng.gen_f64();
+    let mean = draws as f64 * successes as f64 / total as f64;
+    if lo == 0 && mean <= SMALL_MEAN {
+        // Union bound: P(X ≥ 1) ≤ E[X], so P(X = 0) ≥ 1 − mean and
+        // `u < 1 − mean` certifies X = 0 without evaluating the pmf —
+        // the common case for the batch engine's many tiny conditional
+        // draws.
+        if u < 1.0 - mean {
+            return 0;
+        }
+        // Bottom-up inversion: p₀ = C(total−succ, draws) / C(total, draws),
+        // pmf(x+1) = pmf(x) · (succ−x)(draws−x) / ((x+1)(total−succ−draws+x+1)).
+        // For few successes, p₀ = Π_{i<succ} (total−draws−i)/(total−i) is a
+        // handful of multiplications; otherwise expand the binomials —
+        // the `ln draws!` terms cancel, leaving four `ln_factorial`s.
+        let mut px = if successes <= 64 {
+            let mut p = 1.0f64;
+            for i in 0..successes {
+                p *= (total - draws - i) as f64 / (total - i) as f64;
+            }
+            p
+        } else {
+            (ln_factorial(total - successes) - ln_factorial(total - successes - draws)
+                - ln_factorial(total)
+                + ln_factorial(total - draws))
+            .exp()
+        };
+        let mut cum = px;
+        let mut x = 0u64;
+        while u >= cum && x < hi {
+            let num = (successes - x) as f64 * (draws - x) as f64;
+            let den = (x + 1) as f64 * (total - successes - draws + x + 1) as f64;
+            px *= num / den;
+            x += 1;
+            cum += px;
+            if px <= f64::MIN_POSITIVE && u >= cum {
+                break;
+            }
+        }
+        return x.min(hi);
+    }
+    // Mode-centered inversion.
+    let mode_f = ((draws + 1) as f64 * (successes + 1) as f64) / (total + 2) as f64;
+    let mode = (mode_f.floor() as u64).clamp(lo, hi);
+    let ln_pm = ln_choose(successes, mode) + ln_choose(total - successes, draws - mode)
+        - ln_choose(total, draws);
+    let pm = ln_pm.exp();
+    mode_inversion(
+        u,
+        mode,
+        lo,
+        hi,
+        pm,
+        // pmf(x+1)/pmf(x); sums are ordered so `x ≥ lo` keeps the
+        // failure-slot term `total + x + 1 − successes − draws ≥ 1`
+        // non-negative in u64 arithmetic.
+        |x| {
+            (successes - x) as f64 * (draws - x) as f64
+                / ((x + 1) as f64 * (total + x + 1 - successes - draws) as f64)
+        },
+        // pmf(x−1)/pmf(x)
+        |x| {
+            x as f64 * (total + x - successes - draws) as f64
+                / ((successes - x + 1) as f64 * (draws - x + 1) as f64)
+        },
+    )
+}
+
+/// Inverts a unimodal pmf by accumulating probability outward from the
+/// mode, always stepping toward the **heavier** of the two frontier points
+/// (greedy order). Any fixed enumeration order inverts the same law; the
+/// greedy one accumulates mass fastest, so the expected number of visited
+/// points is minimized (still `O(σ)`). `up(k)` and `down(k)` are the exact
+/// pmf ratio recurrences. If float rounding exhausts the representable mass
+/// before crossing `u` (probability ≲ 1e-12), the nearest still-open
+/// endpoint is returned.
+fn mode_inversion(
+    u: f64,
+    mode: u64,
+    lo: u64,
+    hi: u64,
+    pmf_mode: f64,
+    up: impl Fn(u64) -> f64,
+    down: impl Fn(u64) -> f64,
+) -> u64 {
+    let mut cum = pmf_mode;
+    if u < cum {
+        return mode;
+    }
+    let (mut k_up, mut k_down) = (mode, mode);
+    // Frontier masses: the pmf at the next unvisited point on each side,
+    // zero once that side's support ends or its mass underflows.
+    let mut p_up = if k_up < hi { pmf_mode * up(k_up) } else { 0.0 };
+    let mut p_down = if k_down > lo { pmf_mode * down(k_down) } else { 0.0 };
+    loop {
+        if p_up >= p_down {
+            if p_up <= 0.0 {
+                // Both sides exhausted (support ends or mass underflowed):
+                // return the closest open endpoint.
+                return if k_up < hi { k_up + 1 } else { k_down.max(lo) };
+            }
+            k_up += 1;
+            cum += p_up;
+            if u < cum {
+                return k_up;
+            }
+            p_up = if k_up < hi { p_up * up(k_up) } else { 0.0 };
+        } else {
+            k_down -= 1;
+            cum += p_down;
+            if u < cum {
+                return k_down;
+            }
+            p_down = if k_down > lo { p_down * down(k_down) } else { 0.0 };
+        }
+    }
+}
+
+/// Samples a multinomial vector: `n` independent draws over categories with
+/// the given non-negative `weights`, written into `out` (cleared first).
+/// Decomposed as conditional binomials `xᵢ ~ Binomial(m_rem, wᵢ / w_rem)`.
+///
+/// # Panics
+///
+/// Panics if `n > 0` and the weights sum to zero, or any weight is
+/// negative or non-finite.
+pub fn multinomial_into(
+    rng: &mut (impl Rng + ?Sized),
+    n: u64,
+    weights: &[f64],
+    out: &mut Vec<u64>,
+) {
+    out.clear();
+    let mut w_rem: f64 = weights.iter().sum();
+    assert!(
+        w_rem.is_finite() && weights.iter().all(|&w| w >= 0.0),
+        "multinomial weights must be non-negative and finite"
+    );
+    assert!(n == 0 || w_rem > 0.0, "cannot draw {n} items from zero total weight");
+    let mut m_rem = n;
+    for (i, &w) in weights.iter().enumerate() {
+        if m_rem == 0 {
+            out.push(0);
+            continue;
+        }
+        let x = if i + 1 == weights.len() || w >= w_rem {
+            m_rem
+        } else {
+            binomial(rng, m_rem, (w / w_rem).min(1.0))
+        };
+        out.push(x);
+        m_rem -= x;
+        w_rem -= w;
+    }
+    debug_assert_eq!(m_rem, 0, "multinomial failed to place every draw");
+}
+
+/// Samples a multivariate hypergeometric vector: `draws` items taken
+/// without replacement from a population whose category sizes are `counts`,
+/// written into `out` (cleared first). Decomposed as conditional
+/// hypergeometrics.
+///
+/// # Panics
+///
+/// Panics if `draws` exceeds the population `Σ counts`.
+pub fn multivariate_hypergeometric_into(
+    rng: &mut (impl Rng + ?Sized),
+    counts: &[u64],
+    draws: u64,
+    out: &mut Vec<u64>,
+) {
+    out.clear();
+    let mut n_rem: u64 = counts.iter().sum();
+    assert!(draws <= n_rem, "cannot draw {draws} agents from population {n_rem}");
+    let mut m_rem = draws;
+    for &c in counts {
+        if m_rem == 0 || c == 0 {
+            out.push(0);
+            n_rem -= c;
+            continue;
+        }
+        let x = if c == n_rem { m_rem } else { hypergeometric(rng, n_rem, c, m_rem) };
+        out.push(x);
+        n_rem -= c;
+        m_rem -= x;
+    }
+    debug_assert_eq!(m_rem, 0, "hypergeometric sweep failed to place every draw");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngCore, SeedableRng};
+
+    #[test]
+    fn ln_gamma_matches_factorials() {
+        let mut f = 1.0f64;
+        for n in 1u64..20 {
+            f *= n as f64;
+            let err = (ln_gamma(n as f64 + 1.0) - f.ln()).abs();
+            assert!(err < 1e-11, "ln_gamma({}) off by {err}", n + 1);
+        }
+        // Large argument sanity: Stirling regime.
+        let big = ln_factorial(1_000_000);
+        // Known: ln(10⁶!) ≈ 1.2815518e7.
+        assert!((big / 1.281_551_8e7 - 1.0).abs() < 1e-6, "{big}");
+    }
+
+    #[test]
+    fn binomial_edges() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(binomial(&mut rng, 0, 0.3), 0);
+        assert_eq!(binomial(&mut rng, 10, 0.0), 0);
+        assert_eq!(binomial(&mut rng, 10, 1.0), 10);
+        for _ in 0..100 {
+            let x = binomial(&mut rng, 7, 0.5);
+            assert!(x <= 7);
+        }
+    }
+
+    /// χ²-style check of the empirical pmf against the exact one.
+    fn check_binomial_dist(n: u64, p: f64, seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let trials = 60_000usize;
+        let mut hist = vec![0u64; n as usize + 1];
+        for _ in 0..trials {
+            hist[binomial(&mut rng, n, p) as usize] += 1;
+        }
+        // Exact pmf by recurrence.
+        let mut pmf = vec![0.0f64; n as usize + 1];
+        pmf[0] = (1.0 - p).powi(n as i32);
+        for k in 0..n as usize {
+            pmf[k + 1] = pmf[k] * (n - k as u64) as f64 / (k as f64 + 1.0) * p / (1.0 - p);
+        }
+        let mean_obs: f64 =
+            hist.iter().enumerate().map(|(k, &c)| k as f64 * c as f64).sum::<f64>()
+                / trials as f64;
+        let mean_exp = n as f64 * p;
+        let sd = (n as f64 * p * (1.0 - p)).sqrt();
+        assert!(
+            (mean_obs - mean_exp).abs() < 5.0 * sd / (trials as f64).sqrt(),
+            "binomial({n},{p}) mean {mean_obs} vs {mean_exp}"
+        );
+        // Total-variation distance between empirical and exact.
+        let tv: f64 = pmf
+            .iter()
+            .enumerate()
+            .map(|(k, &q)| (hist[k] as f64 / trials as f64 - q).abs())
+            .sum::<f64>()
+            / 2.0;
+        assert!(tv < 0.02, "binomial({n},{p}) TV {tv}");
+    }
+
+    #[test]
+    fn binomial_small_path_distribution() {
+        check_binomial_dist(12, 0.3, 1);
+    }
+
+    #[test]
+    fn binomial_large_path_distribution() {
+        // mean = 200 ⇒ mode-centered inversion path.
+        check_binomial_dist(500, 0.4, 2);
+    }
+
+    #[test]
+    fn binomial_heavy_p_uses_symmetry() {
+        check_binomial_dist(40, 0.85, 3);
+    }
+
+    #[test]
+    fn hypergeometric_edges_and_support() {
+        let mut rng = StdRng::seed_from_u64(4);
+        assert_eq!(hypergeometric(&mut rng, 10, 0, 5), 0);
+        assert_eq!(hypergeometric(&mut rng, 10, 10, 5), 5);
+        assert_eq!(hypergeometric(&mut rng, 10, 4, 0), 0);
+        assert_eq!(hypergeometric(&mut rng, 10, 4, 10), 4);
+        for _ in 0..200 {
+            // Support is max(0, m−(N−K)) ..= min(m, K) = 2..=6.
+            let x = hypergeometric(&mut rng, 10, 6, 6);
+            assert!((2..=6).contains(&x), "{x} outside support");
+        }
+    }
+
+    fn check_hypergeometric_dist(total: u64, successes: u64, draws: u64, seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let trials = 60_000usize;
+        let hi = draws.min(successes) as usize;
+        let mut hist = vec![0u64; hi + 1];
+        for _ in 0..trials {
+            hist[hypergeometric(&mut rng, total, successes, draws) as usize] += 1;
+        }
+        let lo = draws.saturating_sub(total - successes);
+        let mut pmf = vec![0.0f64; hi + 1];
+        pmf[lo as usize] =
+            (ln_choose(successes, lo) + ln_choose(total - successes, draws - lo)
+                - ln_choose(total, draws))
+            .exp();
+        for x in lo as usize..hi {
+            let xu = x as u64;
+            pmf[x + 1] = pmf[x] * (successes - xu) as f64 * (draws - xu) as f64
+                / ((xu + 1) as f64 * (total + xu + 1 - successes - draws) as f64);
+        }
+        let tv: f64 = pmf
+            .iter()
+            .enumerate()
+            .map(|(k, &q)| (hist[k] as f64 / trials as f64 - q).abs())
+            .sum::<f64>()
+            / 2.0;
+        assert!(tv < 0.02, "hypergeometric({total},{successes},{draws}) TV {tv}");
+    }
+
+    #[test]
+    fn hypergeometric_small_path_distribution() {
+        check_hypergeometric_dist(60, 20, 12, 5);
+    }
+
+    #[test]
+    fn hypergeometric_large_path_distribution() {
+        // mean = 500·2000/10000 = 100 ⇒ mode-centered path.
+        check_hypergeometric_dist(10_000, 2_000, 500, 6);
+    }
+
+    #[test]
+    fn hypergeometric_tight_support_lower_bound() {
+        // lo = 30−(40−25) = 15 > 0 forces the mode path with clamping.
+        check_hypergeometric_dist(40, 25, 30, 7);
+    }
+
+    #[test]
+    fn multinomial_places_all_draws() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut out = Vec::new();
+        for _ in 0..200 {
+            multinomial_into(&mut rng, 100, &[1.0, 2.0, 0.0, 7.0], &mut out);
+            assert_eq!(out.len(), 4);
+            assert_eq!(out.iter().sum::<u64>(), 100);
+            assert_eq!(out[2], 0, "zero-weight category must receive nothing");
+        }
+        multinomial_into(&mut rng, 0, &[1.0, 1.0], &mut out);
+        assert_eq!(out, &[0, 0]);
+    }
+
+    #[test]
+    fn multinomial_proportions_track_weights() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut out = Vec::new();
+        let mut sums = [0u64; 3];
+        for _ in 0..2_000 {
+            multinomial_into(&mut rng, 60, &[1.0, 2.0, 3.0], &mut out);
+            for (s, &x) in sums.iter_mut().zip(out.iter()) {
+                *s += x;
+            }
+        }
+        let total: u64 = sums.iter().sum();
+        for (i, &s) in sums.iter().enumerate() {
+            let frac = s as f64 / total as f64;
+            let expect = (i + 1) as f64 / 6.0;
+            assert!((frac - expect).abs() < 0.01, "category {i}: {frac} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn multivariate_hypergeometric_respects_counts() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let counts = [5u64, 0, 12, 3];
+        let mut out = Vec::new();
+        for _ in 0..500 {
+            multivariate_hypergeometric_into(&mut rng, &counts, 11, &mut out);
+            assert_eq!(out.len(), 4);
+            assert_eq!(out.iter().sum::<u64>(), 11);
+            for (x, c) in out.iter().zip(counts.iter()) {
+                assert!(x <= c, "drew {x} from category of {c}");
+            }
+        }
+        // Drawing the whole population returns the counts themselves.
+        multivariate_hypergeometric_into(&mut rng, &counts, 20, &mut out);
+        assert_eq!(out, counts.to_vec());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot draw")]
+    fn multivariate_hypergeometric_overdraw_panics() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut out = Vec::new();
+        multivariate_hypergeometric_into(&mut rng, &[1, 2], 4, &mut out);
+    }
+
+    #[test]
+    fn samplers_consume_at_most_one_uniform_per_draw() {
+        // Replayability contract: a univariate draw costs one RNG word.
+        let mut a = StdRng::seed_from_u64(12);
+        let mut b = StdRng::seed_from_u64(12);
+        let _ = binomial(&mut a, 1_000, 0.25);
+        b.next_u64();
+        assert_eq!(a, b, "binomial must consume exactly one word");
+        let _ = hypergeometric(&mut a, 1_000, 300, 100);
+        b.next_u64();
+        assert_eq!(a, b, "hypergeometric must consume exactly one word");
+    }
+}

@@ -1,0 +1,273 @@
+//! Correctness properties of the batched engine (`pp_core::batch`):
+//! `run_batched` must preserve the population and the closed state space,
+//! keep its counters exact, stay probe-transparent, and — the heart of the
+//! exactness claim — produce the *same distribution* over configurations as
+//! the sequential `step` path (checked by total-variation distance on a
+//! small population, where every batch ends in a collision interaction).
+
+use std::collections::HashMap;
+
+use pp_core::config::CanonicalConfig;
+use pp_core::observe::{MetricsProbe, TrajectoryProbe};
+use pp_core::{seeded_rng, FnProtocol, Protocol, Simulation};
+use proptest::prelude::*;
+
+fn epidemic() -> impl Protocol<State = bool, Input = bool, Output = bool> {
+    FnProtocol::new(
+        |&b: &bool| b,
+        |&q: &bool| q,
+        |&p: &bool, &q: &bool| (p || q, p || q),
+    )
+}
+
+/// Three-state approximate majority: transitions in every direction, so the
+/// batch sampler's grouping and the collision draw see a rich rule set.
+fn approx_majority() -> impl Protocol<State = u8, Input = u8, Output = u8> {
+    // 0 = zero, 1 = one, 2 = blank.
+    FnProtocol::new(
+        |&x: &u8| x,
+        |&q: &u8| q,
+        |&p: &u8, &q: &u8| match (p, q) {
+            (0, 1) => (0, 2),
+            (1, 0) => (1, 2),
+            (0, 2) => (0, 0),
+            (1, 2) => (1, 1),
+            _ => (p, q),
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn batched_runs_preserve_population_and_state_space(
+        seed in 0u64..1_000,
+        ones in 1u64..40,
+        zeros in 1u64..40,
+        steps in 1u64..3_000,
+    ) {
+        let mut sim = Simulation::from_counts(
+            approx_majority(),
+            [(1u8, ones), (0u8, zeros)],
+        );
+        // Close the state space up front so its size is a fixed ceiling.
+        sim.reactive_pairs();
+        let state_ceiling = sim.runtime().state_count();
+        let mut rng = seeded_rng(seed);
+        sim.run_batched(steps, &mut rng);
+        prop_assert_eq!(sim.population(), ones + zeros);
+        prop_assert_eq!(sim.steps(), steps);
+        prop_assert!(sim.effective_steps() <= steps);
+        // Support never escapes the δ-closure of the initial support.
+        for (s, _) in sim.config().support() {
+            prop_assert!(s.index() < state_ceiling, "state {s:?} outside closure");
+        }
+        // Output accounting stayed in sync with the configuration.
+        let from_outputs: u64 =
+            sim.output_histogram().iter().map(|&(_, c)| c).sum();
+        prop_assert_eq!(from_outputs, ones + zeros);
+    }
+
+    #[test]
+    fn batched_probe_accounting_matches_engine_counters(
+        seed in 0u64..500,
+        ones in 1u64..30,
+        zeros in 1u64..30,
+        steps in 1u64..2_000,
+    ) {
+        let mut sim = Simulation::from_counts(
+            approx_majority(),
+            [(1u8, ones), (0u8, zeros)],
+        )
+        .with_probe((MetricsProbe::new(), TrajectoryProbe::new()));
+        let mut rng = seeded_rng(seed);
+        sim.run_batched(steps, &mut rng);
+        // The default on_batch replay shows the probe every interaction.
+        prop_assert_eq!(sim.probe().0.interactions(), sim.steps());
+        prop_assert_eq!(
+            sim.probe().0.effective_interactions(),
+            sim.effective_steps()
+        );
+        // The trajectory probe's live occupancy tracked the configuration.
+        let occ = sim.probe().1.current_occupancy().to_vec();
+        let cfg = sim.config().as_slice();
+        for i in 0..occ.len().max(cfg.len()) {
+            prop_assert_eq!(
+                occ.get(i).copied().unwrap_or(0),
+                cfg.get(i).copied().unwrap_or(0),
+                "occupancy drift at state {}", i
+            );
+        }
+    }
+
+    #[test]
+    fn batched_epidemic_keeps_infection_monotone(
+        seed in 0u64..500,
+        healthy in 1u64..100,
+        steps in 1u64..2_000,
+    ) {
+        // The epidemic can only grow: a batched run must respect every
+        // invariant of δ, interaction by interaction.
+        let mut sim = Simulation::from_counts(
+            epidemic(),
+            [(true, 1), (false, healthy)],
+        );
+        let mut rng = seeded_rng(seed);
+        let mut infected = 1u64;
+        for _ in 0..10 {
+            sim.run_batched(steps / 10 + 1, &mut rng);
+            let now = sim.count_of_state(&true);
+            prop_assert!(now >= infected, "infection shrank: {now} < {infected}");
+            infected = now;
+        }
+    }
+}
+
+/// Runs `trials` independent copies of `k` interactions through `runner` and
+/// histograms the resulting canonical configurations.
+fn configuration_histogram<P, F>(
+    protocol_factory: impl Fn() -> P,
+    init: &[(u8, u64)],
+    k: u64,
+    trials: u64,
+    seed_base: u64,
+    runner: F,
+) -> HashMap<CanonicalConfig, u64>
+where
+    P: Protocol<Input = u8>,
+    F: Fn(&mut Simulation<P>, u64, &mut rand::rngs::StdRng),
+{
+    let mut hist: HashMap<CanonicalConfig, u64> = HashMap::new();
+    for t in 0..trials {
+        let mut sim = Simulation::from_counts(
+            protocol_factory(),
+            init.iter().copied(),
+        );
+        // Identical deterministic interning on every run, so canonical
+        // configurations are comparable across engines.
+        sim.reactive_pairs();
+        let mut rng = seeded_rng(seed_base + t);
+        runner(&mut sim, k, &mut rng);
+        *hist.entry(sim.config().to_canonical()).or_insert(0) += 1;
+    }
+    hist
+}
+
+/// Total-variation distance between two empirical distributions.
+fn tv_distance(
+    a: &HashMap<CanonicalConfig, u64>,
+    b: &HashMap<CanonicalConfig, u64>,
+    trials: u64,
+) -> f64 {
+    let mut keys: Vec<&CanonicalConfig> = a.keys().chain(b.keys()).collect();
+    keys.sort();
+    keys.dedup();
+    let m = trials as f64;
+    keys.iter()
+        .map(|k| {
+            let pa = a.get(*k).copied().unwrap_or(0) as f64 / m;
+            let pb = b.get(*k).copied().unwrap_or(0) as f64 / m;
+            (pa - pb).abs()
+        })
+        .sum::<f64>()
+        / 2.0
+}
+
+/// The exactness claim, empirically: after `k` interactions from a fixed
+/// small configuration, the distribution over configurations under
+/// `run_batched` matches the sequential `step` distribution up to sampling
+/// noise. With n = 8 the batch cap is ⌊√8⌋ = 2, so every batch exercises
+/// the collision path; k = 6 spans several batches.
+#[test]
+fn batched_and_sequential_configurations_agree_in_distribution() {
+    let init = [(1u8, 3u64), (0u8, 5u64)];
+    let (k, trials) = (6u64, 6_000u64);
+    let sequential = configuration_histogram(
+        approx_majority,
+        &init,
+        k,
+        trials,
+        1_000_000,
+        |sim, k, rng| sim.run(k, rng),
+    );
+    let batched = configuration_histogram(
+        approx_majority,
+        &init,
+        k,
+        trials,
+        9_000_000,
+        |sim, k, rng| sim.run_batched(k, rng),
+    );
+    let tv = tv_distance(&sequential, &batched, trials);
+    // Empirical-vs-empirical TV noise at 6000 trials over this support is
+    // ≈ 0.04; a sampler bug (wrong pairing law, broken collision case)
+    // shifts whole configuration probabilities by far more.
+    assert!(tv < 0.08, "TV distance {tv:.4} between batched and sequential");
+}
+
+/// Same check on the epidemic at a size where batches are collision-free
+/// with high probability (cap = ⌊√64⌋ = 8), exercising the pure bulk path.
+#[test]
+fn batched_epidemic_infection_counts_agree_in_distribution() {
+    let init = [(1u8, 1u64), (0u8, 63u64)];
+    let (k, trials) = (48u64, 4_000u64);
+    let infected_hist = |seed_base: u64, batched: bool| {
+        let mut hist: HashMap<u64, u64> = HashMap::new();
+        for t in 0..trials {
+            let mut sim = Simulation::from_counts(
+                FnProtocol::new(
+                    |&x: &u8| x == 1,
+                    |&q: &bool| q,
+                    |&p: &bool, &q: &bool| (p || q, p || q),
+                ),
+                init.iter().copied(),
+            );
+            let mut rng = seeded_rng(seed_base + t);
+            if batched {
+                sim.run_batched(k, &mut rng);
+            } else {
+                sim.run(k, &mut rng);
+            }
+            *hist.entry(sim.count_of_state(&true)).or_insert(0) += 1;
+        }
+        hist
+    };
+    let sequential = infected_hist(500_000, false);
+    let batched = infected_hist(7_500_000, true);
+    let m = trials as f64;
+    let mut keys: Vec<u64> = sequential.keys().chain(batched.keys()).copied().collect();
+    keys.sort_unstable();
+    keys.dedup();
+    let tv = keys
+        .iter()
+        .map(|k| {
+            let pa = sequential.get(k).copied().unwrap_or(0) as f64 / m;
+            let pb = batched.get(k).copied().unwrap_or(0) as f64 / m;
+            (pa - pb).abs()
+        })
+        .sum::<f64>()
+        / 2.0;
+    assert!(tv < 0.08, "TV distance {tv:.4} on infection counts");
+}
+
+/// The batched stabilization measurement agrees with the sequential one up
+/// to batch granularity, and both detect convergence.
+#[test]
+fn batched_stabilization_matches_sequential_semantics() {
+    let mut seq = Simulation::from_counts(epidemic(), [(true, 1), (false, 255)]);
+    let mut bat = Simulation::from_counts(epidemic(), [(true, 1), (false, 255)]);
+    let rep_seq = seq.measure_stabilization(&true, 40_000, &mut seeded_rng(42));
+    let rep_bat = bat.measure_stabilization_batched(&true, 40_000, &mut seeded_rng(43));
+    assert!(rep_seq.converged() && rep_bat.converged());
+    assert_eq!(rep_seq.horizon, rep_bat.horizon);
+    // Both runs must have infected all 256 agents with exactly 255
+    // effective interactions.
+    assert_eq!(seq.effective_steps(), 255);
+    assert_eq!(bat.effective_steps(), 255);
+    // Batched stabilization time is sane: positive, within the horizon, and
+    // on the epidemic's Θ(n log n) scale.
+    let t = rep_bat.stabilized_at.unwrap();
+    assert!(t >= 255, "needs at least n−1 interactions, got {t}");
+    assert!(t < 40_000);
+}

@@ -1,0 +1,66 @@
+//! The batched engine (`Simulation::run_batched`) against the paper's
+//! concrete protocols: the batch sampler must compute the same predicates
+//! the sequential engine does — majority, parity, leader election — at
+//! populations where batches are genuinely √n-sized.
+
+use pp_core::observe::MetricsProbe;
+use pp_core::{seeded_rng, Simulation};
+use pp_protocols::{majority, parity, LeaderElection};
+
+#[test]
+fn batched_majority_stabilizes_to_the_true_predicate() {
+    // 1-votes hold a 10% edge at n = 1000; the Lemma 5 protocol's leader
+    // election needs Θ(n²) interactions, well inside the horizon.
+    let mut sim = Simulation::from_counts(majority(), [(0usize, 450), (1usize, 550)]);
+    let mut rng = seeded_rng(31);
+    let rep = sim.measure_stabilization_batched(&true, 10_000_000, &mut rng);
+    assert!(rep.converged(), "majority must stabilize to true");
+    assert_eq!(sim.population(), 1_000);
+    assert_eq!(sim.consensus_output(), Some(&true));
+}
+
+#[test]
+fn batched_majority_negative_case() {
+    let mut sim = Simulation::from_counts(majority(), [(0usize, 330), (1usize, 270)]);
+    let mut rng = seeded_rng(32);
+    let rep = sim.measure_stabilization_batched(&false, 5_000_000, &mut rng);
+    assert!(rep.converged(), "majority must stabilize to false");
+    assert_eq!(sim.consensus_output(), Some(&false));
+}
+
+#[test]
+fn batched_parity_is_exact_on_both_residues() {
+    // Parity is a remainder predicate: the final answer is a deterministic
+    // function of the inputs, so any sampling bias that loses or duplicates
+    // even one token shows up as a wrong consensus.
+    for (ones, expected) in [(301u64, true), (300u64, false)] {
+        let mut sim = Simulation::from_counts(parity(), [(0usize, 300), (1usize, ones)]);
+        let mut rng = seeded_rng(33 + ones);
+        let rep = sim.measure_stabilization_batched(&expected, 4_000_000, &mut rng);
+        assert!(rep.converged(), "parity of {ones} ones must be {expected}");
+    }
+}
+
+#[test]
+fn batched_leader_election_leaves_one_leader() {
+    let n = 1_024u64;
+    let mut sim = Simulation::from_counts(LeaderElection, [((), n)]);
+    let mut rng = seeded_rng(34);
+    // Pairwise elimination takes ≈ n² interactions in expectation; 10n²
+    // leaves the failure probability of the exponential tail negligible.
+    sim.run_batched(10 * n * n, &mut rng);
+    assert_eq!(sim.count_of_state(&true), 1, "exactly one leader survives");
+    assert_eq!(sim.population(), n);
+    // n − 1 duels each retire one leader; every other meeting is a no-op.
+    assert_eq!(sim.effective_steps(), n - 1);
+}
+
+#[test]
+fn batched_run_with_probe_sees_every_interaction() {
+    let mut sim = Simulation::from_counts(majority(), [(0usize, 300), (1usize, 700)])
+        .with_probe(MetricsProbe::new());
+    let mut rng = seeded_rng(35);
+    sim.run_batched(100_000, &mut rng);
+    assert_eq!(sim.probe().interactions(), 100_000);
+    assert_eq!(sim.probe().effective_interactions(), sim.effective_steps());
+}

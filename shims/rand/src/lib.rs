@@ -93,6 +93,14 @@ pub trait Rng: RngCore {
         assert!((0.0..=1.0).contains(&p), "gen_bool probability {p} not in [0, 1]");
         unit_f64(self.next_u64()) < p
     }
+
+    /// Uniform `f64` in `[0, 1)` with 53-bit precision — the
+    /// `rng.gen::<f64>()` of the real `rand`. One word of the stream per
+    /// call, so inversion samplers cost exactly one RNG draw.
+    #[inline]
+    fn gen_f64(&mut self) -> f64 {
+        unit_f64(self.next_u64())
+    }
 }
 
 impl<R: RngCore + ?Sized> Rng for R {}
@@ -329,6 +337,20 @@ mod tests {
         assert!((rate - 0.3).abs() < 0.01, "rate {rate}");
         assert!(!rng.gen_bool(0.0));
         assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn gen_f64_unit_interval_and_uniform() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let trials = 100_000;
+        let mut sum = 0.0;
+        for _ in 0..trials {
+            let v = rng.gen_f64();
+            assert!((0.0..1.0).contains(&v), "gen_f64 out of [0,1): {v}");
+            sum += v;
+        }
+        let mean = sum / f64::from(trials);
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
     }
 
     #[test]
