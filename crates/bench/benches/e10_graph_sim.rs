@@ -7,6 +7,7 @@
 //! quantify the price of generality.
 
 use pp_bench::{fmt, mean, print_header};
+use pp_core::ensemble::Ensemble;
 use pp_core::{seeded_rng, AgentSimulation, Simulation};
 use pp_graphs as graphs;
 use pp_protocols::{majority, GraphSimulator};
@@ -21,18 +22,21 @@ fn main() {
     let inputs: Vec<usize> = (0..n).map(|i| usize::from(i < ones)).collect();
     let trials = if pp_bench::smoke() { 3u64 } else { 30u64 };
 
-    // Baseline: bare protocol on the complete graph.
-    let mut base_times = Vec::new();
-    for seed in 0..trials {
-        let mut sim = Simulation::from_counts(
-            majority(),
-            [(0usize, (n - ones) as u64), (1usize, ones as u64)],
-        );
-        let mut rng = seeded_rng(seed);
-        let rep = sim.measure_stabilization(&expected, 400_000, &mut rng);
-        base_times.push(rep.stabilized_at.expect("stabilizes") as f64);
-    }
-    let base = mean(&base_times);
+    // Baseline: bare protocol on the complete graph. Trials run on the
+    // ensemble executor; offset seeding keeps trial `i` on the former
+    // `seeded_rng(i)` stream so the means are unchanged.
+    let base_report = Ensemble::new(trials, 0).legacy_offset_seeds().measure_stabilization(
+        |_trial| {
+            Simulation::from_counts(
+                majority(),
+                [(0usize, (n - ones) as u64), (1usize, ones as u64)],
+            )
+        },
+        &expected,
+        400_000,
+    );
+    assert_eq!(base_report.converged(), trials, "baseline stabilizes");
+    let base = mean(&base_report.values());
     println!(
         "{:>16} {:>6} {:>5} {:>14} {:>10}",
         "bare (complete)",
@@ -51,18 +55,19 @@ fn main() {
         ("A' random(0.3)", graphs::erdos_renyi_connected(n, 0.3, &mut rng0)),
     ];
     for (name, g) in cases {
-        let mut times = Vec::new();
-        for seed in 0..trials {
-            let mut sim = AgentSimulation::from_inputs(
-                GraphSimulator::new(majority()),
-                &inputs,
-                g.scheduler(),
-            );
-            let mut rng = seeded_rng(1000 + seed);
-            let rep = sim.measure_stabilization(&expected, 4_000_000, &mut rng);
-            times.push(rep.stabilized_at.expect("stabilizes") as f64);
-        }
-        let m = mean(&times);
+        let report = Ensemble::new(trials, 1000).legacy_offset_seeds().measure_stabilization_agents(
+            |_trial| {
+                AgentSimulation::from_inputs(
+                    GraphSimulator::new(majority()),
+                    &inputs,
+                    g.scheduler(),
+                )
+            },
+            &expected,
+            4_000_000,
+        );
+        assert_eq!(report.converged(), trials, "{name} stabilizes");
+        let m = mean(&report.values());
         println!(
             "{:>16} {:>6} {:>5} {:>14} {:>10}",
             name,

@@ -12,7 +12,8 @@
 
 use pp_analysis::MarkovAnalysis;
 use pp_bench::{fit_exponent, fmt, mean, print_header};
-use pp_core::{seeded_rng, Simulation};
+use pp_core::ensemble::Ensemble;
+use pp_core::Simulation;
 use pp_protocols::ext::ApproximateMajority;
 use pp_protocols::majority;
 
@@ -29,21 +30,22 @@ fn main() {
         let ones = n * 3 / 5;
         let zeros = n - ones;
         let trials = if pp_bench::smoke() { 5 } else { (200_000 / (n * n)).clamp(10, 60) };
-        let mut ex = Vec::new();
-        let mut ap = Vec::new();
-        for seed in 0..trials {
+        // Both protocols share trial `i`'s RNG stream (exact first, then
+        // approximate, exactly as the former sequential loop did); the
+        // ensemble runs whole trials in parallel with offset seeding, so
+        // the printed means are unchanged at any thread count.
+        let outcomes = Ensemble::new(trials, 0).legacy_offset_seeds().map(|_trial, rng| {
             let mut sim = Simulation::from_counts(majority(), [(0usize, zeros), (1usize, ones)]);
-            let mut rng = seeded_rng(seed);
-            let rep = sim.measure_stabilization(&true, 2000 * n * n, &mut rng);
-            ex.push(rep.stabilized_at.expect("exact converges") as f64);
+            let rep = sim.measure_stabilization(&true, 2000 * n * n, rng);
+            let exact = rep.stabilized_at.expect("exact converges") as f64;
 
             let mut sim =
                 Simulation::from_counts(ApproximateMajority, [(false, zeros), (true, ones)]);
-            let rep = sim.measure_stabilization(&true, 2000 * n * n, &mut rng);
-            if let Some(t) = rep.stabilized_at {
-                ap.push(t as f64);
-            }
-        }
+            let rep = sim.measure_stabilization(&true, 2000 * n * n, rng);
+            (exact, rep.stabilized_at.map(|t| t as f64))
+        });
+        let ex: Vec<f64> = outcomes.iter().map(|&(e, _)| e).collect();
+        let ap: Vec<f64> = outcomes.iter().filter_map(|&(_, a)| a).collect();
         let (e, a) = (mean(&ex), mean(&ap));
         println!("{:>6} {:>12} {:>12} {:>9}", n, fmt(e), fmt(a), fmt(e / a));
         ns.push(n as f64);

@@ -9,7 +9,8 @@
 //! convergence, confirming the finite-energy observation.
 
 use pp_bench::{fmt, mean, print_header};
-use pp_core::{seeded_rng, Simulation};
+use pp_core::ensemble::Ensemble;
+use pp_core::Simulation;
 use pp_protocols::{majority, CountThreshold};
 
 fn main() {
@@ -23,16 +24,16 @@ fn main() {
 
     for &n in n_list {
         let trials = if pp_bench::smoke() { 3 } else { 20 };
-        let mut eff = Vec::new();
-        let mut stab = Vec::new();
-        for seed in 0..trials {
+        // Ensemble-parallel trials; offset seeding keeps trial `i` on the
+        // former `seeded_rng(i)` stream (statistics unchanged).
+        let outcomes = Ensemble::new(trials, 0).legacy_offset_seeds().map(|_trial, rng| {
             let mut sim =
                 Simulation::from_counts(CountThreshold::new(5), [(true, 6), (false, n - 6)]);
-            let mut rng = seeded_rng(seed);
-            let rep = sim.measure_stabilization(&true, 50 * n * n, &mut rng);
-            eff.push(sim.effective_steps() as f64);
-            stab.push(rep.stabilized_at.expect("converges") as f64);
-        }
+            let rep = sim.measure_stabilization(&true, 50 * n * n, rng);
+            (sim.effective_steps() as f64, rep.stabilized_at.expect("converges") as f64)
+        });
+        let eff: Vec<f64> = outcomes.iter().map(|&(e, _)| e).collect();
+        let stab: Vec<f64> = outcomes.iter().map(|&(_, s)| s).collect();
         println!(
             "{:>12} {:>6} {:>12} {:>11} {:>8} {:>11}",
             "count-to-5",
@@ -46,16 +47,14 @@ fn main() {
     println!();
     for &n in n_list {
         let trials = if pp_bench::smoke() { 3 } else { 20 };
-        let mut eff = Vec::new();
-        let mut stab = Vec::new();
-        for seed in 0..trials {
+        let outcomes = Ensemble::new(trials, 0).legacy_offset_seeds().map(|_trial, rng| {
             let mut sim =
                 Simulation::from_counts(majority(), [(0usize, n / 2 - 1), (1usize, n / 2 + 1)]);
-            let mut rng = seeded_rng(seed);
-            let rep = sim.measure_stabilization(&true, 50 * n * n, &mut rng);
-            eff.push(sim.effective_steps() as f64);
-            stab.push(rep.stabilized_at.expect("converges") as f64);
-        }
+            let rep = sim.measure_stabilization(&true, 50 * n * n, rng);
+            (sim.effective_steps() as f64, rep.stabilized_at.expect("converges") as f64)
+        });
+        let eff: Vec<f64> = outcomes.iter().map(|&(e, _)| e).collect();
+        let stab: Vec<f64> = outcomes.iter().map(|&(_, s)| s).collect();
         println!(
             "{:>12} {:>6} {:>12} {:>11} {:>8} {:>11}",
             "majority",

@@ -8,7 +8,8 @@
 //! interactions), for an epidemic and for majority.
 
 use pp_bench::{fmt, mean, print_header};
-use pp_core::{seeded_rng, FnProtocol, Protocol, Simulation};
+use pp_core::ensemble::Ensemble;
+use pp_core::{FnProtocol, Protocol, Simulation};
 use pp_protocols::majority;
 
 fn epidemic() -> impl Protocol<State = bool, Input = bool, Output = bool> + Clone {
@@ -23,25 +24,28 @@ fn row<P: Protocol<Output = bool> + Clone>(
     label: &str,
     n: u64,
     horizon: u64,
-    mk: impl Fn() -> Simulation<P>,
+    mk: impl Fn() -> Simulation<P> + Sync,
     expected: bool,
 ) {
     let trials = if pp_bench::smoke() { 3u64 } else { 30u64 };
-    let mut seq = Vec::new();
-    let mut par = Vec::new();
-    for seed in 0..trials {
+    // Each trial measures both clocks on one RNG stream (sequential first,
+    // then rounds — the order the former loop used); the ensemble runs
+    // trials in parallel with offset seeding, so the printed means match
+    // the old sequential loop at any thread count.
+    let outcomes = Ensemble::new(trials, 0).legacy_offset_seeds().map(|_trial, rng| {
         let mut sim = mk();
-        let mut rng = seeded_rng(seed);
-        let rep = sim.measure_stabilization(&expected, horizon, &mut rng);
-        seq.push(rep.stabilized_at.expect("sequential converges") as f64);
+        let rep = sim.measure_stabilization(&expected, horizon, rng);
+        let seq = rep.stabilized_at.expect("sequential converges") as f64;
 
         let mut sim = mk();
         let max_rounds = 40 * n * (64 - n.leading_zeros() as u64);
         let rounds = sim
-            .measure_stabilization_parallel(&expected, max_rounds, &mut rng)
-            .expect("parallel converges");
-        par.push(rounds as f64);
-    }
+            .measure_stabilization_rounds(&expected, max_rounds, rng)
+            .expect("rounds-clock converges");
+        (seq, rounds as f64)
+    });
+    let seq: Vec<f64> = outcomes.iter().map(|&(s, _)| s).collect();
+    let par: Vec<f64> = outcomes.iter().map(|&(_, r)| r).collect();
     let seq_per_n = mean(&seq) / n as f64;
     let rounds = mean(&par);
     // One round performs n/2 interactions, so rounds ≈ 2·interactions/n if

@@ -18,8 +18,9 @@
 //! The sweep is also emitted as `BENCH_e17_fault_recovery.json`.
 
 use pp_bench::{fmt, mean, print_header, BenchReport};
+use pp_core::ensemble::Ensemble;
 use pp_core::faults::TransientCorruption;
-use pp_core::{seeded_rng, Protocol, Simulation};
+use pp_core::{Protocol, Simulation};
 use pp_protocols::ext::{ApproximateMajority, Opinion};
 use pp_protocols::majority;
 
@@ -65,11 +66,9 @@ impl Params {
 fn main() {
     let p = Params::get();
     let (n, ones) = (p.n, p.ones);
+    // `threads` and `wall_s` land in the report header automatically.
     let mut report = BenchReport::new("e17_fault_recovery");
-    report
-        .set_meta("n", n)
-        .set_meta("ones", ones)
-        .set_meta("trials", p.trials);
+    report.set_meta("n", n).set_meta("ones", ones).set_meta("trials", p.trials);
 
     println!("\nE17: recovery time vs corruption fraction (n = {n}, {ones} one-votes)");
     println!("burst: ⌈φn⌉ agents rewritten adversarially after stabilization\n");
@@ -125,8 +124,11 @@ fn main() {
     report.write();
 }
 
-/// Runs `trials` faulted runs; returns (recovery rate, mean recovery time
-/// over the recovering trials).
+/// Runs `trials` faulted runs through the multi-threaded ensemble executor
+/// (`PP_THREADS` workers; trial `i` keeps the legacy `seeded_rng(i)`
+/// stream, so the sweep's statistics are byte-identical to the former
+/// sequential loop); returns (recovery rate, mean recovery time over the
+/// recovering trials).
 fn sweep<P, F>(
     params: &Params,
     make: F,
@@ -135,21 +137,11 @@ fn sweep<P, F>(
 ) -> (f64, f64)
 where
     P: Protocol<Output = bool>,
-    P::State: Clone,
-    F: Fn() -> Simulation<P>,
+    P::State: Clone + Sync,
+    F: Fn() -> Simulation<P> + Sync,
 {
-    let mut recovered = 0u64;
-    let mut times = Vec::new();
-    for seed in 0..params.trials {
-        let mut sim = make();
-        let mut plan = plan.clone();
-        let mut rng = seeded_rng(seed);
-        let rep = sim.run_with_faults(&mut plan, &true, horizon, &mut rng);
-        let last = rep.final_segment();
-        if last.recovered() {
-            recovered += 1;
-            times.push(last.recovery_time().unwrap() as f64);
-        }
-    }
-    (recovered as f64 / params.trials as f64, mean(&times))
+    let rep = Ensemble::new(params.trials, 0)
+        .legacy_offset_seeds()
+        .run_with_faults(|_trial| (make(), plan.clone()), &true, horizon);
+    (rep.recovery_rate(), mean(&rep.final_recovery_times()))
 }

@@ -7,6 +7,7 @@
 //! unrest phase.
 
 use pp_bench::{fit_exponent, fmt, mean, print_header};
+use pp_core::ensemble::Ensemble;
 use pp_core::{seeded_rng, Simulation};
 use pp_protocols::LeaderElection;
 use pp_random::TimerLeaderElection;
@@ -24,14 +25,14 @@ fn main() {
         if pp_bench::smoke() { &[8, 16] } else { &[8, 16, 32, 64, 128, 256] };
     for &n in n_list {
         let trials = if pp_bench::smoke() { 5 } else { (200_000 / (n * n)).clamp(20, 400) };
-        let mut times = Vec::new();
-        for seed in 0..trials {
+        // Multi-threaded trials; legacy offset seeding keeps trial `i` on
+        // the former `seeded_rng(1000 + i)` stream, so the printed means
+        // match the old sequential loop byte-for-byte at any thread count.
+        let times = Ensemble::new(trials, 1000).legacy_offset_seeds().map(|_trial, rng| {
             let mut sim = Simulation::from_counts(LeaderElection, [((), n)]);
-            let mut rng = seeded_rng(1000 + seed);
-            let t = LeaderElection::run_until_unique(&mut sim, u64::MAX, &mut rng)
-                .expect("always converges");
-            times.push(t as f64);
-        }
+            LeaderElection::run_until_unique(&mut sim, u64::MAX, rng)
+                .expect("always converges") as f64
+        });
         let measured = mean(&times);
         let expect = ((n - 1) * (n - 1)) as f64;
 

@@ -1,4 +1,4 @@
-//! Shared helpers for the experiment harnesses (benches `e1`–`e18`).
+//! Shared helpers for the experiment harnesses (benches `e1`–`e20`).
 //!
 //! Each `benches/eN_*.rs` target regenerates one quantitative claim of
 //! Angluin et al. (PODC 2004), printing a paper-vs-measured table; see

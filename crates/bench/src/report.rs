@@ -7,9 +7,15 @@
 //!
 //! ```json
 //! {"schema":"pp-bench/v1","experiment":"e12_throughput","unix_time":1754300000,
-//!  "meta":{"smoke":false},
+//!  "meta":{"smoke":false,"threads":8,"wall_s":12.34},
 //!  "rows":[{"case":"majority_step","n":1000,"ns_per_step":12.5}]}
 //! ```
+//!
+//! Every report header records `threads` (the worker-thread count ensemble
+//! runs resolve from the environment, see
+//! [`pp_core::ensemble::default_threads`]) and `wall_s` (wall-clock seconds
+//! from report construction to serialization) automatically; a bench may
+//! override either with [`BenchReport::set_meta`].
 //!
 //! Files land in the workspace root (override with `PP_BENCH_DIR`). Under
 //! `PP_BENCH_SMOKE=1` ([`smoke`]) reports are still assembled — so the
@@ -18,7 +24,7 @@
 
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
-use std::time::{SystemTime, UNIX_EPOCH};
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
 /// Whether this bench run is a CI smoke run (`PP_BENCH_SMOKE` set to
 /// anything but `0` or the empty string): populations and trial counts
@@ -168,15 +174,24 @@ pub struct BenchReport {
     experiment: String,
     meta: Vec<(String, Value)>,
     rows: Vec<Vec<(String, Value)>>,
+    started: Option<Instant>,
 }
 
 impl BenchReport {
     /// A new report for `experiment` (e.g. `"e12_throughput"`); the
     /// experiment name becomes the `BENCH_<experiment>.json` file name.
-    /// Smoke mode is recorded in the metadata automatically.
+    /// Smoke mode and the resolved ensemble thread count are recorded in
+    /// the metadata automatically; wall-clock time since this call is
+    /// recorded at serialization.
     pub fn new(experiment: &str) -> Self {
-        let mut r = Self { experiment: experiment.to_owned(), meta: Vec::new(), rows: Vec::new() };
+        let mut r = Self {
+            experiment: experiment.to_owned(),
+            meta: Vec::new(),
+            rows: Vec::new(),
+            started: Some(Instant::now()),
+        };
         r.set_meta("smoke", smoke());
+        r.set_meta("threads", pp_core::ensemble::default_threads());
         r
     }
 
@@ -222,7 +237,13 @@ impl BenchReport {
         out.push_str("{\"schema\":\"pp-bench/v1\",\"experiment\":");
         push_json_str(&mut out, &self.experiment);
         let _ = write!(out, ",\"unix_time\":{unix_time},\"meta\":");
-        push_json_object(&mut out, &self.meta);
+        let mut meta = self.meta.clone();
+        if let Some(t0) = self.started {
+            if !meta.iter().any(|(k, _)| k == "wall_s") {
+                meta.push(("wall_s".to_owned(), Value::F64(t0.elapsed().as_secs_f64())));
+            }
+        }
+        push_json_object(&mut out, &meta);
         out.push_str(",\"rows\":[");
         for (i, row) in self.rows.iter().enumerate() {
             if i > 0 {
@@ -285,6 +306,21 @@ mod tests {
         assert!(json.contains("{\"case\":\"slow\",\"ns\":null}"), "NaN must map to null");
         assert_eq!(r.len(), 2);
         assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn header_records_threads_and_wall_clock() {
+        let r = BenchReport::new("e0_header");
+        let json = r.to_json();
+        assert!(json.contains("\"threads\":"), "{json}");
+        assert!(json.contains("\"wall_s\":"), "{json}");
+
+        // An explicit wall_s wins over the automatic one.
+        let mut r = BenchReport::new("e0_header");
+        r.set_meta("wall_s", 42.0);
+        let json = r.to_json();
+        assert!(json.contains("\"wall_s\":42"), "{json}");
+        assert_eq!(json.matches("\"wall_s\":").count(), 1);
     }
 
     #[test]

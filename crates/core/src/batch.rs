@@ -10,6 +10,13 @@
 //! where the mean-field regime (Bournez et al.) and the fast-simulation
 //! regime (Kosowski–Uznański) live.
 //!
+//! Batching speeds up **one** trajectory; it is orthogonal both to the
+//! paper's parallel-*time* rounds (§3.2, see
+//! [`Simulation::measure_stabilization_rounds`](crate::engine::Simulation::measure_stabilization_rounds))
+//! and to thread-level Monte Carlo over independent trials
+//! ([`crate::ensemble`], which composes with this module via
+//! [`Ensemble::measure_stabilization_batched`](crate::ensemble::Ensemble::measure_stabilization_batched)).
+//!
 //! # Exactness
 //!
 //! [`Simulation::run_batched`] is distributed **identically** to the same

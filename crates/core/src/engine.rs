@@ -23,6 +23,17 @@
 //! function computation where the stable output is not known a priori,
 //! [`run_until_silent`](Simulation::run_until_silent) instead records the
 //! last change of the output multiset.
+//!
+//! # Parallel time vs. parallel threads
+//!
+//! The paper's "parallel time" (§3.2) counts `n` interactions as one time
+//! unit; [`measure_stabilization_rounds`](Simulation::measure_stabilization_rounds)
+//! measures it in matching rounds. That is a *modelling* notion. Two other
+//! axes of this crate sound similar but are orthogonal: [`crate::batch`]
+//! executes one trajectory faster (exact batched sampling, still a single
+//! sequential process), and [`crate::ensemble`] runs many independent
+//! trials on OS threads (Monte Carlo throughput, each trial still
+//! sequential).
 
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
@@ -761,10 +772,17 @@ impl<P: Protocol, Pr: Probe> Simulation<P, Pr> {
         None
     }
 
-    /// Runs parallel rounds until every agent outputs `expected` and keeps
-    /// doing so through `max_rounds`; returns the first round after which
-    /// the output was continuously correct, or `None`.
-    pub fn measure_stabilization_parallel(
+    /// Runs matching rounds ([`parallel_round`](Self::parallel_round))
+    /// until every agent outputs `expected` and keeps doing so through
+    /// `max_rounds`; returns the first round after which the output was
+    /// continuously correct, or `None`.
+    ///
+    /// "Rounds" here measure the **paper's parallel time** (§3.2: `n`
+    /// interactions ≈ one time unit; a round matches each agent once) — a
+    /// modelling notion, not thread-level parallelism. For running many
+    /// independent trials across OS threads see [`crate::ensemble`].
+    #[doc(alias = "measure_stabilization_parallel")]
+    pub fn measure_stabilization_rounds(
         &mut self,
         expected: &P::Output,
         max_rounds: u64,
@@ -786,6 +804,23 @@ impl<P: Protocol, Pr: Probe> Simulation<P, Pr> {
         } else {
             Some(last_wrong.map_or(0, |r| r + 1))
         }
+    }
+
+    /// Deprecated name of
+    /// [`measure_stabilization_rounds`](Self::measure_stabilization_rounds).
+    #[deprecated(
+        since = "0.1.0",
+        note = "renamed to `measure_stabilization_rounds`: \"parallel\" meant the \
+                paper's parallel-time rounds (§3.2), not thread-level parallelism \
+                (for that, see `pp_core::ensemble`)"
+    )]
+    pub fn measure_stabilization_parallel(
+        &mut self,
+        expected: &P::Output,
+        max_rounds: u64,
+        rng: &mut impl Rng,
+    ) -> Option<u64> {
+        self.measure_stabilization_rounds(expected, max_rounds, rng)
     }
 }
 
@@ -1398,7 +1433,7 @@ mod tests {
         let mut sim = Simulation::from_counts(epidemic(), [(true, 1), (false, n - 1)]);
         let mut rng = seeded_rng(15);
         let rounds = sim
-            .measure_stabilization_parallel(&true, 200, &mut rng)
+            .measure_stabilization_rounds(&true, 200, &mut rng)
             .expect("epidemic converges");
         assert!(rounds >= 10, "needs at least log2(n) rounds, got {rounds}");
         assert!(rounds <= 60, "should be O(log n) rounds, got {rounds}");

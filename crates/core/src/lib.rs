@@ -69,6 +69,7 @@ pub mod batch;
 pub mod config;
 pub mod convention;
 pub mod engine;
+pub mod ensemble;
 pub mod error;
 pub mod faults;
 pub mod fxhash;
@@ -85,14 +86,18 @@ pub mod prelude {
     pub use crate::engine::{
         seeded_rng, AgentSimulation, Simulation, StabilizationReport, StepTransition,
     };
+    pub use crate::ensemble::{
+        split_seed, Ensemble, EnsembleReport, FaultEnsembleReport, LogHistogram, SeedMode,
+        TrialSummary, Welford,
+    };
     pub use crate::error::PopulationError;
     pub use crate::faults::{
         Churn, CorruptionMode, CrashFaults, FaultCtx, FaultPlan, FaultRunReport,
         InteractionDrop, RecoveryReport, TransientCorruption,
     };
     pub use crate::observe::{
-        BatchEvent, BatchPair, ConvergenceProbe, InteractionEvent, JsonlSink, MetricsProbe,
-        NoProbe, Probe, Snapshot, TimingProbe, TrajectoryProbe,
+        BatchEvent, BatchPair, ConvergenceProbe, InteractionEvent, JsonlSink, MergeProbe,
+        MetricsProbe, NoProbe, Probe, Snapshot, TimingProbe, TrajectoryProbe,
     };
     pub use crate::protocol::{FnProtocol, Protocol};
     pub use crate::registry::{DenseRuntime, OutputId, StateId};
@@ -101,14 +106,18 @@ pub mod prelude {
 
 pub use config::{AgentConfig, CanonicalConfig, CountConfig};
 pub use engine::{seeded_rng, AgentSimulation, Simulation, StabilizationReport, StepTransition};
+pub use ensemble::{
+    split_seed, Ensemble, EnsembleReport, FaultEnsembleReport, LogHistogram, SeedMode,
+    TrialSummary, Welford,
+};
 pub use error::PopulationError;
 pub use faults::{
     Churn, CorruptionMode, CrashFaults, FaultCtx, FaultPlan, FaultRunReport,
     InteractionDrop, RecoveryReport, TransientCorruption,
 };
 pub use observe::{
-    BatchEvent, BatchPair, ConvergenceProbe, InteractionEvent, JsonlSink, MetricsProbe,
-    NoProbe, Probe, Snapshot, TimingProbe, TrajectoryProbe,
+    BatchEvent, BatchPair, ConvergenceProbe, InteractionEvent, JsonlSink, MergeProbe,
+    MetricsProbe, NoProbe, Probe, Snapshot, TimingProbe, TrajectoryProbe,
 };
 pub use protocol::{FnProtocol, Protocol};
 pub use registry::{DenseRuntime, OutputId, StateId};

@@ -312,6 +312,34 @@ impl<Pr: Probe> Probe for &mut Pr {
 }
 
 // ---------------------------------------------------------------------------
+// MergeProbe
+// ---------------------------------------------------------------------------
+
+/// Probes whose observations from *independent trials* can be combined into
+/// one aggregate — the contract [`crate::ensemble`] needs to merge each
+/// worker's per-trial probes at join.
+///
+/// The ensemble folds probes in ascending trial order, so even a merge that
+/// is order-sensitive in floating point yields thread-count-independent
+/// results; implementations only need `merge` to be deterministic.
+pub trait MergeProbe: Probe + Sized {
+    /// Absorbs `other`'s observations (from an independent trial) into
+    /// `self`.
+    fn merge(&mut self, other: Self);
+}
+
+impl MergeProbe for NoProbe {
+    fn merge(&mut self, _other: Self) {}
+}
+
+impl<A: MergeProbe, B: MergeProbe> MergeProbe for (A, B) {
+    fn merge(&mut self, other: Self) {
+        self.0.merge(other.0);
+        self.1.merge(other.1);
+    }
+}
+
+// ---------------------------------------------------------------------------
 // MetricsProbe
 // ---------------------------------------------------------------------------
 
@@ -482,6 +510,45 @@ impl Probe for MetricsProbe {
         self.fault_bursts += 1;
         self.faults_injected += injected;
         self.resync(snap);
+    }
+}
+
+impl MergeProbe for MetricsProbe {
+    /// Counters and rule firings sum; occupancy integrals sum per state;
+    /// observation spans concatenate, so [`mean_occupancy`](Self::mean_occupancy)
+    /// becomes the trial-weighted mean. The merged probe is an aggregate of
+    /// several populations, not a live view of one — re-attaching it resets
+    /// it (`on_attach` re-anchors the window), which is the intended
+    /// behaviour.
+    fn merge(&mut self, other: Self) {
+        let states = self
+            .occupancy
+            .len()
+            .max(self.integral.len())
+            .max(other.occupancy.len())
+            .max(other.integral.len());
+        // Flush both lazily-accrued integrals, then sum per state.
+        let merged: Vec<u128> = (0..states)
+            .map(|i| {
+                let s = StateId(i as u32);
+                self.occupancy_integral(s) + other.occupancy_integral(s)
+            })
+            .collect();
+        let span =
+            (self.last_step - self.start_step) + (other.last_step - other.start_step);
+        self.integral = merged;
+        self.occupancy = vec![0; states];
+        self.last_accrual = vec![span; states];
+        self.start_step = 0;
+        self.last_step = span;
+        self.interactions += other.interactions;
+        self.effective += other.effective;
+        self.output_changes += other.output_changes;
+        self.fault_bursts += other.fault_bursts;
+        self.faults_injected += other.faults_injected;
+        for (rule, count) in other.rule_firings {
+            *self.rule_firings.entry(rule).or_insert(0) += count;
+        }
     }
 }
 

@@ -176,11 +176,29 @@ impl PairSampler for RoundRobinScheduler {
 /// The paper conjectures that, with reasonable restrictions on the weights,
 /// weighted sampling yields the same computational power as uniform
 /// sampling; experiment E15 compares convergence behavior empirically.
+///
+/// Drawing uses a Walker alias table built once in the constructor, so each
+/// draw costs `O(1)` — one uniform index plus one biased coin — instead of
+/// a linear CDF scan. The responder (which must differ from the initiator)
+/// is drawn by rejection against the same table; since the initiator's
+/// weight share is at most that of the heaviest agent, the expected number
+/// of rejections is bounded by `1 / (1 − w_max/W)`, and a bounded retry
+/// budget falls back to an exact weighted scan over the remaining agents.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WeightedPairScheduler {
     weights: Vec<f64>,
     total: f64,
+    /// Alias-table acceptance probability of bucket `i` (Walker/Vose).
+    prob: Vec<f64>,
+    /// Alias-table donor index of bucket `i`.
+    alias: Vec<u32>,
 }
+
+/// Rejection budget for the responder draw before falling back to the exact
+/// weighted scan. With any sane weight profile a handful suffices; the
+/// fallback keeps pathological profiles (one agent carrying almost all the
+/// weight) correct rather than slow-looping.
+const MAX_RESPONDER_REJECTS: u32 = 64;
 
 impl WeightedPairScheduler {
     /// Creates a sampler with one positive weight per agent.
@@ -194,8 +212,9 @@ impl WeightedPairScheduler {
         for &w in &weights {
             assert!(w.is_finite() && w > 0.0, "weights must be finite and positive");
         }
-        let total = weights.iter().sum();
-        Self { weights, total }
+        let total: f64 = weights.iter().sum();
+        let (prob, alias) = build_alias_table(&weights, total);
+        Self { weights, total, prob, alias }
     }
 
     /// The agent weights.
@@ -203,14 +222,25 @@ impl WeightedPairScheduler {
         &self.weights
     }
 
-    fn draw(&self, rng: &mut dyn RngCore, skip: Option<usize>) -> u32 {
-        let total = match skip {
-            Some(i) => self.total - self.weights[i],
-            None => self.total,
-        };
+    /// One `O(1)` draw from the alias table: pick a bucket uniformly, then
+    /// accept it or take its alias.
+    fn draw_alias(&self, rng: &mut dyn RngCore) -> u32 {
+        let n = self.weights.len();
+        let i = rng.gen_range(0..n);
+        if rng.gen_f64() < self.prob[i] {
+            i as u32
+        } else {
+            self.alias[i]
+        }
+    }
+
+    /// Exact weighted draw over all agents except `skip` — the rejection
+    /// fallback, and the reference law the alias path must match.
+    fn draw_scan(&self, rng: &mut dyn RngCore, skip: usize) -> u32 {
+        let total = self.total - self.weights[skip];
         let mut x = rng.gen_range(0.0..total);
         for (i, &w) in self.weights.iter().enumerate() {
-            if Some(i) == skip {
+            if i == skip {
                 continue;
             }
             if x < w {
@@ -221,16 +251,57 @@ impl WeightedPairScheduler {
         // Floating-point slack: return the last eligible agent.
         (0..self.weights.len())
             .rev()
-            .find(|&i| Some(i) != skip)
+            .find(|&i| i != skip)
             .expect("at least two agents") as u32
     }
 }
 
+/// Builds a Walker/Vose alias table for the distribution `weights / total`:
+/// buckets with below-average weight are topped up by an above-average
+/// donor, giving `P(i) = (prob[i] + Σ_{j: alias[j]=i} (1 − prob[j])) / n`.
+fn build_alias_table(weights: &[f64], total: f64) -> (Vec<f64>, Vec<u32>) {
+    let n = weights.len();
+    let mut prob = vec![0.0f64; n];
+    let mut alias: Vec<u32> = (0..n as u32).collect();
+    // Scaled weights: mean 1 per bucket.
+    let mut scaled: Vec<f64> = weights.iter().map(|&w| w * n as f64 / total).collect();
+    let mut small: Vec<usize> = (0..n).filter(|&i| scaled[i] < 1.0).collect();
+    let mut large: Vec<usize> = (0..n).filter(|&i| scaled[i] >= 1.0).collect();
+    while let Some(s) = small.pop() {
+        let Some(l) = large.pop() else {
+            // Floating-point slack only: an under-full bucket with no donor
+            // left keeps full mass.
+            prob[s] = 1.0;
+            continue;
+        };
+        prob[s] = scaled[s];
+        alias[s] = l as u32;
+        // The donor gave away 1 − scaled[s] of its mass.
+        scaled[l] -= 1.0 - scaled[s];
+        if scaled[l] < 1.0 {
+            small.push(l);
+        } else {
+            large.push(l);
+        }
+    }
+    // Leftover donors keep full mass.
+    for i in large {
+        prob[i] = 1.0;
+    }
+    (prob, alias)
+}
+
 impl PairSampler for WeightedPairScheduler {
     fn sample(&mut self, rng: &mut dyn RngCore) -> (u32, u32) {
-        let u = self.draw(rng, None);
-        let v = self.draw(rng, Some(u as usize));
-        (u, v)
+        let u = self.draw_alias(rng);
+        // Responder: same marginal as a weighted draw excluding `u`.
+        for _ in 0..MAX_RESPONDER_REJECTS {
+            let v = self.draw_alias(rng);
+            if v != u {
+                return (u, v);
+            }
+        }
+        (u, self.draw_scan(rng, u as usize))
     }
 
     fn population(&self) -> usize {
@@ -275,6 +346,26 @@ mod tests {
     use super::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+
+    #[test]
+    fn alias_table_encodes_exact_marginals() {
+        // The table's implied law P(i) = (prob[i] + Σ_{j: alias[j]=i}
+        // (1 − prob[j])) / n must equal w_i / W.
+        let weights = vec![8.0, 1.0, 1.0, 1.0, 1.0, 0.5, 3.5];
+        let total: f64 = weights.iter().sum();
+        let (prob, alias) = build_alias_table(&weights, total);
+        let n = weights.len();
+        for (i, &w) in weights.iter().enumerate() {
+            let mut p = prob[i];
+            for j in 0..n {
+                if alias[j] as usize == i && j != i {
+                    p += 1.0 - prob[j];
+                }
+            }
+            let expect = w * n as f64 / total;
+            assert!((p - expect).abs() < 1e-12, "agent {i}: {p} vs {expect}");
+        }
+    }
 
     #[test]
     fn uniform_pairs_are_distinct_and_in_range() {

@@ -114,14 +114,14 @@ proptest! {
         let base = {
             let mut sim = Simulation::from_counts(epidemic(), [(true, 1), (false, n - 1)]);
             let mut rng = seeded_rng(seed);
-            let r = sim.measure_stabilization_parallel(&true, rounds, &mut rng);
+            let r = sim.measure_stabilization_rounds(&true, rounds, &mut rng);
             (r, sim.steps(), sim.effective_steps(), drain(&mut rng))
         };
         let probed = {
             let mut sim = Simulation::from_counts(epidemic(), [(true, 1), (false, n - 1)])
                 .with_probe(MetricsProbe::new());
             let mut rng = seeded_rng(seed);
-            let r = sim.measure_stabilization_parallel(&true, rounds, &mut rng);
+            let r = sim.measure_stabilization_rounds(&true, rounds, &mut rng);
             prop_assert_eq!(sim.probe().interactions(), sim.steps());
             (r, sim.steps(), sim.effective_steps(), drain(&mut rng))
         };

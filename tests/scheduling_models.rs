@@ -30,16 +30,16 @@ fn parallel_rounds_preserve_verdicts() {
     let mut rng = seeded_rng(9);
     // Count-to-5, positive and negative.
     let mut sim = Simulation::from_counts(CountThreshold::new(5), [(true, 6), (false, 30)]);
-    let rounds = sim.measure_stabilization_parallel(&true, 4000, &mut rng);
+    let rounds = sim.measure_stabilization_rounds(&true, 4000, &mut rng);
     assert!(rounds.is_some(), "count-to-5 positive under parallel rounds");
 
     let mut sim = Simulation::from_counts(CountThreshold::new(5), [(true, 4), (false, 32)]);
-    let rounds = sim.measure_stabilization_parallel(&false, 4000, &mut rng);
+    let rounds = sim.measure_stabilization_rounds(&false, 4000, &mut rng);
     assert_eq!(rounds, Some(0), "negative case never alerts");
 
     // Parity under parallel rounds.
     let mut sim = Simulation::from_counts(parity(), [(0usize, 9), (1usize, 7)]);
-    let rounds = sim.measure_stabilization_parallel(&true, 20_000, &mut rng);
+    let rounds = sim.measure_stabilization_rounds(&true, 20_000, &mut rng);
     assert!(rounds.is_some(), "odd parity under parallel rounds");
 }
 
