@@ -41,7 +41,7 @@ use rand::{Rng, RngCore, SeedableRng};
 use crate::batch::BatchScratch;
 use crate::config::{AgentConfig, CountConfig};
 use crate::observe::{InteractionEvent, NoProbe, Probe, Snapshot};
-use crate::protocol::Protocol;
+use crate::protocol::{CoinProtocol, Protocol};
 use crate::registry::{DenseRuntime, OutputId, StateId};
 use crate::scheduler::PairSampler;
 
@@ -63,6 +63,29 @@ pub struct StabilizationReport {
     /// (`0` if the initial configuration already had the expected output);
     /// `None` if the output was still wrong at the end of the horizon.
     pub stabilized_at: Option<u64>,
+}
+
+/// The one shared recovery/convergence predicate: given that `wrong` agents
+/// currently disagree with the expected output and the last interaction (or
+/// slot) index at which any agent disagreed was `last_wrong`, returns the
+/// index at which consensus was (re-)established — `default` if no
+/// disagreement was ever seen — or `None` while disagreement persists.
+///
+/// The `+ 1` encodes the repo-wide convention that an output wrong *after*
+/// interaction `t` becomes correct at the earliest after interaction `t + 1`.
+/// Every stabilization / recovery check in the workspace
+/// ([`Simulation::measure_stabilization`],
+/// [`AgentSimulation::measure_stabilization`],
+/// `ConvergenceProbe::stabilized_at`, and fault-segment closing in
+/// [`faults`](crate::faults)) routes through this helper so the notions can
+/// never drift apart.
+#[inline]
+pub fn consensus_reached(wrong: u64, last_wrong: Option<u64>, default: u64) -> Option<u64> {
+    if wrong > 0 {
+        None
+    } else {
+        Some(last_wrong.map_or(default, |t| t + 1))
+    }
 }
 
 impl StabilizationReport {
@@ -428,6 +451,49 @@ impl<P: Protocol, Pr: Probe> Simulation<P, Pr> {
         self.rt.state(old).clone()
     }
 
+    /// Rewrites the state of one uniformly random agent to `f(old)` — the
+    /// state-*function* form of
+    /// [`corrupt_random_agent`](Self::corrupt_random_agent), used by
+    /// [`CorruptionMode::Targeted`](crate::faults::CorruptionMode) to aim at
+    /// whatever the victim currently is (current leader, current rank, …).
+    /// Returns the state the victim was in.
+    pub fn corrupt_random_agent_with(
+        &mut self,
+        f: impl FnOnce(&P::State) -> P::State,
+        rng: &mut impl Rng,
+    ) -> P::State {
+        let idx = rng.gen_range(0..self.config.population());
+        let old = self.config.state_of_index(idx);
+        let old_state = self.rt.state(old).clone();
+        let new = self.rt.intern(f(&old_state));
+        self.config.remove(old, 1);
+        self.config.ensure_len(new.index() + 1);
+        self.config.add(new, 1);
+        let (oo, on) = (self.rt.output_of(old), self.rt.output_of(new));
+        if oo != on {
+            self.bump_output(oo, -1);
+            self.bump_output(on, 1);
+        }
+        old_state
+    }
+
+    /// Replaces the state of **every** agent: agent `i` (under the canonical
+    /// agent ordering, `0..n`) gets `f(i)`. The adversary of
+    /// self-stabilization ([`AdversarialInit`](crate::faults::AdversarialInit))
+    /// uses this to start a run from an arbitrary configuration; population
+    /// size, step counters, and the RNG stream are untouched.
+    pub fn overwrite_states(&mut self, mut f: impl FnMut(u64) -> P::State) {
+        let n = self.config.population();
+        let mut next = CountConfig::empty();
+        for i in 0..n {
+            let id = self.rt.intern(f(i));
+            next.add(id, 1);
+        }
+        next.ensure_len(self.rt.state_count());
+        self.config = next;
+        self.rebuild_output_counts();
+    }
+
     /// A uniformly random state among those the runtime has interned so far
     /// (every state that has ever been occupied this run). Used by the
     /// uniform corruption fault model.
@@ -561,22 +627,17 @@ impl<P: Protocol, Pr: Probe> Simulation<P, Pr> {
         let n = self.population();
         let oid = self.output_id(expected);
         // `wrong` is recomputed only when the output multiset changes.
-        let mut wrong = self.count_of_output(oid) != n;
-        let mut last_wrong: Option<u64> = if wrong { Some(0) } else { None };
+        let mut wrong = n - self.count_of_output(oid);
+        let mut last_wrong: Option<u64> = if wrong > 0 { Some(0) } else { None };
         for i in 1..=horizon {
             if self.step(rng) {
-                wrong = self.count_of_output(oid) != n;
+                wrong = n - self.count_of_output(oid);
             }
-            if wrong {
+            if wrong > 0 {
                 last_wrong = Some(i);
             }
         }
-        StabilizationReport {
-            horizon,
-            // If the output was wrong after interaction t, it became correct
-            // at the earliest after interaction t+1.
-            stabilized_at: if wrong { None } else { Some(last_wrong.map_or(0, |t| t + 1)) },
-        }
+        StabilizationReport { horizon, stabilized_at: consensus_reached(wrong, last_wrong, 0) }
     }
 
     /// Runs until the output multiset has not changed for `window`
@@ -790,20 +851,16 @@ impl<P: Protocol, Pr: Probe> Simulation<P, Pr> {
     ) -> Option<u64> {
         let n = self.population();
         let oid = self.output_id(expected);
-        let mut wrong = self.count_of_output(oid) != n;
-        let mut last_wrong: Option<u64> = if wrong { Some(0) } else { None };
+        let mut wrong = n - self.count_of_output(oid);
+        let mut last_wrong: Option<u64> = if wrong > 0 { Some(0) } else { None };
         for round in 1..=max_rounds {
             self.parallel_round(rng);
-            wrong = self.count_of_output(oid) != n;
-            if wrong {
+            wrong = n - self.count_of_output(oid);
+            if wrong > 0 {
                 last_wrong = Some(round);
             }
         }
-        if wrong {
-            None
-        } else {
-            Some(last_wrong.map_or(0, |r| r + 1))
-        }
+        consensus_reached(wrong, last_wrong, 0)
     }
 
     /// Deprecated name of
@@ -855,6 +912,9 @@ pub struct AgentSimulation<P: Protocol, S, Pr = NoProbe> {
     effective_steps: u64,
     crashed: Vec<bool>,
     live: usize,
+    /// Per-agent synthesized coin (see [`CoinProtocol`]); `None` until the
+    /// agent's first coined interaction and after adversarial init.
+    coins: Vec<Option<bool>>,
     probe: Pr,
 }
 
@@ -894,6 +954,7 @@ impl<P: Protocol, S: PairSampler> AgentSimulation<P, S> {
             effective_steps: 0,
             crashed: vec![false; n],
             live: n,
+            coins: vec![None; n],
             probe: NoProbe,
         }
     }
@@ -916,6 +977,7 @@ impl<P: Protocol, S: PairSampler, Pr: Probe> AgentSimulation<P, S, Pr> {
             effective_steps: self.effective_steps,
             crashed: self.crashed,
             live: self.live,
+            coins: self.coins,
             probe,
         }
     }
@@ -1137,6 +1199,60 @@ impl<P: Protocol, S: PairSampler, Pr: Probe> AgentSimulation<P, S, Pr> {
         Some(((u, v), (p, q), r))
     }
 
+    /// The current synthesized coin of agent `a` (see [`CoinProtocol`]):
+    /// `None` until the agent's first [`step_coined`](Self::step_coined)
+    /// interaction, and again after
+    /// [`clear_coins`](Self::clear_coins) / adversarial initialization.
+    pub fn coin_of(&self, a: u32) -> Option<bool> {
+        self.coins[a as usize]
+    }
+
+    /// Resets every agent's synthesized coin to `None`. The adversary of
+    /// self-stabilization ([`AdversarialInit`](crate::faults::AdversarialInit))
+    /// calls this so a protocol cannot smuggle clean state through the coin
+    /// side channel.
+    pub fn clear_coins(&mut self) {
+        self.coins.fill(None);
+    }
+
+    /// Like [`step_transitions`](Self::step_transitions) but for a
+    /// [`CoinProtocol`]: both participants' current coins are passed to
+    /// [`delta_coined`](CoinProtocol::delta_coined), then both coins are
+    /// refreshed from the schedule's RNG (initiator first, then responder),
+    /// so each coin is used in at most one interaction.
+    pub fn step_coined(&mut self, rng: &mut impl RngCore) -> Option<StepTransition>
+    where
+        P: CoinProtocol,
+    {
+        let (u, v) = self.sample_live_pair(rng, MAX_PAIR_RESAMPLES)?;
+        let (p, q) = (self.agents.state(u), self.agents.state(v));
+        let coins = (self.coins[u as usize], self.coins[v as usize]);
+        let r = self.rt.transition_coined(p, q, coins);
+        self.agents.apply((u, v), r);
+        self.coins[u as usize] = Some(rng.gen_bool(0.5));
+        self.coins[v as usize] = Some(rng.gen_bool(0.5));
+        self.note_interaction((p, q), r);
+        Some(((u, v), (p, q), r))
+    }
+
+    /// Replaces the state of every **live** agent: live agent number `i` (in
+    /// slot order, counting live agents only) gets `f(i)`. Crashed agents
+    /// keep their (dead) memory. Used by
+    /// [`AdversarialInit`](crate::faults::AdversarialInit); also clears all
+    /// synthesized coins.
+    pub fn overwrite_live_states(&mut self, mut f: impl FnMut(u64) -> P::State) {
+        let mut i = 0u64;
+        for a in 0..self.agents.population() as u32 {
+            if self.crashed[a as usize] {
+                continue;
+            }
+            let id = self.rt.intern(f(i));
+            self.agents.set(a, id);
+            i += 1;
+        }
+        self.clear_coins();
+    }
+
     /// Runs `steps` interactions.
     pub fn run(&mut self, steps: u64, rng: &mut impl RngCore) {
         for _ in 0..steps {
@@ -1218,14 +1334,7 @@ impl<P: Protocol, S: PairSampler, Pr: Probe> AgentSimulation<P, S, Pr> {
                 last_wrong = Some(self.steps - start);
             }
         }
-        StabilizationReport {
-            horizon,
-            stabilized_at: if wrong == 0 {
-                Some(last_wrong.map_or(0, |t| t + 1))
-            } else {
-                None
-            },
-        }
+        StabilizationReport { horizon, stabilized_at: consensus_reached(wrong, last_wrong, 0) }
     }
 }
 

@@ -825,7 +825,7 @@ impl EnsembleReport {
 
 /// Full-precision JSON float (same convention as `pp-bench`): shortest
 /// round-trip representation, `null` for non-finite values.
-fn json_f64(v: f64) -> String {
+pub(crate) fn json_f64(v: f64) -> String {
     if v.is_finite() {
         format!("{v}")
     } else {
@@ -891,6 +891,20 @@ impl FaultEnsembleReport {
             .filter_map(|r| r.final_segment().recovery_time())
             .map(|t| t as f64)
             .collect()
+    }
+
+    /// MTTR summary over the *final* segment of every trial, folded in
+    /// trial order (so the result — and its
+    /// [`to_json`](crate::faults::Mttr::to_json) — is byte-identical at any
+    /// thread count). The final segment is the verdict segment: the stretch
+    /// after the last injection burst, or the whole run for
+    /// adversarial-initialization plans that only damage slot 0.
+    pub fn final_mttr(&self) -> crate::faults::Mttr {
+        let mut m = crate::faults::Mttr::new();
+        for run in &self.runs {
+            m.absorb(run.final_segment());
+        }
+        m
     }
 
     /// Per-segment-index aggregation across trials, folded in trial order.

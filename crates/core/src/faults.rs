@@ -27,6 +27,17 @@
 //!   (initial state, as if just given its input) joins: zebras wander in
 //!   and out of the ZebraNet herd (§2). The population size is preserved so
 //!   the count-based engine's multiset stays well-formed.
+//! * [`AdversarialInit`] — the defining adversary of *self-stabilization*:
+//!   the run does not start from the image of the input function at all but
+//!   from an **arbitrary** configuration the adversary picked (the sensors
+//!   were deployed with stale, scrambled or maliciously chosen memory).
+//!   Unlike the mid-run models above it damages only slot 0, and it may
+//!   rewrite *every* agent. Protocols designed to survive it live in
+//!   `pp-protocols`: the leaderless `phase_clock` module and the coin-driven
+//!   `ranking` module both re-converge from any such start; the paper's
+//!   exact constructions (majority, parity) generally do not — they
+//!   stabilize *wrong*, which [`Mttr`] reports as a zero recovery
+//!   probability with a non-zero residual tail.
 //!
 //! # Measuring recovery
 //!
@@ -66,7 +77,8 @@
 
 use rand::{Rng, RngCore};
 
-use crate::engine::{AgentSimulation, Simulation};
+use crate::engine::{consensus_reached, AgentSimulation, Simulation};
+use crate::ensemble::{json_f64, LogHistogram, Welford};
 use crate::observe::Probe;
 use crate::protocol::Protocol;
 use crate::scheduler::PairSampler;
@@ -86,6 +98,18 @@ pub trait FaultCtx<S> {
 
     /// Rewrites one uniformly random live agent's state to `to`.
     fn corrupt_random(&mut self, to: &S, rng: &mut dyn RngCore);
+
+    /// Rewrites one uniformly random live agent's state to `f(old)` — the
+    /// state-function form of [`corrupt_random`](Self::corrupt_random), so
+    /// [`CorruptionMode::Targeted`] can aim at whatever the victim currently
+    /// holds (demote the current leader, clobber the current rank).
+    fn corrupt_random_with(&mut self, f: fn(&S) -> S, rng: &mut dyn RngCore);
+
+    /// Replaces the state of **every** live agent: live agent `i` (in a
+    /// fixed engine-defined order, `0..live_population`) gets `next(i)`.
+    /// Only [`AdversarialInit`] uses this — per-agent corruption cannot
+    /// guarantee hitting each agent exactly once on the multiset engine.
+    fn overwrite_population(&mut self, next: &mut dyn FnMut(u64) -> S);
 
     /// A uniformly random state among those the run has occupied so far.
     fn random_known_state(&mut self, rng: &mut dyn RngCore) -> S;
@@ -146,6 +170,9 @@ impl<S> FaultPlan<S> for CrashFaults {
 }
 
 /// How [`TransientCorruption`] rewrites a victim's memory.
+// Fn-pointer equality is only used to compare plans built from the same
+// constructor calls (replay bookkeeping), where address identity suffices.
+#[allow(unpredictable_function_pointer_comparisons)]
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CorruptionMode<S> {
     /// Each victim gets an independent uniformly random state among those
@@ -154,6 +181,11 @@ pub enum CorruptionMode<S> {
     /// Every victim is rewritten to this state — the worst-case adversary
     /// of the self-stabilization literature picks the most damaging value.
     SetTo(S),
+    /// Every victim is rewritten to a *function* of its current state, so
+    /// the burst can target what the victim holds right now (e.g. demote
+    /// whoever is currently a leader, or scramble only the rank field). A
+    /// plain `fn` pointer keeps the mode `Clone`/`Eq`/replayable.
+    Targeted(fn(&S) -> S),
 }
 
 /// Transient-corruption model: at each scheduled step, a burst of `k`
@@ -176,6 +208,12 @@ impl<S> TransientCorruption<S> {
         Self { schedule: vec![(step, count)], mode: CorruptionMode::SetTo(state) }
     }
 
+    /// One targeted burst: `count` random agents are rewritten to a
+    /// function of their current state (see [`CorruptionMode::Targeted`]).
+    pub fn targeted_at(step: u64, count: u64, f: fn(&S) -> S) -> Self {
+        Self { schedule: vec![(step, count)], mode: CorruptionMode::Targeted(f) }
+    }
+
     /// Several bursts of `(step, count)` sharing one corruption mode.
     pub fn schedule(bursts: Vec<(u64, u64)>, mode: CorruptionMode<S>) -> Self {
         Self { schedule: bursts, mode }
@@ -191,11 +229,17 @@ impl<S: Clone> FaultPlan<S> for TransientCorruption<S> {
                 continue;
             }
             for _ in 0..k {
-                let to = match &self.mode {
-                    CorruptionMode::UniformKnown => ctx.random_known_state(rng),
-                    CorruptionMode::SetTo(s) => s.clone(),
-                };
-                ctx.corrupt_random(&to, rng);
+                match &self.mode {
+                    CorruptionMode::UniformKnown => {
+                        let to = ctx.random_known_state(rng);
+                        ctx.corrupt_random(&to, rng);
+                    }
+                    CorruptionMode::SetTo(s) => {
+                        let to = s.clone();
+                        ctx.corrupt_random(&to, rng);
+                    }
+                    CorruptionMode::Targeted(f) => ctx.corrupt_random_with(*f, rng),
+                }
                 applied += 1;
             }
         }
@@ -271,6 +315,198 @@ impl<S: Clone> FaultPlan<S> for Churn<S> {
     }
 }
 
+/// How [`AdversarialInit`] picks the arbitrary starting configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdversarialInitMode<S> {
+    /// Each agent independently gets a uniformly random state from the
+    /// given universe — the "scrambled memory" start.
+    UniformRandom(Vec<S>),
+    /// Every agent gets the same state — the single-state flood that kills
+    /// protocols relying on a unique token or leader surviving somewhere.
+    Flood(S),
+    /// The `index`-th multiset of size `n` over the universe, in the
+    /// combinatorial-number-system order used by
+    /// [`enumeration_count`]/[`unrank_multiset`] — with this mode a driver
+    /// can sweep **every** configuration of a small population and make
+    /// "recovers from *any* start" an exhaustive check rather than a
+    /// sampled one.
+    Enumerated {
+        /// The state universe the configuration is drawn over.
+        universe: Vec<S>,
+        /// Rank of the configuration among all
+        /// [`enumeration_count`]`(universe.len(), n)` multisets.
+        index: u128,
+    },
+}
+
+/// The self-stabilization adversary: a [`FaultPlan`] that rewrites the
+/// **entire** population before the first interaction (slot 0) and then
+/// never interferes again. A protocol self-stabilizes against a mode iff
+/// every seeded run started this way reaches its legal configuration.
+///
+/// Distinct from [`TransientCorruption`]: a mid-run burst damages `k`
+/// random victims of a healthy run, while adversarial init controls every
+/// agent and the protocol gets no clean prefix at all. On the agent engine
+/// it also clears all synthesized coins
+/// ([`AgentSimulation::clear_coins`]) so a
+/// [`CoinProtocol`](crate::CoinProtocol) cannot smuggle trusted state
+/// through the coin side channel.
+///
+/// Apply it standalone with
+/// [`Simulation::apply_adversarial_init`] /
+/// [`AgentSimulation::apply_adversarial_init`], or use it as a plan in
+/// `run_with_faults` (it injects `n` faults at slot 0, so the first
+/// [`RecoveryReport`] segment is the degenerate pre-init prefix and the
+/// *final* segment is the recovery verdict — exactly what
+/// [`Mttr`] summarizes).
+///
+/// The protocols designed to beat this adversary live in `pp-protocols`:
+/// the leaderless `phase_clock` module re-synchronizes its hour hands and
+/// the `ranking` module re-derives a permutation of `1..=n` from any of
+/// these modes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdversarialInit<S> {
+    mode: AdversarialInitMode<S>,
+}
+
+impl<S: Clone> AdversarialInit<S> {
+    /// Uniform-random mode over the given non-empty state universe.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `universe` is empty.
+    pub fn uniform_random(universe: Vec<S>) -> Self {
+        assert!(!universe.is_empty(), "adversarial-init universe must be non-empty");
+        Self { mode: AdversarialInitMode::UniformRandom(universe) }
+    }
+
+    /// Flood mode: every agent starts in `state`.
+    pub fn flood(state: S) -> Self {
+        Self { mode: AdversarialInitMode::Flood(state) }
+    }
+
+    /// Worst-case enumeration mode: the `index`-th of all
+    /// [`enumeration_count`]`(universe.len(), n)` starting configurations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `universe` is empty; [`apply`](Self::apply) panics if
+    /// `index` is out of range for the population it meets.
+    pub fn enumerated(universe: Vec<S>, index: u128) -> Self {
+        assert!(!universe.is_empty(), "adversarial-init universe must be non-empty");
+        Self { mode: AdversarialInitMode::Enumerated { universe, index } }
+    }
+
+    /// The configured mode.
+    pub fn mode(&self) -> &AdversarialInitMode<S> {
+        &self.mode
+    }
+
+    /// Rewrites the whole live population through `ctx`; returns the number
+    /// of agents rewritten.
+    pub fn apply(&self, ctx: &mut dyn FaultCtx<S>, rng: &mut dyn RngCore) -> u64 {
+        let n = ctx.live_population();
+        match &self.mode {
+            AdversarialInitMode::Flood(s) => {
+                ctx.overwrite_population(&mut |_| s.clone());
+            }
+            AdversarialInitMode::UniformRandom(universe) => {
+                ctx.overwrite_population(&mut |_| {
+                    universe[rng.gen_range(0..universe.len())].clone()
+                });
+            }
+            AdversarialInitMode::Enumerated { universe, index } => {
+                let counts = unrank_multiset(universe.len(), n, *index);
+                let mut kind = 0usize;
+                let mut left = counts[0];
+                ctx.overwrite_population(&mut |_| {
+                    while left == 0 {
+                        kind += 1;
+                        left = counts[kind];
+                    }
+                    left -= 1;
+                    universe[kind].clone()
+                });
+            }
+        }
+        n
+    }
+}
+
+impl<S: Clone> FaultPlan<S> for AdversarialInit<S> {
+    fn inject(&mut self, step: u64, ctx: &mut dyn FaultCtx<S>, rng: &mut dyn RngCore) -> u64 {
+        if step == 0 {
+            self.apply(ctx, rng)
+        } else {
+            0
+        }
+    }
+}
+
+/// Number of distinct configurations of `population` anonymous agents over
+/// `universe_len` states: the multiset count `C(n + k − 1, k − 1)`. This is
+/// the exclusive upper bound for [`AdversarialInitMode::Enumerated`]
+/// indices.
+///
+/// # Panics
+///
+/// Panics if `universe_len` is 0 or the count overflows `u128` (far beyond
+/// any enumerable sweep).
+pub fn enumeration_count(universe_len: usize, population: u64) -> u128 {
+    assert!(universe_len > 0, "universe must be non-empty");
+    binomial(population as u128 + universe_len as u128 - 1, universe_len as u128 - 1)
+}
+
+/// Exact binomial coefficient in `u128`, multiplying in an order that keeps
+/// every intermediate value an exact integer.
+fn binomial(n: u128, k: u128) -> u128 {
+    let k = k.min(n - k);
+    let mut acc: u128 = 1;
+    for i in 0..k {
+        acc = acc
+            .checked_mul(n - i)
+            .expect("binomial overflows u128 — population too large to enumerate")
+            / (i + 1);
+    }
+    acc
+}
+
+/// Unranks `index` into per-state occupancy counts `(c_0, …, c_{k−1})` with
+/// `Σ c_i = population`, in the order that enumerates configurations by the
+/// count of state 0, then state 1, and so on (the combinatorial number
+/// system for multisets). Inverse of that enumeration's ranking; the public
+/// entry point is [`AdversarialInitMode::Enumerated`].
+///
+/// # Panics
+///
+/// Panics if `index >=` [`enumeration_count`]`(universe_len, population)`.
+pub fn unrank_multiset(universe_len: usize, population: u64, mut index: u128) -> Vec<u64> {
+    assert!(
+        index < enumeration_count(universe_len, population),
+        "enumeration index {index} out of range"
+    );
+    let mut counts = Vec::with_capacity(universe_len);
+    let mut n = population;
+    for remaining in (1..=universe_len).rev() {
+        if remaining == 1 {
+            counts.push(n);
+            break;
+        }
+        let mut c = 0u64;
+        loop {
+            let block = enumeration_count(remaining - 1, n - c);
+            if index < block {
+                break;
+            }
+            index -= block;
+            c += 1;
+        }
+        counts.push(c);
+        n -= c;
+    }
+    counts
+}
+
 /// Two fault plans compose into one: both inject, and an interaction
 /// survives only if neither drops it.
 impl<S, A: FaultPlan<S>, B: FaultPlan<S>> FaultPlan<S> for (A, B) {
@@ -343,8 +579,9 @@ impl FaultRunReport {
 }
 
 /// Closes a segment: converts running last-wrong tracking into the
-/// `recovered_at` convention of [`StabilizationReport`]
-/// (`wrong after slot t` ⇒ recovered at `t + 1` at the earliest).
+/// `recovered_at` convention of `StabilizationReport` via the shared
+/// [`consensus_reached`] predicate (`wrong after slot t` ⇒ recovered at
+/// `t + 1` at the earliest).
 fn close_segment(
     injected_at: u64,
     wrong: u64,
@@ -352,12 +589,123 @@ fn close_segment(
 ) -> RecoveryReport {
     RecoveryReport {
         injected_at,
-        recovered_at: if wrong > 0 {
-            None
-        } else {
-            Some(last_wrong.map_or(injected_at, |t| t + 1))
-        },
+        recovered_at: consensus_reached(wrong, last_wrong, injected_at),
         residual_error: wrong,
+    }
+}
+
+/// Mean-time-to-recover summary over [`RecoveryReport`] segments — the
+/// scalar the self-stabilization literature reports, in mergeable form.
+///
+/// Absorbs one segment per trial (conventionally the *final* segment; see
+/// [`FaultEnsembleReport::final_mttr`](crate::ensemble::FaultEnsembleReport::final_mttr)),
+/// tracking the recovery probability, the moments and log-histogram of the
+/// recovery times of the trials that did recover, and the residual-error
+/// tail of those that did not. [`merge`](Self::merge) is the ensemble
+/// combiner: counters and the histogram merge exactly, the moments by
+/// Chan's parallel Welford update — so folding per-trial summaries in trial
+/// order yields byte-identical [`to_json`](Self::to_json) output at any
+/// thread count.
+#[derive(Debug, Clone, Default)]
+pub struct Mttr {
+    trials: u64,
+    recovered: u64,
+    time: Welford,
+    residual: Welford,
+    histogram: LogHistogram,
+}
+
+impl Mttr {
+    /// An empty summary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Absorbs one trial's verdict segment.
+    pub fn absorb(&mut self, seg: &RecoveryReport) {
+        self.trials += 1;
+        if let Some(t) = seg.recovery_time() {
+            self.recovered += 1;
+            self.time.push(t as f64);
+            self.histogram.push(t as f64);
+        }
+        self.residual.push(seg.residual_error as f64);
+    }
+
+    /// Absorbs a whole other summary.
+    pub fn merge(&mut self, other: &Self) {
+        self.trials += other.trials;
+        self.recovered += other.recovered;
+        self.time.merge(other.time);
+        self.residual.merge(other.residual);
+        self.histogram.merge(&other.histogram);
+    }
+
+    /// Trials absorbed.
+    pub fn trials(&self) -> u64 {
+        self.trials
+    }
+
+    /// Trials whose verdict segment recovered.
+    pub fn recovered(&self) -> u64 {
+        self.recovered
+    }
+
+    /// Empirical probability that a trial recovered (NaN when empty).
+    pub fn recovery_probability(&self) -> f64 {
+        if self.trials == 0 {
+            return f64::NAN;
+        }
+        self.recovered as f64 / self.trials as f64
+    }
+
+    /// Mean time to recover, in interaction slots from the burst, over the
+    /// recovered trials (NaN if none recovered).
+    pub fn mean(&self) -> f64 {
+        self.time.mean()
+    }
+
+    /// Moments of the recovery times of the recovered trials.
+    pub fn time_stats(&self) -> &Welford {
+        &self.time
+    }
+
+    /// Moments of the residual error over **all** trials — the tail left
+    /// behind by non-recovering runs (0 for every recovered trial).
+    pub fn residual_stats(&self) -> &Welford {
+        &self.residual
+    }
+
+    /// Log-spaced histogram of the recovery times.
+    pub fn histogram(&self) -> &LogHistogram {
+        &self.histogram
+    }
+
+    /// Deterministic JSON rendering (schema `pp-mttr/v1`); a pure function
+    /// of the absorbed segments and the fold order, so determinism tests
+    /// compare these strings byte-for-byte across thread counts.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\"schema\":\"pp-mttr/v1\"");
+        s.push_str(&format!(",\"trials\":{}", self.trials));
+        s.push_str(&format!(",\"recovered\":{}", self.recovered));
+        s.push_str(&format!(",\"recovery_probability\":{}", json_f64(self.recovery_probability())));
+        s.push_str(&format!(",\"mttr_mean\":{}", json_f64(self.time.mean())));
+        s.push_str(&format!(",\"mttr_std\":{}", json_f64(self.time.std_dev())));
+        s.push_str(&format!(",\"mttr_min\":{}", json_f64(self.time.min())));
+        s.push_str(&format!(",\"mttr_max\":{}", json_f64(self.time.max())));
+        s.push_str(&format!(",\"residual_mean\":{}", json_f64(self.residual.mean())));
+        s.push_str(&format!(",\"residual_max\":{}", json_f64(self.residual.max())));
+        s.push_str(&format!(",\"histogram\":{{\"underflow\":{}", self.histogram.underflow()));
+        s.push_str(",\"buckets\":[");
+        for (k, (i, c)) in self.histogram.nonzero().into_iter().enumerate() {
+            if k > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("[{i},{c}]"));
+        }
+        s.push_str("]}}");
+        s
     }
 }
 
@@ -381,6 +729,14 @@ impl<P: Protocol, Pr: Probe> FaultCtx<P::State> for CountCtx<'_, P, Pr> {
 
     fn corrupt_random(&mut self, to: &P::State, rng: &mut dyn RngCore) {
         self.sim.corrupt_random_agent(to, &mut &mut *rng);
+    }
+
+    fn corrupt_random_with(&mut self, f: fn(&P::State) -> P::State, rng: &mut dyn RngCore) {
+        self.sim.corrupt_random_agent_with(f, &mut &mut *rng);
+    }
+
+    fn overwrite_population(&mut self, next: &mut dyn FnMut(u64) -> P::State) {
+        self.sim.overwrite_states(&mut *next);
     }
 
     fn random_known_state(&mut self, rng: &mut dyn RngCore) -> P::State {
@@ -407,6 +763,16 @@ impl<P: Protocol, S: PairSampler, Pr: Probe> FaultCtx<P::State> for AgentCtx<'_,
         self.sim.set_agent_state(a, to);
     }
 
+    fn corrupt_random_with(&mut self, f: fn(&P::State) -> P::State, rng: &mut dyn RngCore) {
+        let a = self.sim.random_live_agent(&mut &mut *rng);
+        let to = f(self.sim.state_of(a));
+        self.sim.set_agent_state(a, &to);
+    }
+
+    fn overwrite_population(&mut self, next: &mut dyn FnMut(u64) -> P::State) {
+        self.sim.overwrite_live_states(&mut *next);
+    }
+
     fn random_known_state(&mut self, rng: &mut dyn RngCore) -> P::State {
         self.sim.random_known_state(&mut &mut *rng)
     }
@@ -416,6 +782,22 @@ impl<P: Protocol, Pr: Probe> Simulation<P, Pr> {
     /// Number of agents whose current output differs from `expected`.
     fn wrong_now(&mut self, expected: &P::Output) -> u64 {
         self.population() - self.count_with_output(expected)
+    }
+
+    /// Rewrites the whole population to the adversary's chosen starting
+    /// configuration (notifying any attached probe) — the standalone form
+    /// for protocols whose "recovered" condition is not a stable output and
+    /// therefore cannot go through `run_with_faults` (e.g. the phase
+    /// clock's synchronization predicate). Returns the number of agents
+    /// rewritten.
+    pub fn apply_adversarial_init(
+        &mut self,
+        init: &AdversarialInit<P::State>,
+        rng: &mut impl Rng,
+    ) -> u64 {
+        let applied = init.apply(&mut CountCtx { sim: self }, &mut *rng);
+        self.probe_fault_burst(applied);
+        applied
     }
 
     /// Runs `horizon` interaction slots, letting `plan` inject faults
@@ -469,6 +851,20 @@ impl<P: Protocol, Pr: Probe> Simulation<P, Pr> {
 }
 
 impl<P: Protocol, S: PairSampler, Pr: Probe> AgentSimulation<P, S, Pr> {
+    /// Rewrites every live agent to the adversary's chosen starting
+    /// configuration and clears all synthesized coins; see
+    /// [`Simulation::apply_adversarial_init`]. Returns the number of agents
+    /// rewritten.
+    pub fn apply_adversarial_init(
+        &mut self,
+        init: &AdversarialInit<P::State>,
+        rng: &mut impl RngCore,
+    ) -> u64 {
+        let applied = init.apply(&mut AgentCtx { sim: self }, &mut *rng);
+        self.probe_fault_burst(applied);
+        applied
+    }
+
     /// Runs `horizon` interaction slots on the per-agent engine, letting
     /// `plan` inject faults between interactions; see
     /// [`Simulation::run_with_faults`] for the slot and segmentation
@@ -694,6 +1090,140 @@ mod tests {
             vec![(true, 28)],
             "histogram covers live agents only"
         );
+    }
+
+    #[test]
+    fn targeted_corruption_applies_the_state_function() {
+        // Target the infected agents: every victim is flipped to healthy.
+        let mut sim = Simulation::from_counts(epidemic(), [(true, 16)]);
+        let mut plan = TransientCorruption::targeted_at(0, 16, |&b: &bool| !b);
+        let mut rng = seeded_rng(29);
+        let rep = sim.run_with_faults(&mut plan, &true, 10, &mut rng);
+        assert_eq!(rep.faults_injected, 16);
+        // All 16 flips hit random agents, so some may be flipped twice —
+        // but the very first injection makes at least one agent false, and
+        // with nobody else to re-infect a fully flipped population stays
+        // wrong. Either way the state function demonstrably ran:
+        assert!(sim.count_of_state(&false) > 0 || rep.recovered());
+    }
+
+    #[test]
+    fn enumeration_count_matches_stars_and_bars() {
+        assert_eq!(enumeration_count(1, 10), 1);
+        assert_eq!(enumeration_count(2, 3), 4); // (0,3)(1,2)(2,1)(3,0)
+        assert_eq!(enumeration_count(3, 6), 28); // C(8,2)
+        assert_eq!(enumeration_count(4, 6), 84); // C(9,3)
+    }
+
+    #[test]
+    fn unrank_multiset_is_a_bijection() {
+        // Every index yields a distinct count vector summing to n.
+        let (k, n) = (3usize, 5u64);
+        let total = enumeration_count(k, n);
+        let mut seen = std::collections::HashSet::new();
+        for idx in 0..total {
+            let counts = unrank_multiset(k, n, idx);
+            assert_eq!(counts.len(), k);
+            assert_eq!(counts.iter().sum::<u64>(), n);
+            assert!(seen.insert(counts), "duplicate configuration at index {idx}");
+        }
+        assert_eq!(seen.len() as u128, total);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn unrank_multiset_rejects_out_of_range() {
+        let _ = unrank_multiset(2, 3, 4);
+    }
+
+    #[test]
+    fn flood_init_overwrites_everyone_on_both_engines() {
+        let init = AdversarialInit::flood(false);
+        let mut count = Simulation::from_counts(epidemic(), [(true, 10), (false, 22)]);
+        let n = count.apply_adversarial_init(&init, &mut seeded_rng(1));
+        assert_eq!(n, 32);
+        assert_eq!(count.count_of_state(&false), 32);
+        assert_eq!(count.population(), 32);
+
+        let inputs: Vec<bool> = (0..8).map(|i| i % 2 == 0).collect();
+        let mut agent =
+            AgentSimulation::from_inputs(epidemic(), &inputs, UniformPairScheduler::new(8));
+        agent.apply_adversarial_init(&init, &mut seeded_rng(1));
+        assert!((0..8).all(|a| !*agent.state_of(a)));
+        assert!((0..8).all(|a| agent.coin_of(a).is_none()), "coins cleared");
+    }
+
+    #[test]
+    fn uniform_random_init_draws_from_the_universe() {
+        let init = AdversarialInit::uniform_random(vec![false, true]);
+        let mut sim = Simulation::from_counts(epidemic(), [(false, 64)]);
+        sim.apply_adversarial_init(&init, &mut seeded_rng(7));
+        let (t, f) = (sim.count_of_state(&true), sim.count_of_state(&false));
+        assert_eq!(t + f, 64);
+        assert!(t > 0 && f > 0, "a 64-agent uniform draw hits both states");
+    }
+
+    #[test]
+    fn enumerated_init_realizes_the_unranked_configuration() {
+        let universe = vec![false, true];
+        let (k, n) = (2usize, 6u64);
+        for idx in 0..enumeration_count(k, n) {
+            let counts = unrank_multiset(k, n, idx);
+            let init = AdversarialInit::enumerated(universe.clone(), idx);
+            let mut sim = Simulation::from_counts(epidemic(), [(true, 6)]);
+            sim.apply_adversarial_init(&init, &mut seeded_rng(0));
+            assert_eq!(sim.count_of_state(&false), counts[0]);
+            assert_eq!(sim.count_of_state(&true), counts[1]);
+        }
+    }
+
+    #[test]
+    fn adversarial_init_as_plan_segments_at_slot_zero() {
+        // Flood with `false`: the epidemic has no seed left and cannot
+        // recover — the canonical non-self-stabilizing verdict.
+        let mut sim = Simulation::from_counts(epidemic(), [(true, 4), (false, 28)]);
+        let mut plan = AdversarialInit::flood(false);
+        let mut rng = seeded_rng(31);
+        let rep = sim.run_with_faults(&mut plan, &true, 5_000, &mut rng);
+        assert_eq!(rep.faults_injected, 32);
+        assert_eq!(rep.segments.len(), 2);
+        assert!(!rep.recovered());
+        assert_eq!(rep.final_segment().residual_error, 32);
+    }
+
+    #[test]
+    fn mttr_absorbs_and_merges_exactly() {
+        let rec = |at, t| RecoveryReport {
+            injected_at: at,
+            recovered_at: Some(at + t),
+            residual_error: 0,
+        };
+        let fail = |at, r| RecoveryReport { injected_at: at, recovered_at: None, residual_error: r };
+
+        let mut whole = Mttr::new();
+        for seg in [rec(0, 100), rec(0, 300), fail(0, 7)] {
+            whole.absorb(&seg);
+        }
+        assert_eq!(whole.trials(), 3);
+        assert_eq!(whole.recovered(), 2);
+        assert!((whole.recovery_probability() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((whole.mean() - 200.0).abs() < 1e-9);
+        assert!((whole.residual_stats().max() - 7.0).abs() < 1e-12);
+
+        // Split/merge is exact on counters and the histogram, and
+        // algebraically exact (Chan) on the moments.
+        let mut left = Mttr::new();
+        left.absorb(&rec(0, 100));
+        left.absorb(&rec(0, 300));
+        let mut right = Mttr::new();
+        right.absorb(&fail(0, 7));
+        left.merge(&right);
+        assert_eq!(left.trials(), 3);
+        assert_eq!(left.recovered(), 2);
+        assert_eq!(left.histogram().total(), whole.histogram().total());
+        assert!((left.mean() - whole.mean()).abs() < 1e-9);
+        assert!((left.residual_stats().mean() - whole.residual_stats().mean()).abs() < 1e-9);
+        assert!(whole.to_json().starts_with("{\"schema\":\"pp-mttr/v1\""));
     }
 
     #[test]

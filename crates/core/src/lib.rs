@@ -84,7 +84,8 @@ pub mod prelude {
     pub use crate::config::{AgentConfig, CanonicalConfig, CountConfig};
     pub use crate::convention::{all_agents_output, symbol_count_output, zero_nonzero_output};
     pub use crate::engine::{
-        seeded_rng, AgentSimulation, Simulation, StabilizationReport, StepTransition,
+        consensus_reached, seeded_rng, AgentSimulation, Simulation, StabilizationReport,
+        StepTransition,
     };
     pub use crate::ensemble::{
         split_seed, Ensemble, EnsembleReport, FaultEnsembleReport, LogHistogram, SeedMode,
@@ -92,32 +93,37 @@ pub mod prelude {
     };
     pub use crate::error::PopulationError;
     pub use crate::faults::{
-        Churn, CorruptionMode, CrashFaults, FaultCtx, FaultPlan, FaultRunReport,
-        InteractionDrop, RecoveryReport, TransientCorruption,
+        enumeration_count, unrank_multiset, AdversarialInit, AdversarialInitMode, Churn,
+        CorruptionMode, CrashFaults, FaultCtx, FaultPlan, FaultRunReport, InteractionDrop,
+        Mttr, RecoveryReport, TransientCorruption,
     };
     pub use crate::observe::{
         BatchEvent, BatchPair, ConvergenceProbe, InteractionEvent, JsonlSink, MergeProbe,
         MetricsProbe, NoProbe, Probe, Snapshot, TimingProbe, TrajectoryProbe,
     };
-    pub use crate::protocol::{FnProtocol, Protocol};
+    pub use crate::protocol::{CoinProtocol, FnProtocol, Protocol, SyntheticCoins};
     pub use crate::registry::{DenseRuntime, OutputId, StateId};
     pub use crate::scheduler::{EdgeListScheduler, PairSampler, UniformPairScheduler};
 }
 
 pub use config::{AgentConfig, CanonicalConfig, CountConfig};
-pub use engine::{seeded_rng, AgentSimulation, Simulation, StabilizationReport, StepTransition};
+pub use engine::{
+    consensus_reached, seeded_rng, AgentSimulation, Simulation, StabilizationReport,
+    StepTransition,
+};
 pub use ensemble::{
     split_seed, Ensemble, EnsembleReport, FaultEnsembleReport, LogHistogram, SeedMode,
     TrialSummary, Welford,
 };
 pub use error::PopulationError;
 pub use faults::{
-    Churn, CorruptionMode, CrashFaults, FaultCtx, FaultPlan, FaultRunReport,
-    InteractionDrop, RecoveryReport, TransientCorruption,
+    enumeration_count, unrank_multiset, AdversarialInit, AdversarialInitMode, Churn,
+    CorruptionMode, CrashFaults, FaultCtx, FaultPlan, FaultRunReport, InteractionDrop, Mttr,
+    RecoveryReport, TransientCorruption,
 };
 pub use observe::{
     BatchEvent, BatchPair, ConvergenceProbe, InteractionEvent, JsonlSink, MergeProbe,
     MetricsProbe, NoProbe, Probe, Snapshot, TimingProbe, TrajectoryProbe,
 };
-pub use protocol::{FnProtocol, Protocol};
+pub use protocol::{CoinProtocol, FnProtocol, Protocol, SyntheticCoins};
 pub use registry::{DenseRuntime, OutputId, StateId};

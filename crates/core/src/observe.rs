@@ -731,13 +731,10 @@ impl ConvergenceProbe {
     /// agent is still wrong. Matches
     /// [`StabilizationReport::stabilized_at`](crate::StabilizationReport)
     /// when the probe rode along a `measure_stabilization` call on a fresh
-    /// simulation.
+    /// simulation. Delegates to the shared
+    /// [`consensus_reached`](crate::consensus_reached) predicate.
     pub fn stabilized_at(&self) -> Option<u64> {
-        if self.wrong > 0 {
-            None
-        } else {
-            Some(self.last_wrong.map_or(0, |t| t + 1))
-        }
+        crate::engine::consensus_reached(self.wrong, self.last_wrong, 0)
     }
 }
 

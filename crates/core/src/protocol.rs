@@ -78,6 +78,37 @@ pub trait Protocol {
     fn delta(&self, p: &Self::State, q: &Self::State) -> (Self::State, Self::State);
 }
 
+/// A protocol whose transitions may consume one *synthesized coin* per
+/// participant — the randomized-transition extension used by the
+/// self-stabilizing protocol family (see `pp-protocols`' `ranking` module).
+///
+/// The model stays finite-state: the coin is not part of `Q`. The agent
+/// engine ([`AgentSimulation`](crate::AgentSimulation)) carries one
+/// `Option<bool>` coin per agent, passes both participants' coins to
+/// [`delta_coined`](Self::delta_coined), and refreshes both coins from the
+/// schedule's RNG after every interaction
+/// ([`step_coined`](crate::AgentSimulation::step_coined)). A coin is `None`
+/// until its agent's first interaction — and after adversarial
+/// initialization ([`AdversarialInit`](crate::faults::AdversarialInit)),
+/// which deliberately leaves coins unset: a self-stabilizing protocol may
+/// not assume anything about coin history. Implementations must treat
+/// `None` conservatively (typically: an undecidable duel is a no-op).
+///
+/// On the count-based engine, which has no per-agent storage, wrap the
+/// protocol in [`SyntheticCoins`] to embed
+/// a deterministic coin in the state itself.
+pub trait CoinProtocol: Protocol {
+    /// The coin-consuming transition function
+    /// `δ : Q × Q × coin² → Q × Q`; `coins.0` belongs to the initiator,
+    /// `coins.1` to the responder.
+    fn delta_coined(
+        &self,
+        p: &Self::State,
+        q: &Self::State,
+        coins: (Option<bool>, Option<bool>),
+    ) -> (Self::State, Self::State);
+}
+
 /// Blanket implementation so `&P` and `Box<P>` are protocols too.
 impl<P: Protocol + ?Sized> Protocol for &P {
     type State = P::State;
@@ -169,6 +200,43 @@ where
     }
     fn delta(&self, p: &S, q: &S) -> (S, S) {
         (self.delta_fn)(p, q)
+    }
+}
+
+/// Runs a [`CoinProtocol`] on the count-based engine by embedding a
+/// deterministic coin in each agent's state.
+///
+/// State is `(S, bool)`: the wrapped protocol's state plus the agent's
+/// current coin. Each interaction feeds both coins to
+/// [`delta_coined`](CoinProtocol::delta_coined) (always `Some`), then
+/// refreshes them *deterministically*: the initiator takes the negation of
+/// the responder's coin and the responder takes the initiator's old coin,
+/// so a pair that keeps meeting cycles through all four coin combinations
+/// — every duel is decided within two encounters. This is derandomization,
+/// not randomness: coin quality rests on the schedule's mixing, which is
+/// exactly the §6 conjugating-automata assumption. For true per-agent RNG
+/// coins use [`AgentSimulation::step_coined`](crate::AgentSimulation::step_coined).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SyntheticCoins<P>(pub P);
+
+impl<P: CoinProtocol> Protocol for SyntheticCoins<P> {
+    type State = (P::State, bool);
+    type Input = P::Input;
+    type Output = P::Output;
+
+    fn input(&self, x: &Self::Input) -> Self::State {
+        (self.0.input(x), false)
+    }
+
+    fn output(&self, (q, _): &Self::State) -> Self::Output {
+        self.0.output(q)
+    }
+
+    fn delta(&self, p: &Self::State, q: &Self::State) -> (Self::State, Self::State) {
+        let (ps, cp) = p;
+        let (qs, cq) = q;
+        let (p2, q2) = self.0.delta_coined(ps, qs, (Some(*cp), Some(*cq)));
+        ((p2, !cq), (q2, *cp))
     }
 }
 

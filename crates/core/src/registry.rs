@@ -4,7 +4,7 @@
 
 use crate::error::PopulationError;
 use crate::fxhash::FxHashMap;
-use crate::protocol::Protocol;
+use crate::protocol::{CoinProtocol, Protocol};
 
 /// Dense identifier of an interned protocol state.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -72,7 +72,25 @@ pub struct DenseRuntime<P: Protocol> {
     output_index: FxHashMap<P::Output, OutputId>,
     /// Memoized transitions keyed by `(initiator, responder)`.
     transitions: FxHashMap<(StateId, StateId), (StateId, StateId)>,
+    /// Memoized coin-consuming transitions keyed by
+    /// `(initiator, responder, coin code)`; see [`coin_code`].
+    coined_transitions: FxHashMap<(StateId, StateId, u8), (StateId, StateId)>,
     state_bound: usize,
+}
+
+/// Dense encoding of an `(Option<bool>, Option<bool>)` coin pair into
+/// `0..9`, used as the third key component of the coined-transition memo.
+#[inline]
+fn coin_code(coins: (Option<bool>, Option<bool>)) -> u8 {
+    #[inline]
+    fn enc(c: Option<bool>) -> u8 {
+        match c {
+            None => 0,
+            Some(false) => 1,
+            Some(true) => 2,
+        }
+    }
+    enc(coins.0) * 3 + enc(coins.1)
 }
 
 impl<P: Protocol> DenseRuntime<P> {
@@ -93,6 +111,7 @@ impl<P: Protocol> DenseRuntime<P> {
             outputs: Vec::new(),
             output_index: FxHashMap::default(),
             transitions: FxHashMap::default(),
+            coined_transitions: FxHashMap::default(),
             state_bound: bound,
         }
     }
@@ -181,6 +200,32 @@ impl<P: Protocol> DenseRuntime<P> {
         let rp = self.intern(sp);
         let rq = self.intern(sq);
         self.transitions.insert((p, q), (rp, rq));
+        (rp, rq)
+    }
+
+    /// Looks up (and memoizes) the coin-consuming transition
+    /// `δ(p, q, coins)` of a [`CoinProtocol`]. Memoization is keyed by the
+    /// state pair *and* the coin pair (9 possible coin codes), so the hot
+    /// path of [`step_coined`](crate::AgentSimulation::step_coined) stays a
+    /// single hash lookup like the deterministic path.
+    #[inline]
+    pub fn transition_coined(
+        &mut self,
+        p: StateId,
+        q: StateId,
+        coins: (Option<bool>, Option<bool>),
+    ) -> (StateId, StateId)
+    where
+        P: CoinProtocol,
+    {
+        let key = (p, q, coin_code(coins));
+        if let Some(&r) = self.coined_transitions.get(&key) {
+            return r;
+        }
+        let (sp, sq) = self.protocol.delta_coined(self.state(p), self.state(q), coins);
+        let rp = self.intern(sp);
+        let rq = self.intern(sq);
+        self.coined_transitions.insert(key, (rp, rq));
         (rp, rq)
     }
 

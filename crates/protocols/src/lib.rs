@@ -22,7 +22,11 @@
 //!   graph;
 //! * [`oneway`] — the §8 one-way (observation-only) restriction, with the
 //!   one-way count-to-`k` protocol;
-//! * [`ext`] — protocols beyond the paper, for ablation experiments.
+//! * [`ext`] — protocols beyond the paper, for ablation experiments;
+//! * [`phase_clock`] — the leaderless self-stabilizing phase clock
+//!   (Kosowski–Uznański), recovering from any adversarial initialization;
+//! * [`ranking`] — the coin-driven self-stabilizing ranking protocol,
+//!   seating `n` anonymous agents on chairs `1..=n` from any start.
 //!
 //! # Example
 //!
@@ -53,6 +57,8 @@ pub mod leader;
 pub mod linear;
 pub mod majority;
 pub mod oneway;
+pub mod phase_clock;
+pub mod ranking;
 
 pub use combine::ProductProtocol;
 pub use convention::AllAgentsAdapter;
@@ -64,3 +70,5 @@ pub use leader::LeaderElection;
 pub use linear::{LinState, LinearAtom, RemainderProtocol, ThresholdProtocol};
 pub use majority::{majority, parity};
 pub use oneway::{one_way_count_threshold, ObservationProtocol};
+pub use phase_clock::PhaseClock;
+pub use ranking::{RankState, Ranking};

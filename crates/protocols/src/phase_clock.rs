@@ -1,0 +1,304 @@
+//! Leaderless self-stabilizing phase clock (after Kosowski–Uznański,
+//! *Population Protocols Are Fast*, PAPERS.md).
+//!
+//! Every agent carries an *hour hand*: a counter mod `m`. When two agents
+//! with equal hours meet, both tick forward one hour; when their hours
+//! differ, both adopt whichever hand is *ahead* on the shorter circular
+//! arc. The population behaves like a cyclic voter model with a drift:
+//! hour values coalesce, and from then on the whole population ticks
+//! around the dial together, its hands spanning a short arc. No leader,
+//! no junta bootstrap, `O(1)` states per agent for fixed `m` — the
+//! phase-structure primitive the self-stabilizing `ranking` protocol
+//! family builds on.
+//!
+//! # Self-stabilization
+//!
+//! The clock has no distinguished initial state to defend: *every*
+//! configuration is a multiset of hours, so the adversary of
+//! [`AdversarialInit`](pp_core::faults::AdversarialInit) can at worst
+//! spread the hands uniformly around the dial — and coalescence erases
+//! that too. The legality predicate is
+//! [`is_synchronized`](PhaseClock::is_synchronized): the occupied hours
+//! fit in a circular arc *strictly shorter than half the dial*, so there
+//! is an unambiguous front hand and no antipodal tie. Because the clock
+//! never stops ticking it has no stable *output*, so recovery is measured
+//! with the bespoke [`measure_resync`](PhaseClock::measure_resync) helper
+//! rather than `run_with_faults`.
+//!
+//! # Choosing the period
+//!
+//! After coalescing, the population travels around the dial as a wave
+//! whose width is `Θ(log n)` hours *independent of `m`* (empirically
+//! ~5–13 hours for `n ≤ 256`): new front-runners are minted whenever two
+//! front agents meet at the same hour, while the back tail is erased
+//! epidemically. The dial must dwarf that width — `m = 32` is
+//! comfortable up to `n = 64` and `m = 64` up to `n = 256`; `m = 16` is
+//! too small at `n = 256` (the wave wraps the whole dial and the clock
+//! can never look synchronized).
+//!
+//! # Example
+//!
+//! ```
+//! use pp_core::prelude::*;
+//! use pp_core::faults::AdversarialInit;
+//! use pp_protocols::PhaseClock;
+//!
+//! let clock = PhaseClock::new(32);
+//! let mut sim = Simulation::from_counts(clock, [((), 64)]);
+//! let mut rng = seeded_rng(9);
+//! // Adversary scatters the hands uniformly around the dial...
+//! sim.apply_adversarial_init(&AdversarialInit::uniform_random(clock.dial()), &mut rng);
+//! // ...and the clock re-synchronizes anyway.
+//! let rep = PhaseClock::measure_resync(&mut sim, 400_000, 256, &mut rng);
+//! assert!(rep.recovered());
+//! ```
+
+use pp_core::consensus_reached;
+use pp_core::faults::RecoveryReport;
+use pp_core::observe::Probe;
+use pp_core::{Protocol, Simulation};
+use rand::Rng;
+
+/// The leaderless phase clock: state is an hour `0..m`, equal hands tick,
+/// unequal hands adopt the one ahead on the shorter arc. See the
+/// [module docs](self).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseClock {
+    period: u32,
+}
+
+impl PhaseClock {
+    /// A clock with `period` hours on the dial.
+    ///
+    /// The synchronization arc is anything strictly shorter than half the
+    /// dial, and the post-coalescence wave is `Θ(log n)` hours wide
+    /// regardless of `period`, so pick `period` large relative to
+    /// `log₂ n` (see the [module docs](self) for calibration).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period < 4` — smaller dials make the half-dial legality
+    /// arc degenerate.
+    pub fn new(period: u32) -> Self {
+        assert!(period >= 4, "phase-clock period must be at least 4, got {period}");
+        Self { period }
+    }
+
+    /// Hours on the dial.
+    pub fn period(&self) -> u32 {
+        self.period
+    }
+
+    /// All `m` hour states — the state universe handed to
+    /// [`AdversarialInit`](pp_core::faults::AdversarialInit) modes.
+    pub fn dial(&self) -> Vec<u32> {
+        (0..self.period).collect()
+    }
+
+    /// Occupancy per hour (length `m`) of the current configuration;
+    /// out-of-dial states (possible only via adversarial injection of raw
+    /// `u32`s) are folded in mod `m`, matching the transition function.
+    pub fn hour_histogram<Pr: Probe>(sim: &Simulation<PhaseClock, Pr>) -> Vec<u64> {
+        let m = sim.runtime().protocol().period;
+        let mut hist = vec![0u64; m as usize];
+        for (id, count) in sim.config().support() {
+            hist[(*sim.runtime().state(id) % m) as usize] += count;
+        }
+        hist
+    }
+
+    /// Span of the minimal circular arc covering every occupied hour, in
+    /// hour steps (`0` when at most one hour is occupied). Computed as
+    /// `m −` the largest circular gap between consecutive occupied hours.
+    pub fn spread(hist: &[u64]) -> u32 {
+        let m = hist.len() as u32;
+        let occupied: Vec<u32> = hist
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(h, _)| h as u32)
+            .collect();
+        if occupied.len() <= 1 {
+            return 0;
+        }
+        let mut max_gap = occupied[0] + m - occupied[occupied.len() - 1];
+        for w in occupied.windows(2) {
+            max_gap = max_gap.max(w[1] - w[0]);
+        }
+        m - max_gap
+    }
+
+    /// The legality predicate: all occupied hours fit in an arc strictly
+    /// shorter than half the dial (so the "front" hand is unambiguous and
+    /// antipodal configurations are illegal).
+    pub fn is_synchronized(hist: &[u64]) -> bool {
+        2 * Self::spread(hist) < hist.len() as u32
+    }
+
+    /// Agents *outside* the best legal arc (the `m/2` consecutive hours
+    /// covering the most agents) — the clock's residual error (0 iff
+    /// [`is_synchronized`](Self::is_synchronized)).
+    pub fn desynchronized_agents(hist: &[u64]) -> u64 {
+        let m = hist.len();
+        // Largest legal span: 2·span < m  ⇔  span ≤ (m − 1) / 2.
+        let span = (m - 1) / 2;
+        let total: u64 = hist.iter().sum();
+        let best = (0..m)
+            .map(|start| (0..=span).map(|j| hist[(start + j) % m]).sum::<u64>())
+            .max()
+            .unwrap_or(0);
+        total - best
+    }
+
+    /// Runs up to `horizon` interactions, checking synchronization every
+    /// `check_every` interactions, and reports recovery in the
+    /// [`RecoveryReport`] convention (`injected_at` is 0: the damage, if
+    /// any, happened before the call — typically
+    /// [`apply_adversarial_init`](pp_core::Simulation::apply_adversarial_init)).
+    ///
+    /// Checkpointing trades resolution for speed: `recovered_at` is the
+    /// first *checkpoint* after which every later checkpoint was
+    /// synchronized, so it overshoots the true resync time by less than
+    /// `check_every` slots. Unlike a stable-output protocol the clock can
+    /// in principle desynchronize again (a burst of equal-pair ticks at
+    /// the arc's front), so the whole horizon is always run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `check_every` is 0.
+    pub fn measure_resync<Pr: Probe>(
+        sim: &mut Simulation<PhaseClock, Pr>,
+        horizon: u64,
+        check_every: u64,
+        rng: &mut impl Rng,
+    ) -> RecoveryReport {
+        assert!(check_every > 0, "check_every must be positive");
+        let mut wrong = Self::desynchronized_agents(&Self::hour_histogram(sim));
+        let mut last_wrong: Option<u64> = (wrong > 0).then_some(0);
+        let mut slot = 0u64;
+        while slot < horizon {
+            let chunk = check_every.min(horizon - slot);
+            sim.run(chunk, rng);
+            slot += chunk;
+            wrong = Self::desynchronized_agents(&Self::hour_histogram(sim));
+            if wrong > 0 {
+                last_wrong = Some(slot);
+            }
+        }
+        RecoveryReport {
+            injected_at: 0,
+            recovered_at: consensus_reached(wrong, last_wrong, 0),
+            residual_error: wrong,
+        }
+    }
+}
+
+impl Protocol for PhaseClock {
+    type State = u32;
+    type Input = ();
+    type Output = u32;
+
+    fn input(&self, _: &()) -> u32 {
+        0
+    }
+
+    fn output(&self, &h: &u32) -> u32 {
+        h % self.period
+    }
+
+    fn delta(&self, &p: &u32, &q: &u32) -> (u32, u32) {
+        let m = self.period;
+        let (p, q) = (p % m, q % m);
+        if p == q {
+            let h = (p + 1) % m;
+            return (h, h);
+        }
+        // Cyclic distance from p forward to q: q is "ahead" iff it is
+        // within half a dial in front of p.
+        let diff = (q + m - p) % m;
+        if diff <= m / 2 {
+            (q, q)
+        } else {
+            (p, p)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_core::faults::AdversarialInit;
+    use pp_core::seeded_rng;
+
+    #[test]
+    fn delta_ticks_and_adopts_the_leading_hand() {
+        let c = PhaseClock::new(8);
+        assert_eq!(c.delta(&3, &3), (4, 4), "equal hands tick");
+        assert_eq!(c.delta(&7, &7), (0, 0), "tick wraps the dial");
+        assert_eq!(c.delta(&2, &4), (4, 4), "4 is ahead of 2");
+        assert_eq!(c.delta(&4, &2), (4, 4), "role order does not matter");
+        assert_eq!(c.delta(&7, &1), (1, 1), "ahead across the wrap");
+        // 10 normalizes to 2, and 1 is 7 hours "ahead" of 2 — i.e. one
+        // behind on the short arc — so both hands settle on 2.
+        assert_eq!(c.delta(&10, &1), (2, 2), "out-of-dial states normalize mod m");
+    }
+
+    #[test]
+    fn spread_measures_the_minimal_covering_arc() {
+        assert_eq!(PhaseClock::spread(&[5, 0, 0, 0, 0, 0, 0, 0]), 0);
+        assert_eq!(PhaseClock::spread(&[3, 2, 0, 0, 0, 0, 0, 0]), 1);
+        assert_eq!(PhaseClock::spread(&[1, 0, 0, 0, 0, 0, 0, 1]), 1, "adjacent across wrap");
+        assert_eq!(PhaseClock::spread(&[1, 0, 0, 0, 1, 0, 0, 0]), 4, "antipodal");
+        assert!(PhaseClock::is_synchronized(&[3, 2, 1, 0, 0, 0, 0, 0]));
+        assert!(!PhaseClock::is_synchronized(&[1, 0, 0, 1, 0, 0, 1, 0]));
+        assert!(
+            !PhaseClock::is_synchronized(&[1, 0, 0, 0, 1, 0, 0, 0]),
+            "an exactly antipodal pair has no unambiguous front and is illegal"
+        );
+    }
+
+    #[test]
+    fn desynchronized_agents_counts_the_tail_outside_the_best_arc() {
+        // m = 8 ⇒ best window of m/2 = 4 consecutive hours. Hours 0..=3
+        // cover 3+2+1+0 = 6 of 7 agents; the straggler at hour 4 is out.
+        assert_eq!(PhaseClock::desynchronized_agents(&[3, 2, 1, 0, 1, 0, 0, 0]), 1);
+        assert_eq!(PhaseClock::desynchronized_agents(&[5, 0, 0, 0, 0, 0, 0, 0]), 0);
+    }
+
+    #[test]
+    fn fresh_start_is_already_synchronized_and_stays_so() {
+        let clock = PhaseClock::new(32);
+        let mut sim = Simulation::from_counts(clock, [((), 32)]);
+        let mut rng = seeded_rng(4);
+        let rep = PhaseClock::measure_resync(&mut sim, 50_000, 100, &mut rng);
+        assert!(rep.recovered());
+        assert_eq!(rep.recovered_at, Some(0), "never desynchronized");
+    }
+
+    #[test]
+    fn resynchronizes_from_uniform_random_init() {
+        let clock = PhaseClock::new(32);
+        let mut sim = Simulation::from_counts(clock, [((), 64)]);
+        let mut rng = seeded_rng(21);
+        sim.apply_adversarial_init(&AdversarialInit::uniform_random(clock.dial()), &mut rng);
+        assert!(
+            !PhaseClock::is_synchronized(&PhaseClock::hour_histogram(&sim)),
+            "64 uniform hands over 32 hours should start desynchronized"
+        );
+        let rep = PhaseClock::measure_resync(&mut sim, 400_000, 256, &mut rng);
+        assert!(rep.recovered(), "clock must coalesce");
+        assert!(rep.recovery_time().unwrap() > 0);
+    }
+
+    #[test]
+    fn resynchronizes_from_antipodal_flood_pair() {
+        // Worst two-value split: half the dial apart, so each cluster sees
+        // the other at exactly m/2 distance and adopts it — a fair voter
+        // race that must nevertheless break symmetry and coalesce.
+        let clock = PhaseClock::new(32);
+        let mut sim = Simulation::from_states(clock, [(0u32, 32), (16u32, 32)]);
+        let mut rng = seeded_rng(33);
+        let rep = PhaseClock::measure_resync(&mut sim, 400_000, 256, &mut rng);
+        assert!(rep.recovered(), "antipodal halves must coalesce");
+    }
+}

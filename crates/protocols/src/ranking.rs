@@ -1,0 +1,494 @@
+//! Self-stabilizing ranking: assign the `n` anonymous agents the ranks
+//! `1..=n`, one each, from **any** starting configuration.
+//!
+//! A simplified port of the phase-structured leader-election + ranking
+//! protocol of `icdcs2025/SelfStabilizingRanking` (SNIPPETS.md, Snippet 1),
+//! keeping its `Rank/LE/Waiting/Phase/Propagating/Dormant` state family and
+//! musical-chairs dynamics while folding the alive-counting phases into
+//! small constant countdowns:
+//!
+//! * [`RankState::Rank`]`(r)` — the agent owns chair `r`. A configuration
+//!   where the ranks are a permutation of `1..=n` is *quiescent*: every
+//!   interaction between two distinct owners is a no-op, so the legal
+//!   configuration is absorbing.
+//! * Two claimants of the *same* chair fight a **coin duel** (this is what
+//!   makes the protocol a [`CoinProtocol`]): unequal coins pick a winner,
+//!   the loser walks away as [`RankState::Propagating`]`(r+1)`; equal or
+//!   missing coins are a no-op and the duel repeats at the next meeting.
+//! * [`RankState::Propagating`]`(r)` — a walker looking for a free chair:
+//!   meeting the owner of `r` it advances to `r+1` (mod `n`, to chair 1);
+//!   meeting anyone else it tentatively sits down as
+//!   [`RankState::Phase`]`(C_LIVE, r)`, which counts down to full
+//!   ownership — a conflict-detection window during which a rightful owner
+//!   can still evict it by duel.
+//! * [`RankState::LE`] — leader-election contenders (also the image of the
+//!   input function): LE agents duel each other by coin, losers back off
+//!   as [`RankState::Dormant`], and any LE agent that meets an owner stops
+//!   contending and queues as [`RankState::Waiting`] with a hint of the
+//!   next chair to try; countdowns turn Dormant → Waiting → Propagating,
+//!   so every non-owner eventually hunts for a chair.
+//!
+//! Out-of-range states (rank 0, rank > n, dead countdowns — all reachable
+//! only by adversarial injection) normalize to `LE`, so the state space the
+//! adversary of [`AdversarialInit`](pp_core::faults::AdversarialInit) can
+//! reach is exactly the space the protocol already cleans up.
+//!
+//! # Engines
+//!
+//! On the per-agent engine use
+//! [`step_coined`](pp_core::AgentSimulation::step_coined) (true RNG coins,
+//! refreshed per interaction). The plain [`Protocol::delta`] runs with both
+//! coins absent — every duel is a no-op, so progress needs coins: on the
+//! count engine wrap the protocol in
+//! [`SyntheticCoins`](pp_core::SyntheticCoins).
+//!
+//! # Example
+//!
+//! ```
+//! use pp_core::prelude::*;
+//! use pp_protocols::{RankState, Ranking};
+//!
+//! let n = 8;
+//! let proto = Ranking::new(n);
+//! let inputs = vec![(); n as usize];
+//! let mut sim =
+//!     AgentSimulation::from_inputs(proto, &inputs, UniformPairScheduler::new(n as usize));
+//! let mut rng = seeded_rng(17);
+//! let rep = Ranking::measure_recovery(&mut sim, 200_000, 64, &mut rng);
+//! assert!(rep.recovered(), "all 8 agents seat themselves");
+//! ```
+
+use std::collections::HashSet;
+
+use pp_core::consensus_reached;
+use pp_core::faults::RecoveryReport;
+use pp_core::observe::Probe;
+use pp_core::scheduler::PairSampler;
+use pp_core::{AgentSimulation, CoinProtocol, Protocol};
+use rand::RngCore;
+
+/// Interactions a tentative claimant ([`RankState::Phase`]) waits before
+/// becoming a full owner — the conflict-detection window.
+pub const C_LIVE: u32 = 4;
+/// Interactions a queued ex-contender ([`RankState::Waiting`]) waits before
+/// starting to walk.
+pub const C_WAIT: u32 = 2;
+/// Interactions a duel loser ([`RankState::Dormant`]) backs off before
+/// re-entering the hunt.
+pub const C_DELAY: u32 = 4;
+
+/// State family of the self-stabilizing [`Ranking`] protocol; see the
+/// [module docs](self) for the life cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RankState {
+    /// Owner of chair `r` (`1..=n`).
+    Rank(u32),
+    /// Leader-election contender (the initial state).
+    LE,
+    /// Backed-off duel loser; counts down to `Waiting`.
+    Dormant(u32),
+    /// Queued chair-hunter `(countdown, next chair to try)`; counts down to
+    /// `Propagating`, updating the hint whenever it meets an owner.
+    Waiting(u32, u32),
+    /// Walker hunting for a free chair starting at `r`.
+    Propagating(u32),
+    /// Tentative claimant of chair `r`: `(countdown, r)`, counts down to
+    /// `Rank(r)`.
+    Phase(u32, u32),
+}
+
+/// The self-stabilizing ranking protocol over `n` agents; a
+/// [`CoinProtocol`] (duels need coins). See the [module docs](self).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ranking {
+    n: u32,
+}
+
+impl Ranking {
+    /// A ranking protocol for a population of exactly `n >= 2` agents.
+    /// (Ranking is inherently non-uniform: `1..=n` must be known to name
+    /// the chairs.)
+    pub fn new(n: u32) -> Self {
+        assert!(n >= 2, "ranking needs at least 2 agents, got {n}");
+        Self { n }
+    }
+
+    /// The population size the protocol ranks.
+    pub fn n(&self) -> u32 {
+        self.n
+    }
+
+    /// The chair after `r`, wrapping back to 1.
+    fn next(&self, r: u32) -> u32 {
+        r % self.n + 1
+    }
+
+    /// Folds adversarially injected garbage back into the state family:
+    /// anything with an out-of-range rank or countdown becomes `LE`.
+    fn norm(&self, s: RankState) -> RankState {
+        let rank_ok = |r: u32| (1..=self.n).contains(&r);
+        match s {
+            RankState::Rank(r) if rank_ok(r) => s,
+            RankState::LE => s,
+            RankState::Dormant(c) if (1..=C_DELAY).contains(&c) => s,
+            RankState::Waiting(c, h) if (1..=C_WAIT).contains(&c) && rank_ok(h) => s,
+            RankState::Propagating(r) if rank_ok(r) => s,
+            RankState::Phase(c, r) if (1..=C_LIVE).contains(&c) && rank_ok(r) => s,
+            _ => RankState::LE,
+        }
+    }
+
+    /// The chair a state claims, if any (`Rank` and `Phase` are claimants).
+    fn claim(s: RankState) -> Option<u32> {
+        match s {
+            RankState::Rank(r) | RankState::Phase(_, r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// One side of an interaction, given the partner's (old) state. Duels
+    /// are handled before this is called.
+    fn advance(&self, me: RankState, partner: RankState) -> RankState {
+        match me {
+            RankState::Rank(_) => me,
+            RankState::Propagating(r) => {
+                if Self::claim(partner) == Some(r) {
+                    // Chair taken: walk on.
+                    RankState::Propagating(self.next(r))
+                } else {
+                    // Tentatively sit down.
+                    RankState::Phase(C_LIVE, r)
+                }
+            }
+            RankState::Phase(c, r) => {
+                if c <= 1 {
+                    RankState::Rank(r)
+                } else {
+                    RankState::Phase(c - 1, r)
+                }
+            }
+            RankState::LE => {
+                if let Some(r) = Self::claim(partner) {
+                    // Ranks exist: stop contending, queue behind chair r.
+                    RankState::Waiting(C_WAIT, self.next(r))
+                } else {
+                    RankState::LE
+                }
+            }
+            RankState::Waiting(c, hint) => {
+                let hint = match Self::claim(partner) {
+                    Some(r) => self.next(r),
+                    None => hint,
+                };
+                if c <= 1 {
+                    RankState::Propagating(hint)
+                } else {
+                    RankState::Waiting(c - 1, hint)
+                }
+            }
+            RankState::Dormant(c) => {
+                if c <= 1 {
+                    RankState::Waiting(C_WAIT, 1)
+                } else {
+                    RankState::Dormant(c - 1)
+                }
+            }
+        }
+    }
+
+    /// Representative state universe for
+    /// [`AdversarialInit`](pp_core::faults::AdversarialInit): every chair
+    /// ownership plus one state from each transient family (including an
+    /// out-of-range `Rank(n + 1)` the normalizer must clean up).
+    pub fn universe(&self) -> Vec<RankState> {
+        let mut u = vec![
+            RankState::LE,
+            RankState::Dormant(C_DELAY),
+            RankState::Waiting(C_WAIT, 1),
+            RankState::Propagating(1),
+            RankState::Phase(C_LIVE, 1),
+            RankState::Rank(self.n + 1),
+        ];
+        u.extend((1..=self.n).map(RankState::Rank));
+        u
+    }
+
+    /// Live agents **not** holding a unique in-range rank — the protocol's
+    /// residual error (0 iff the live ranks are pairwise distinct chairs,
+    /// which for a full population means a permutation of `1..=n`).
+    pub fn unranked_agents<S: PairSampler, Pr: Probe>(
+        sim: &AgentSimulation<Ranking, S, Pr>,
+    ) -> u64 {
+        let proto = *sim.runtime().protocol();
+        let mut seen = HashSet::new();
+        let mut duplicated = HashSet::new();
+        let mut holders = 0u64;
+        let mut live = 0u64;
+        for a in 0..sim.population() as u32 {
+            if sim.is_crashed(a) {
+                continue;
+            }
+            live += 1;
+            if let RankState::Rank(r) = *sim.state_of(a) {
+                if (1..=proto.n).contains(&r) {
+                    holders += 1;
+                    if !seen.insert(r) {
+                        duplicated.insert(r);
+                    }
+                }
+            }
+        }
+        let mut unique_holders = holders;
+        for a in 0..sim.population() as u32 {
+            if sim.is_crashed(a) {
+                continue;
+            }
+            if let RankState::Rank(r) = *sim.state_of(a) {
+                if duplicated.contains(&r) {
+                    unique_holders -= 1;
+                }
+            }
+        }
+        live - unique_holders
+    }
+
+    /// Whether the live agents' states are exactly `Rank(1..=n)`, one each.
+    pub fn is_permutation<S: PairSampler, Pr: Probe>(
+        sim: &AgentSimulation<Ranking, S, Pr>,
+    ) -> bool {
+        Self::unranked_agents(sim) == 0
+    }
+
+    /// Runs up to `horizon` coined interactions
+    /// ([`step_coined`](AgentSimulation::step_coined)), checking every
+    /// `check_every` interactions, and reports recovery to a rank
+    /// permutation in the [`RecoveryReport`] convention (`injected_at` 0 —
+    /// the damage happened before the call). Because the permutation is
+    /// *absorbing*, the run stops early at the first synchronized
+    /// checkpoint; `recovered_at` overshoots the true seating time by less
+    /// than `check_every` slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `check_every` is 0.
+    pub fn measure_recovery<S: PairSampler, Pr: Probe>(
+        sim: &mut AgentSimulation<Ranking, S, Pr>,
+        horizon: u64,
+        check_every: u64,
+        rng: &mut impl RngCore,
+    ) -> RecoveryReport {
+        assert!(check_every > 0, "check_every must be positive");
+        let mut wrong = Self::unranked_agents(sim);
+        let mut last_wrong: Option<u64> = (wrong > 0).then_some(0);
+        let mut slot = 0u64;
+        while slot < horizon && wrong > 0 {
+            let chunk = check_every.min(horizon - slot);
+            for _ in 0..chunk {
+                sim.step_coined(rng);
+            }
+            slot += chunk;
+            wrong = Self::unranked_agents(sim);
+            if wrong > 0 {
+                last_wrong = Some(slot);
+            }
+        }
+        RecoveryReport {
+            injected_at: 0,
+            recovered_at: consensus_reached(wrong, last_wrong, 0),
+            residual_error: wrong,
+        }
+    }
+}
+
+impl Protocol for Ranking {
+    type State = RankState;
+    type Input = ();
+    type Output = u32;
+
+    fn input(&self, _: &()) -> RankState {
+        RankState::LE
+    }
+
+    /// Owners output their chair; everyone else outputs 0.
+    fn output(&self, &q: &RankState) -> u32 {
+        match self.norm(q) {
+            RankState::Rank(r) => r,
+            _ => 0,
+        }
+    }
+
+    /// The coinless transition: duels are no-ops, everything else proceeds.
+    fn delta(&self, p: &RankState, q: &RankState) -> (RankState, RankState) {
+        self.delta_coined(p, q, (None, None))
+    }
+}
+
+impl CoinProtocol for Ranking {
+    fn delta_coined(
+        &self,
+        p: &RankState,
+        q: &RankState,
+        coins: (Option<bool>, Option<bool>),
+    ) -> (RankState, RankState) {
+        let (p, q) = (self.norm(*p), self.norm(*q));
+        // Duels first: same-chair claimants, or two LE contenders. Unequal
+        // coins decide (initiator wins on its own `true`); equal or missing
+        // coins leave the duel for a later meeting.
+        let duel_winner_is_initiator = match coins {
+            (Some(a), Some(b)) if a != b => Some(a),
+            _ => None,
+        };
+        if let (Some(rp), Some(rq)) = (Self::claim(p), Self::claim(q)) {
+            if rp == rq {
+                return match duel_winner_is_initiator {
+                    Some(true) => (RankState::Rank(rp), RankState::Propagating(self.next(rp))),
+                    Some(false) => (RankState::Propagating(self.next(rp)), RankState::Rank(rp)),
+                    None => (p, q),
+                };
+            }
+        }
+        if p == RankState::LE && q == RankState::LE {
+            return match duel_winner_is_initiator {
+                Some(true) => (RankState::LE, RankState::Dormant(C_DELAY)),
+                Some(false) => (RankState::Dormant(C_DELAY), RankState::LE),
+                None => (p, q),
+            };
+        }
+        (self.advance(p, q), self.advance(q, p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_core::scheduler::UniformPairScheduler;
+    use pp_core::{seeded_rng, Simulation, SyntheticCoins};
+
+    #[test]
+    fn permutation_is_quiescent() {
+        let proto = Ranking::new(4);
+        for a in 1..=4u32 {
+            for b in 1..=4u32 {
+                if a == b {
+                    continue;
+                }
+                let (p, q) = (RankState::Rank(a), RankState::Rank(b));
+                assert_eq!(
+                    proto.delta_coined(&p, &q, (Some(true), Some(false))),
+                    (p, q),
+                    "distinct owners never move"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn same_chair_duel_is_decided_by_unequal_coins_only() {
+        let proto = Ranking::new(4);
+        let (p, q) = (RankState::Rank(2), RankState::Phase(3, 2));
+        assert_eq!(
+            proto.delta_coined(&p, &q, (Some(true), Some(false))),
+            (RankState::Rank(2), RankState::Propagating(3)),
+            "initiator's true coin wins"
+        );
+        assert_eq!(
+            proto.delta_coined(&p, &q, (Some(false), Some(true))),
+            (RankState::Propagating(3), RankState::Rank(2)),
+            "responder wins; the winner is promoted to full owner"
+        );
+        for coins in [(None, None), (Some(true), Some(true)), (None, Some(false))] {
+            assert_eq!(proto.delta_coined(&p, &q, coins), (p, q), "undecided duel is a no-op");
+        }
+    }
+
+    #[test]
+    fn chair_wraps_from_n_to_one() {
+        let proto = Ranking::new(4);
+        let (p, q) = (RankState::Rank(4), RankState::Rank(4));
+        let (w, l) = proto.delta_coined(&p, &q, (Some(true), Some(false)));
+        assert_eq!(w, RankState::Rank(4));
+        assert_eq!(l, RankState::Propagating(1), "loser of chair n hunts from chair 1");
+    }
+
+    #[test]
+    fn walker_advances_past_the_owner_and_sits_elsewhere() {
+        let proto = Ranking::new(4);
+        // Walker meets the owner of its target chair: advance.
+        assert_eq!(
+            proto.delta_coined(&RankState::Propagating(2), &RankState::Rank(2), (None, None)),
+            (RankState::Propagating(3), RankState::Rank(2))
+        );
+        // Walker meets anyone else: tentative claim.
+        assert_eq!(
+            proto.delta_coined(&RankState::Propagating(2), &RankState::Rank(3), (None, None)),
+            (RankState::Phase(C_LIVE, 2), RankState::Rank(3))
+        );
+    }
+
+    #[test]
+    fn out_of_range_states_normalize_to_le() {
+        let proto = Ranking::new(4);
+        for bad in [
+            RankState::Rank(0),
+            RankState::Rank(5),
+            RankState::Dormant(0),
+            RankState::Dormant(C_DELAY + 1),
+            RankState::Waiting(C_WAIT + 1, 1),
+            RankState::Waiting(1, 9),
+            RankState::Propagating(99),
+            RankState::Phase(C_LIVE + 1, 2),
+        ] {
+            assert_eq!(proto.norm(bad), RankState::LE, "{bad:?} must fold to LE");
+            assert_eq!(proto.output(&bad), 0);
+        }
+    }
+
+    #[test]
+    fn fresh_population_seats_itself() {
+        let n = 16u32;
+        let proto = Ranking::new(n);
+        let inputs = vec![(); n as usize];
+        let mut sim = AgentSimulation::from_inputs(
+            proto,
+            &inputs,
+            UniformPairScheduler::new(n as usize),
+        );
+        let mut rng = seeded_rng(41);
+        let rep = Ranking::measure_recovery(&mut sim, 500_000, 64, &mut rng);
+        assert!(rep.recovered(), "residual {}", rep.residual_error);
+        assert!(Ranking::is_permutation(&sim));
+    }
+
+    #[test]
+    fn recovers_from_an_all_rank_one_flood() {
+        // Everyone claims chair 1 — maximal conflict.
+        let n = 12u32;
+        let proto = Ranking::new(n);
+        let inputs = vec![(); n as usize];
+        let mut sim = AgentSimulation::from_inputs(
+            proto,
+            &inputs,
+            UniformPairScheduler::new(n as usize),
+        );
+        let mut rng = seeded_rng(43);
+        sim.overwrite_live_states(|_| RankState::Rank(1));
+        let rep = Ranking::measure_recovery(&mut sim, 1_000_000, 64, &mut rng);
+        assert!(rep.recovered(), "residual {}", rep.residual_error);
+    }
+
+    #[test]
+    fn synthetic_coins_run_the_protocol_on_the_count_engine() {
+        let n = 8u32;
+        let proto = SyntheticCoins(Ranking::new(n));
+        let mut sim = Simulation::from_counts(proto, [((), n as u64)]);
+        let mut rng = seeded_rng(45);
+        sim.run(400_000, &mut rng);
+        // Count the owned chairs: a full permutation means each of 1..=n
+        // is output by exactly one agent.
+        let owned: Vec<u64> = (1..=n).map(|r| sim.count_with_output(&r)).collect();
+        assert!(
+            owned.iter().all(|&c| c == 1),
+            "count engine with synthetic coins must seat all agents, got {owned:?}"
+        );
+    }
+}

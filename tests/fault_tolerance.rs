@@ -7,7 +7,7 @@
 
 use population_protocols::core::prelude::*;
 use population_protocols::protocols::linear::LinState;
-use population_protocols::protocols::{majority, CountThreshold};
+use population_protocols::protocols::{majority, CountThreshold, PhaseClock, Ranking};
 
 fn epidemic() -> impl pp_core::Protocol<State = bool, Input = bool, Output = bool> + Clone {
     FnProtocol::new(
@@ -113,6 +113,141 @@ fn majority_leader_crash_freezes_outputs() {
         before,
         "a leaderless Lemma 5 population is frozen"
     );
+}
+
+// ---------------------------------------------------------------------------
+// Self-stabilization: recovery from adversarial *initialization* (ISSUE 6).
+// The phase clock and the ranking protocol recover from any start by design;
+// the paper's exact majority provably does not. Each claim is pinned here.
+// ---------------------------------------------------------------------------
+
+/// Folds per-trial phase-clock resync reports into an [`Mttr`] summary,
+/// starting every trial from `init` — always in trial order, so the JSON is
+/// byte-identical at any thread count.
+fn clock_mttr(
+    n: u64,
+    period: u32,
+    init: &AdversarialInit<u32>,
+    trials: u64,
+    horizon: u64,
+    threads: Option<usize>,
+) -> Mttr {
+    let mut ens = Ensemble::new(trials, 0xC10C * n);
+    if let Some(t) = threads {
+        ens = ens.with_threads(t);
+    }
+    let reports = ens.map(|_, rng| {
+        let clock = PhaseClock::new(period);
+        let mut sim = Simulation::from_counts(clock, [((), n)]);
+        sim.apply_adversarial_init(init, rng);
+        PhaseClock::measure_resync(&mut sim, horizon, 512, rng)
+    });
+    let mut mttr = Mttr::new();
+    for rep in &reports {
+        mttr.absorb(rep);
+    }
+    mttr
+}
+
+#[test]
+fn self_stab_phase_clock_resyncs_from_every_init_mode() {
+    // Worst-case-enumerated universe: four hours spread evenly around the
+    // dial, so every enumerated configuration is a hostile multi-cluster
+    // split (small universe keeps the enumeration space tractable).
+    let quarters = vec![0u32, 16, 32, 48];
+    for n in [64u64, 256] {
+        let horizon = if n == 64 { 800_000 } else { 2_000_000 };
+        let dial: Vec<u32> = (0..64).collect();
+        let modes = [
+            ("uniform-random", AdversarialInit::uniform_random(dial)),
+            ("flood", AdversarialInit::flood(17u32)),
+            (
+                "enumerated",
+                AdversarialInit::enumerated(
+                    quarters.clone(),
+                    enumeration_count(quarters.len(), n) / 2,
+                ),
+            ),
+        ];
+        for (name, init) in modes {
+            let mttr = clock_mttr(n, 64, &init, 3, horizon, None);
+            assert_eq!(
+                mttr.recovered(),
+                mttr.trials(),
+                "phase clock must resync from {name} init at n={n}"
+            );
+        }
+    }
+}
+
+#[test]
+fn self_stab_phase_clock_flood_init_is_already_legal() {
+    // A single-hour flood is a *legal* clock configuration: recovery is
+    // instant, and the MTTR summary should say so exactly.
+    let mttr = clock_mttr(64, 64, &AdversarialInit::flood(9u32), 4, 100_000, None);
+    assert_eq!(mttr.recovered(), 4);
+    assert_eq!(mttr.mean(), 0.0, "flooded clock never counts as desynchronized");
+}
+
+#[test]
+fn self_stab_ensemble_mttr_is_byte_identical_across_thread_counts() {
+    // The mergeable-MTTR path: one worker vs two must produce the same
+    // bytes, because per-trial reports are folded in trial order.
+    let dial: Vec<u32> = (0..64).collect();
+    let init = AdversarialInit::uniform_random(dial);
+    let one = clock_mttr(64, 64, &init, 6, 600_000, Some(1));
+    let two = clock_mttr(64, 64, &init, 6, 600_000, Some(2));
+    assert_eq!(one.to_json(), two.to_json(), "MTTR must not depend on thread count");
+}
+
+#[test]
+fn self_stab_ranking_seats_a_permutation_from_uniform_random_init() {
+    // Agent engine with synthesized coins: from a uniform scatter over the
+    // whole state family, the population must end seated on chairs 1..=n.
+    let n = 16u32;
+    let proto = Ranking::new(n);
+    let universe = proto.universe();
+    let init = AdversarialInit::uniform_random(universe);
+    for seed in [11u64, 12] {
+        let mut sim = AgentSimulation::from_inputs(
+            proto,
+            &vec![(); n as usize],
+            UniformPairScheduler::new(n as usize),
+        );
+        let mut rng = seeded_rng(seed);
+        sim.apply_adversarial_init(&init, &mut rng);
+        let rep = Ranking::measure_recovery(&mut sim, 2_000_000, 1_000, &mut rng);
+        assert!(rep.recovered(), "ranking must recover under seed {seed}");
+        assert!(Ranking::is_permutation(&sim), "final configuration must be a permutation");
+    }
+}
+
+#[test]
+fn self_stab_exact_majority_stays_wrong_after_flood_init() {
+    // Regression pin for the negative result: flooding the Lemma 5 majority
+    // protocol with a leaderless false-verdict state freezes the population
+    // on the wrong answer — it has no self-stabilization to offer.
+    let ens = Ensemble::new(4, 77).legacy_offset_seeds();
+    let report = ens.run_with_faults(
+        |_| {
+            let sim = Simulation::from_counts(majority(), [(0usize, 6), (1usize, 7)]);
+            let plan = AdversarialInit::flood(LinState::new(false, false, 0));
+            (sim, plan)
+        },
+        &true, // 7 > 6: the uncorrupted answer is "more ones"
+        200_000,
+    );
+    assert_eq!(report.recovery_rate(), 0.0, "exact majority must NOT recover");
+    let mttr = report.final_mttr();
+    assert_eq!(mttr.recovered(), 0);
+    assert_eq!(mttr.trials(), 4);
+    for run in report.runs() {
+        assert_eq!(
+            run.final_segment().residual_error,
+            13,
+            "every agent is stuck on the flooded false verdict"
+        );
+    }
 }
 
 #[test]
