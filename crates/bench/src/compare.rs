@@ -1,0 +1,728 @@
+//! Bench regression gate: diff a set of freshly produced `BENCH_*.json`
+//! reports against checked-in baselines and fail on perf regressions.
+//!
+//! The comparison is *noise-aware*: a timing metric only counts as a
+//! regression when it worsens by more than
+//! `max(rel_floor, 3·σ_rel)`, where `σ_rel` is the relative standard
+//! deviation read from a `<metric>_std` companion cell when the baseline
+//! row carries one. Only whitelisted timing metrics ([`METRICS`]) are
+//! compared; every other cell identifies the row (its *key*), except
+//! derived ratios ([`EXCLUDED`]) which are ignored entirely. Rows present
+//! in the baseline but missing from the current report are coverage
+//! regressions and fail the gate too.
+//!
+//! The build is offline, so the reader is a tiny hand-rolled
+//! recursive-descent JSON parser ([`parse_json`]) — just enough for the
+//! `pp-bench/v1` reports this crate itself emits.
+//!
+//! Driven by the `ppbench-compare` binary (workspace `src/bin/`), which CI
+//! runs against the six checked-in baselines on every bench-smoke job and
+//! whose `--self-test` mode injects a synthetic 50 % slowdown to prove the
+//! gate actually trips.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use pp_core::Welford;
+
+/// Timing metrics compared against the baseline (larger = worse). All
+/// other row cells form the row's identity key.
+pub const METRICS: &[&str] = &["ns_per_step", "us_per_run", "wall_s"];
+
+/// Cells ignored entirely: derived ratios of timing metrics, which are as
+/// noisy as their inputs and would otherwise pollute row keys.
+pub const EXCLUDED: &[&str] = &["speedup", "share", "overhead"];
+
+/// Default relative tolerance floor: a metric must worsen by more than
+/// 25 % (or 3σ, whichever is larger) to fail the gate. Generous on
+/// purpose — single-shot bench numbers on shared hosts jitter.
+pub const DEFAULT_TOLERANCE: f64 = 0.25;
+
+// ---------------------------------------------------------------------------
+// Minimal JSON value + recursive-descent parser
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value. Numbers are kept as `f64` — the reports only carry
+/// measurement scalars, well inside the 2⁵³ exact-integer range.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, preserving field order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Looks up a field of an object; `None` for other variants.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Compact display form used in row keys and delta tables.
+    pub fn display(&self) -> String {
+        match self {
+            Json::Null => "null".into(),
+            Json::Bool(b) => b.to_string(),
+            Json::Num(v) => format_num(*v),
+            Json::Str(s) => s.clone(),
+            Json::Arr(xs) => {
+                let mut out = String::from("[");
+                for (i, x) in xs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&x.display());
+                }
+                out.push(']');
+                out
+            }
+            Json::Obj(_) => "{..}".into(),
+        }
+    }
+}
+
+fn format_num(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> String {
+        format!("JSON parse error at byte {}: {msg}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn literal(&mut self, word: &str, val: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(val)
+        } else {
+            Err(self.err(&format!("expected '{word}'")))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|_| self.err("bad utf-8 in number"))?;
+        text.parse::<f64>().map(Json::Num).map_err(|_| self.err(&format!("bad number '{text}'")))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16).map_err(|_| self.err("bad \\u escape"))?;
+                            // Reports never emit surrogate pairs; map lone
+                            // surrogates to U+FFFD rather than erroring.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Copy one UTF-8 scalar (multi-byte safe).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..]).map_err(|_| self.err("bad utf-8"))?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut xs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(xs));
+        }
+        loop {
+            xs.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(xs));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let val = self.value()?;
+            fields.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+/// Parses one JSON document, requiring the whole input to be consumed.
+pub fn parse_json(text: &str) -> Result<Json, String> {
+    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing data after JSON document"));
+    }
+    Ok(v)
+}
+
+// ---------------------------------------------------------------------------
+// Bench-report model
+// ---------------------------------------------------------------------------
+
+/// One parsed `BENCH_<experiment>.json` report: its experiment name plus
+/// measurement rows (field order preserved).
+#[derive(Debug, Clone)]
+pub struct BenchFile {
+    /// Experiment id, e.g. `"e19_batched_throughput"`.
+    pub experiment: String,
+    /// Measurement rows, each an ordered list of `(name, value)` cells.
+    pub rows: Vec<Vec<(String, Json)>>,
+}
+
+/// Parses a `pp-bench/v1` report.
+pub fn parse_bench_file(text: &str) -> Result<BenchFile, String> {
+    let doc = parse_json(text)?;
+    let schema = doc.get("schema").and_then(Json::as_str).unwrap_or("");
+    if schema != "pp-bench/v1" {
+        return Err(format!("unsupported schema {schema:?} (want \"pp-bench/v1\")"));
+    }
+    let experiment = doc
+        .get("experiment")
+        .and_then(Json::as_str)
+        .ok_or("report has no \"experiment\" field")?
+        .to_owned();
+    let rows = match doc.get("rows") {
+        Some(Json::Arr(rows)) => rows
+            .iter()
+            .map(|r| match r {
+                Json::Obj(fields) => Ok(fields.clone()),
+                _ => Err("row is not an object".to_owned()),
+            })
+            .collect::<Result<Vec<_>, _>>()?,
+        _ => return Err("report has no \"rows\" array".to_owned()),
+    };
+    Ok(BenchFile { experiment, rows })
+}
+
+/// The identity key of a row: every cell that is neither a compared metric,
+/// a `<metric>_std` companion, nor excluded, rendered as `k=v` joined by
+/// spaces. Two reports' rows are matched on this key.
+pub fn row_key(row: &[(String, Json)]) -> String {
+    let mut key = String::new();
+    for (k, v) in row {
+        if METRICS.contains(&k.as_str()) || EXCLUDED.contains(&k.as_str()) {
+            continue;
+        }
+        if let Some(base) = k.strip_suffix("_std") {
+            if METRICS.contains(&base) {
+                continue;
+            }
+        }
+        if !key.is_empty() {
+            key.push(' ');
+        }
+        let _ = write!(key, "{k}={}", v.display());
+    }
+    key
+}
+
+/// Multiplies every whitelisted metric by `factor`, in memory. Used by the
+/// gate's `--self-test` to fake a uniform slowdown and prove that the
+/// comparison actually fails on it.
+pub fn inflate_metrics(file: &mut BenchFile, factor: f64) {
+    for row in &mut file.rows {
+        for (k, v) in row.iter_mut() {
+            if METRICS.contains(&k.as_str()) {
+                if let Json::Num(x) = v {
+                    *x *= factor;
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Comparison
+// ---------------------------------------------------------------------------
+
+/// One metric's baseline-vs-current comparison.
+#[derive(Debug, Clone)]
+pub struct Delta {
+    /// Experiment the row belongs to.
+    pub experiment: String,
+    /// The row's identity key.
+    pub key: String,
+    /// Metric name.
+    pub metric: String,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Current value.
+    pub current: f64,
+    /// Relative change `(current - baseline) / baseline`; positive = slower.
+    pub rel: f64,
+    /// Relative threshold this row was judged against.
+    pub threshold: f64,
+    /// Whether `rel > threshold` (a regression).
+    pub regressed: bool,
+}
+
+/// Full outcome of a comparison run.
+#[derive(Debug, Clone, Default)]
+pub struct CompareOutcome {
+    /// Per-metric deltas for every matched row.
+    pub deltas: Vec<Delta>,
+    /// Hard failures other than metric regressions: missing rows, missing
+    /// metrics, unreadable files. Any entry fails the gate.
+    pub problems: Vec<String>,
+    /// Informational notes (new rows, skipped files).
+    pub notes: Vec<String>,
+}
+
+impl CompareOutcome {
+    /// Number of metric regressions.
+    pub fn regressions(&self) -> usize {
+        self.deltas.iter().filter(|d| d.regressed).count()
+    }
+
+    /// Whether the gate passes: no regressions and no structural problems.
+    pub fn passed(&self) -> bool {
+        self.regressions() == 0 && self.problems.is_empty()
+    }
+}
+
+/// Compares every baseline row of `baseline` against `current`.
+///
+/// `tolerance` is the relative noise floor; a `<metric>_std` cell in the
+/// baseline row widens it to `3·σ/baseline` when that is larger.
+pub fn compare_files(baseline: &BenchFile, current: &BenchFile, tolerance: f64, out: &mut CompareOutcome) {
+    let exp = &baseline.experiment;
+    let current_keys: Vec<String> = current.rows.iter().map(|r| row_key(r)).collect();
+    let mut matched = vec![false; current.rows.len()];
+    for brow in &baseline.rows {
+        let key = row_key(brow);
+        let Some(ci) = current_keys.iter().position(|k| *k == key) else {
+            out.problems.push(format!("{exp}: baseline row [{key}] missing from current report"));
+            continue;
+        };
+        matched[ci] = true;
+        let crow = &current.rows[ci];
+        for (name, bval) in brow {
+            if !METRICS.contains(&name.as_str()) {
+                continue;
+            }
+            let Some(b) = bval.as_f64() else { continue };
+            let Some(c) = crow.iter().find(|(k, _)| k == name).and_then(|(_, v)| v.as_f64()) else {
+                out.problems.push(format!("{exp}: [{key}] lost metric {name}"));
+                continue;
+            };
+            let sigma_rel = brow
+                .iter()
+                .find(|(k, _)| *k == format!("{name}_std"))
+                .and_then(|(_, v)| v.as_f64())
+                .map(|s| if b != 0.0 { (s / b).abs() } else { 0.0 })
+                .unwrap_or(0.0);
+            let threshold = tolerance.max(3.0 * sigma_rel);
+            let rel = if b != 0.0 { (c - b) / b } else if c == 0.0 { 0.0 } else { f64::INFINITY };
+            out.deltas.push(Delta {
+                experiment: exp.clone(),
+                key: key.clone(),
+                metric: name.clone(),
+                baseline: b,
+                current: c,
+                rel,
+                threshold,
+                regressed: rel > threshold,
+            });
+        }
+    }
+    for (ci, hit) in matched.iter().enumerate() {
+        if !hit {
+            out.notes.push(format!("{exp}: new row [{}] (no baseline)", current_keys[ci]));
+        }
+    }
+}
+
+/// Compares every `BENCH_*.json` in `baseline_dir` against the same-named
+/// file in `current_dir`. Baseline files with no current counterpart are
+/// skipped with a note — a local run may regenerate only a subset — but an
+/// unreadable or unparsable file on either side is a problem.
+pub fn compare_dirs(baseline_dir: &Path, current_dir: &Path, tolerance: f64) -> CompareOutcome {
+    let mut out = CompareOutcome::default();
+    let mut names: Vec<String> = match std::fs::read_dir(baseline_dir) {
+        Ok(rd) => rd
+            .filter_map(|e| e.ok())
+            .filter_map(|e| e.file_name().into_string().ok())
+            .filter(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+            .collect(),
+        Err(e) => {
+            out.problems.push(format!("cannot read baseline dir {}: {e}", baseline_dir.display()));
+            return out;
+        }
+    };
+    names.sort();
+    if names.is_empty() {
+        out.problems.push(format!("no BENCH_*.json baselines in {}", baseline_dir.display()));
+        return out;
+    }
+    for name in names {
+        let bpath = baseline_dir.join(&name);
+        let cpath = current_dir.join(&name);
+        if !cpath.exists() {
+            out.notes.push(format!("{name}: not present in current dir, skipped"));
+            continue;
+        }
+        let baseline = match std::fs::read_to_string(&bpath).map_err(|e| e.to_string()).and_then(|t| parse_bench_file(&t)) {
+            Ok(f) => f,
+            Err(e) => {
+                out.problems.push(format!("{}: {e}", bpath.display()));
+                continue;
+            }
+        };
+        let current = match std::fs::read_to_string(&cpath).map_err(|e| e.to_string()).and_then(|t| parse_bench_file(&t)) {
+            Ok(f) => f,
+            Err(e) => {
+                out.problems.push(format!("{}: {e}", cpath.display()));
+                continue;
+            }
+        };
+        compare_files(&baseline, &current, tolerance, &mut out);
+    }
+    if out.deltas.is_empty() && out.problems.is_empty() {
+        out.problems.push(format!(
+            "nothing compared: no current report in {} matches a baseline",
+            current_dir.display()
+        ));
+    }
+    out
+}
+
+/// Renders the per-row delta table plus a summary line (mean/σ/worst of the
+/// relative deltas, via [`Welford`]) and any problems/notes.
+pub fn render_report(out: &CompareOutcome) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{:<24} {:<44} {:>12} {:>12} {:>12} {:>8} {:>8}  verdict",
+        "experiment", "row", "metric", "baseline", "current", "delta", "thresh"
+    );
+    let width = 24 + 1 + 44 + 1 + 12 + 1 + 12 + 1 + 12 + 1 + 8 + 1 + 8 + 2 + 7;
+    let _ = writeln!(s, "{}", "-".repeat(width));
+    let mut rels = Welford::new();
+    let mut worst: Option<&Delta> = None;
+    for d in &out.deltas {
+        rels.push(d.rel);
+        if worst.map(|w| d.rel > w.rel).unwrap_or(true) {
+            worst = Some(d);
+        }
+        let _ = writeln!(
+            s,
+            "{:<24} {:<44} {:>12} {:>12.4} {:>12.4} {:>+7.1}% {:>+7.1}%  {}",
+            d.experiment,
+            truncate(&d.key, 44),
+            d.metric,
+            d.baseline,
+            d.current,
+            d.rel * 100.0,
+            d.threshold * 100.0,
+            if d.regressed { "REGRESSED" } else { "ok" },
+        );
+    }
+    for note in &out.notes {
+        let _ = writeln!(s, "note: {note}");
+    }
+    for problem in &out.problems {
+        let _ = writeln!(s, "PROBLEM: {problem}");
+    }
+    if rels.count() > 0 {
+        let _ = writeln!(
+            s,
+            "{} metrics compared: mean delta {:+.2}%, sd {:.2}%, worst {:+.2}% ({})",
+            rels.count(),
+            rels.mean() * 100.0,
+            rels.std_dev() * 100.0,
+            rels.max() * 100.0,
+            worst.map(|d| format!("{}: {} [{}]", d.experiment, d.metric, truncate(&d.key, 44))).unwrap_or_default(),
+        );
+    }
+    let _ = writeln!(
+        s,
+        "{}",
+        if out.passed() {
+            format!("PASS: no regressions ({} problems, {} notes)", out.problems.len(), out.notes.len())
+        } else {
+            format!("FAIL: {} regressions, {} problems", out.regressions(), out.problems.len())
+        }
+    );
+    s
+}
+
+fn truncate(s: &str, max: usize) -> String {
+    if s.chars().count() <= max {
+        s.to_owned()
+    } else {
+        let cut: String = s.chars().take(max.saturating_sub(1)).collect();
+        format!("{cut}…")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(exp: &str, rows: Vec<Vec<(&str, Json)>>) -> BenchFile {
+        BenchFile {
+            experiment: exp.into(),
+            rows: rows
+                .into_iter()
+                .map(|r| r.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn parser_round_trips_a_real_report_shape() {
+        let text = r#"{"schema":"pp-bench/v1","experiment":"e19","unix_time":1785972958,
+          "meta":{"smoke":false,"k_seq":2000000},
+          "rows":[
+            {"case":"majority_step","n":1000,"ns_per_step":29.1564715},
+            {"case":"majority_batched","n":1000,"ns_per_step":12.311794,"speedup":2.3681740857587448}
+        ]}"#;
+        let f = parse_bench_file(text).unwrap();
+        assert_eq!(f.experiment, "e19");
+        assert_eq!(f.rows.len(), 2);
+        assert_eq!(row_key(&f.rows[0]), "case=majority_step n=1000");
+        // speedup is excluded from the key.
+        assert_eq!(row_key(&f.rows[1]), "case=majority_batched n=1000");
+    }
+
+    #[test]
+    fn parser_handles_escapes_nulls_and_nested_values() {
+        let v = parse_json(r#"{"a":"x\n\"yA","b":[null,true,-2.5e1],"c":{}}"#).unwrap();
+        assert_eq!(v.get("a").unwrap().as_str(), Some("x\n\"yA"));
+        assert_eq!(v.get("b"), Some(&Json::Arr(vec![Json::Null, Json::Bool(true), Json::Num(-25.0)])));
+        assert!(parse_json("{\"a\":1} extra").is_err());
+        assert!(parse_json("{\"a\":}").is_err());
+    }
+
+    #[test]
+    fn within_tolerance_passes_and_beyond_fails() {
+        let baseline = file("e", vec![vec![("case", Json::Str("a".into())), ("ns_per_step", Json::Num(10.0))]]);
+        let mut slow = baseline.clone();
+        inflate_metrics(&mut slow, 1.2); // +20% < 25% floor
+        let mut out = CompareOutcome::default();
+        compare_files(&baseline, &slow, DEFAULT_TOLERANCE, &mut out);
+        assert!(out.passed(), "{out:?}");
+
+        let mut slower = baseline.clone();
+        inflate_metrics(&mut slower, 1.5); // +50% > 25% floor
+        let mut out = CompareOutcome::default();
+        compare_files(&baseline, &slower, DEFAULT_TOLERANCE, &mut out);
+        assert_eq!(out.regressions(), 1);
+        assert!(!out.passed());
+        assert!(render_report(&out).contains("REGRESSED"));
+    }
+
+    #[test]
+    fn std_companion_widens_the_threshold() {
+        // σ_rel = 2/10 → 3σ = 60% > 25% floor; +50% must now pass.
+        let baseline = file(
+            "e",
+            vec![vec![
+                ("case", Json::Str("a".into())),
+                ("wall_s", Json::Num(10.0)),
+                ("wall_s_std", Json::Num(2.0)),
+            ]],
+        );
+        let current = file(
+            "e",
+            vec![vec![
+                ("case", Json::Str("a".into())),
+                ("wall_s", Json::Num(15.0)),
+                ("wall_s_std", Json::Num(2.0)),
+            ]],
+        );
+        let mut out = CompareOutcome::default();
+        compare_files(&baseline, &current, DEFAULT_TOLERANCE, &mut out);
+        assert!(out.passed(), "{out:?}");
+        assert!((out.deltas[0].threshold - 0.6).abs() < 1e-12);
+        // The _std companion must not leak into the row key.
+        assert_eq!(out.deltas[0].key, "case=a");
+    }
+
+    #[test]
+    fn missing_rows_and_metrics_are_problems_improvements_pass() {
+        let baseline = file(
+            "e",
+            vec![
+                vec![("case", Json::Str("gone".into())), ("ns_per_step", Json::Num(5.0))],
+                vec![("case", Json::Str("kept".into())), ("ns_per_step", Json::Num(10.0))],
+            ],
+        );
+        let current = file(
+            "e",
+            vec![
+                vec![("case", Json::Str("kept".into())), ("ns_per_step", Json::Num(1.0))],
+                vec![("case", Json::Str("fresh".into())), ("ns_per_step", Json::Num(9.0))],
+            ],
+        );
+        let mut out = CompareOutcome::default();
+        compare_files(&baseline, &current, DEFAULT_TOLERANCE, &mut out);
+        assert_eq!(out.regressions(), 0, "10 → 1 is an improvement");
+        assert_eq!(out.problems.len(), 1, "{:?}", out.problems);
+        assert!(out.problems[0].contains("case=gone"));
+        assert_eq!(out.notes.len(), 1);
+        assert!(out.notes[0].contains("case=fresh"));
+        assert!(!out.passed(), "a lost row fails the gate");
+    }
+
+    #[test]
+    fn self_test_inflation_trips_the_gate_on_every_metric() {
+        let baseline = file(
+            "e",
+            vec![vec![
+                ("case", Json::Str("a".into())),
+                ("ns_per_step", Json::Num(10.0)),
+                ("us_per_run", Json::Num(3.0)),
+                ("wall_s", Json::Num(1.0)),
+            ]],
+        );
+        let mut slow = baseline.clone();
+        inflate_metrics(&mut slow, 1.5);
+        let mut out = CompareOutcome::default();
+        compare_files(&baseline, &slow, DEFAULT_TOLERANCE, &mut out);
+        assert_eq!(out.regressions(), 3);
+    }
+}

@@ -1,10 +1,13 @@
-//! Shared helpers for the experiment harnesses (benches `e1`–`e20`).
+//! Shared helpers for the experiment harnesses (benches `e1`–`e22`).
 //!
 //! Each `benches/eN_*.rs` target regenerates one quantitative claim of
 //! Angluin et al. (PODC 2004), printing a paper-vs-measured table; see
 //! `DESIGN.md` §3 for the experiment index and `EXPERIMENTS.md` for
 //! recorded results. The [`report`] module additionally emits each
-//! experiment's numbers as a machine-readable `BENCH_<exp>.json`.
+//! experiment's numbers as a machine-readable `BENCH_<exp>.json` and
+//! appends a `BENCH_HISTORY.jsonl` trajectory record; the [`compare`]
+//! module diffs fresh reports against checked-in baselines (the
+//! `ppbench-compare` regression gate).
 //!
 //! Every bench honours `PP_BENCH_SMOKE=1` ([`smoke`]): populations and
 //! trial counts drop to "does it run" size so CI can execute the whole
@@ -13,9 +16,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod compare;
 pub mod report;
 
-pub use report::{smoke, BenchReport, Value};
+pub use compare::{compare_dirs, parse_bench_file, parse_json, render_report, CompareOutcome, Json, DEFAULT_TOLERANCE};
+pub use report::{smoke, unix_now, BenchReport, Value};
 
 /// Sample mean.
 pub fn mean(xs: &[f64]) -> f64 {

@@ -21,10 +21,19 @@
 //! `PP_BENCH_SMOKE=1` ([`smoke`]) reports are still assembled — so the
 //! serialization path is exercised in CI — but not written to disk,
 //! keeping smoke runs side-effect free.
+//!
+//! Alongside each `BENCH_<exp>.json`, every non-smoke [`BenchReport::write`]
+//! appends one compact `pp-bench-history/v1` record — the same header,
+//! optional [`pp_core::RunManifest`], metadata and rows on a single line —
+//! to `BENCH_HISTORY.jsonl`, giving the repo an append-only perf trajectory
+//! across commits. All wall-clock stamps come from [`unix_now`], which
+//! honours `PP_BENCH_FAKE_TIME` for reproducible fixtures.
 
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+use pp_core::RunManifest;
 
 /// Whether this bench run is a CI smoke run (`PP_BENCH_SMOKE` set to
 /// anything but `0` or the empty string): populations and trial counts
@@ -32,6 +41,21 @@ use std::time::{Instant, SystemTime, UNIX_EPOCH};
 /// written to disk.
 pub fn smoke() -> bool {
     std::env::var("PP_BENCH_SMOKE").map(|v| !v.is_empty() && v != "0").unwrap_or(false)
+}
+
+/// Seconds since the Unix epoch, as stamped into every report header.
+///
+/// All wall-clock stamping in this crate goes through this one helper so
+/// tests and CI fixtures can pin it: when `PP_BENCH_FAKE_TIME` is set to an
+/// integer, that value is returned instead of the real clock, making report
+/// and history output byte-reproducible.
+pub fn unix_now() -> u64 {
+    if let Ok(v) = std::env::var("PP_BENCH_FAKE_TIME") {
+        if let Ok(t) = v.trim().parse::<u64>() {
+            return t;
+        }
+    }
+    SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_secs()).unwrap_or(0)
 }
 
 /// A JSON-serializable scalar or list cell.
@@ -175,6 +199,7 @@ pub struct BenchReport {
     meta: Vec<(String, Value)>,
     rows: Vec<Vec<(String, Value)>>,
     started: Option<Instant>,
+    manifest: Option<RunManifest>,
 }
 
 impl BenchReport {
@@ -189,10 +214,20 @@ impl BenchReport {
             meta: Vec::new(),
             rows: Vec::new(),
             started: Some(Instant::now()),
+            manifest: None,
         };
         r.set_meta("smoke", smoke());
         r.set_meta("threads", pp_core::ensemble::default_threads());
         r
+    }
+
+    /// Attaches a [`RunManifest`] (schema `pp-run/v1`) identifying the run:
+    /// master seed, protocol, population, thread count, fault plan, git
+    /// revision. Serialized under the `"manifest"` key in both the report
+    /// and its `BENCH_HISTORY.jsonl` record.
+    pub fn set_manifest(&mut self, manifest: RunManifest) -> &mut Self {
+        self.manifest = Some(manifest);
+        self
     }
 
     /// Sets a metadata field (population size, trial count, …), replacing
@@ -229,14 +264,29 @@ impl BenchReport {
 
     /// Serializes the report to a single-object JSON string.
     pub fn to_json(&self) -> String {
-        let unix_time = SystemTime::now()
-            .duration_since(UNIX_EPOCH)
-            .map(|d| d.as_secs())
-            .unwrap_or(0);
+        self.serialize("pp-bench/v1", true)
+    }
+
+    /// One compact line for `BENCH_HISTORY.jsonl`: the same payload as
+    /// [`to_json`](Self::to_json) under schema `pp-bench-history/v1`, with
+    /// no interior newlines so the file stays valid JSONL.
+    pub fn to_history_line(&self) -> String {
+        self.serialize("pp-bench-history/v1", false)
+    }
+
+    fn serialize(&self, schema: &str, pretty: bool) -> String {
+        let unix_time = unix_now();
         let mut out = String::with_capacity(256 + 64 * self.rows.len());
-        out.push_str("{\"schema\":\"pp-bench/v1\",\"experiment\":");
+        out.push_str("{\"schema\":");
+        push_json_str(&mut out, schema);
+        out.push_str(",\"experiment\":");
         push_json_str(&mut out, &self.experiment);
-        let _ = write!(out, ",\"unix_time\":{unix_time},\"meta\":");
+        let _ = write!(out, ",\"unix_time\":{unix_time}");
+        if let Some(m) = &self.manifest {
+            out.push_str(",\"manifest\":");
+            out.push_str(&m.to_json());
+        }
+        out.push_str(",\"meta\":");
         let mut meta = self.meta.clone();
         if let Some(t0) = self.started {
             if !meta.iter().any(|(k, _)| k == "wall_s") {
@@ -249,10 +299,16 @@ impl BenchReport {
             if i > 0 {
                 out.push(',');
             }
-            out.push_str("\n  ");
+            if pretty {
+                out.push_str("\n  ");
+            }
             push_json_object(&mut out, row);
         }
-        out.push_str("\n]}\n");
+        if pretty {
+            out.push_str("\n]}\n");
+        } else {
+            out.push_str("]}");
+        }
         out
     }
 
@@ -267,23 +323,37 @@ impl BenchReport {
 
     /// Serializes the report and — outside smoke mode — writes it to
     /// `BENCH_<experiment>.json` in [`output_dir`](Self::output_dir),
-    /// printing the destination. In smoke mode the JSON is still built
-    /// (serialization bugs fail the smoke job) but nothing touches disk.
+    /// printing the destination, and appends one compact
+    /// `pp-bench-history/v1` record to `BENCH_HISTORY.jsonl` in the same
+    /// directory so the repo accumulates a perf trajectory across runs. In
+    /// smoke mode the JSON is still built (serialization bugs fail the
+    /// smoke job) but nothing touches disk.
     ///
     /// # Panics
     ///
-    /// Panics if the file cannot be written — a bench that silently loses
-    /// its report would defeat the trajectory tracking.
+    /// Panics if either file cannot be written — a bench that silently
+    /// loses its report would defeat the trajectory tracking.
     pub fn write(&self) {
         let json = self.to_json();
+        let history = self.to_history_line();
         if smoke() {
             println!("[smoke] skipping write of BENCH_{}.json ({} rows)", self.experiment, self.rows.len());
             return;
         }
-        let path = Self::output_dir().join(format!("BENCH_{}.json", self.experiment));
+        let dir = Self::output_dir();
+        let path = dir.join(format!("BENCH_{}.json", self.experiment));
         std::fs::write(&path, json)
             .unwrap_or_else(|e| panic!("failed to write {}: {e}", path.display()));
         println!("wrote {}", path.display());
+        let hist_path = dir.join("BENCH_HISTORY.jsonl");
+        use std::io::Write as _;
+        std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&hist_path)
+            .and_then(|mut f| writeln!(f, "{history}"))
+            .unwrap_or_else(|e| panic!("failed to append {}: {e}", hist_path.display()));
+        println!("appended {}", hist_path.display());
     }
 }
 
@@ -321,6 +391,37 @@ mod tests {
         let json = r.to_json();
         assert!(json.contains("\"wall_s\":42"), "{json}");
         assert_eq!(json.matches("\"wall_s\":").count(), 1);
+    }
+
+    #[test]
+    fn fake_time_pins_unix_now_and_history_line() {
+        std::env::set_var("PP_BENCH_FAKE_TIME", "1754300000");
+        assert_eq!(unix_now(), 1754300000);
+        let mut r = BenchReport::new("e0_hist");
+        r.set_meta("wall_s", 1.0); // suppress the nondeterministic auto stamp
+        r.set_manifest(RunManifest::default().with_protocol("majority").with_master_seed(7));
+        r.push_row([("case", Value::from("a")), ("ns_per_step", Value::from(2.5))]);
+        let line = r.to_history_line();
+        std::env::remove_var("PP_BENCH_FAKE_TIME");
+        assert!(!line.contains('\n'), "history record must be one line: {line}");
+        assert!(line.starts_with("{\"schema\":\"pp-bench-history/v1\",\"experiment\":\"e0_hist\""));
+        assert!(line.contains("\"unix_time\":1754300000"), "{line}");
+        assert!(line.contains("\"manifest\":{\"schema\":\"pp-run/v1\""), "{line}");
+        assert!(line.contains("\"protocol\":\"majority\""), "{line}");
+        assert!(line.contains("\"master_seed\":7"), "{line}");
+        assert!(line.contains("{\"case\":\"a\",\"ns_per_step\":2.5}"), "{line}");
+    }
+
+    #[test]
+    fn manifest_appears_in_report_json() {
+        let mut r = BenchReport::new("e0_manifest");
+        r.set_manifest(RunManifest::default().with_population(1000).with_threads(4));
+        let json = r.to_json();
+        assert!(json.contains("\"manifest\":{\"schema\":\"pp-run/v1\""), "{json}");
+        assert!(json.contains("\"population\":1000"), "{json}");
+        // Reports without a manifest omit the key entirely.
+        let json = BenchReport::new("e0_bare").to_json();
+        assert!(!json.contains("\"manifest\""), "{json}");
     }
 
     #[test]

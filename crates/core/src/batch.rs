@@ -139,6 +139,7 @@ use crate::observe::{BatchEvent, BatchPair, Probe};
 use crate::protocol::Protocol;
 use crate::registry::StateId;
 use crate::sampling::hypergeometric;
+use crate::trace::{SpanKind, Tracer};
 
 /// How a window-ending-run interaction collided: which of its two roles hit
 /// the touched set. (A fresh/fresh pair would, by definition, not collide.)
@@ -442,7 +443,7 @@ fn sample_collision_pair(
     }
 }
 
-impl<P: Protocol, Pr: Probe> Simulation<P, Pr> {
+impl<P: Protocol, Pr: Probe, Tr: Tracer> Simulation<P, Pr, Tr> {
     /// Runs `steps` interactions through the batched engine — distributed
     /// identically to [`run`](Self::run) (see the [module docs](crate::batch)
     /// for the exactness argument) but drawing `O(|Q|²)` random numbers per
@@ -517,6 +518,9 @@ impl<P: Protocol, Pr: Probe> Simulation<P, Pr> {
             self.step(rng);
             return 1;
         }
+        if Tr::ACTIVE {
+            self.tracer.enter(SpanKind::BatchSample);
+        }
         // Take the scratch off `self` so the loops below can call
         // `&mut self` engine methods (transition memoization, probes).
         let mut scratch = std::mem::take(&mut self.batch);
@@ -559,6 +563,10 @@ impl<P: Protocol, Pr: Probe> Simulation<P, Pr> {
                 }
             }
         }
+        if Tr::ACTIVE {
+            self.tracer.exit(SpanKind::BatchSample, len);
+            self.tracer.enter(SpanKind::BatchApply);
+        }
 
         // Apply the transitions in bulk, grouped by state pair, tracking the
         // touched agents' post-transition states for the collision draw.
@@ -600,11 +608,17 @@ impl<P: Protocol, Pr: Probe> Simulation<P, Pr> {
         self.steps += len;
         self.effective_steps += effective;
         if Pr::ACTIVE {
+            if Tr::ACTIVE {
+                self.tracer.enter(SpanKind::Probe);
+            }
             self.probe.on_batch(&BatchEvent {
                 first_step: self.steps - len + 1,
                 len,
                 pairs: &scratch.replay,
             });
+            if Tr::ACTIVE {
+                self.tracer.exit(SpanKind::Probe, len);
+            }
         }
 
         // The interaction that ended the run, if the cap did not: it must
@@ -617,6 +631,9 @@ impl<P: Protocol, Pr: Probe> Simulation<P, Pr> {
                 self.apply_effective((p, q), (p2, q2));
             }
             advanced += 1;
+        }
+        if Tr::ACTIVE {
+            self.tracer.exit(SpanKind::BatchApply, advanced);
         }
         self.batch = scratch;
         advanced
@@ -637,6 +654,9 @@ impl<P: Protocol, Pr: Probe> Simulation<P, Pr> {
             // sequential step.
             self.step(rng);
             return 1;
+        }
+        if Tr::ACTIVE {
+            self.tracer.enter(SpanKind::BatchSample);
         }
         let w = window_pairs(n, cap).min(budget);
         let mut scratch = std::mem::take(&mut self.batch);
@@ -731,6 +751,10 @@ impl<P: Protocol, Pr: Probe> Simulation<P, Pr> {
                 }
             }
         }
+        if Tr::ACTIVE {
+            self.tracer.exit(SpanKind::BatchSample, pairs);
+            self.tracer.enter(SpanKind::BatchApply);
+        }
 
         // Bulk-apply the fresh pairs, grouped by state pair.
         let mut effective = 0u64;
@@ -791,6 +815,9 @@ impl<P: Protocol, Pr: Probe> Simulation<P, Pr> {
                     TouchedRef::Extra { idx } => scratch.extras[idx] = s2,
                 }
             }
+        }
+        if Tr::ACTIVE {
+            self.tracer.exit(SpanKind::BatchApply, done);
         }
         self.batch = scratch;
         done

@@ -44,6 +44,7 @@ use crate::observe::{InteractionEvent, NoProbe, Probe, Snapshot};
 use crate::protocol::{CoinProtocol, Protocol};
 use crate::registry::{DenseRuntime, OutputId, StateId};
 use crate::scheduler::PairSampler;
+use crate::trace::{NoTracer, SpanKind, Tracer};
 
 /// Creates a reproducible random number generator from a seed.
 ///
@@ -129,9 +130,12 @@ impl StabilizationReport {
 /// The second type parameter is a [`Probe`] (see [`crate::observe`]) that
 /// watches the run from inside the engine; the default [`NoProbe`] compiles
 /// the whole observability layer away. Attach one with
-/// [`with_probe`](Self::with_probe).
+/// [`with_probe`](Self::with_probe). The third parameter is a [`Tracer`]
+/// (see [`crate::trace`]) that times engine *phases* rather than protocol
+/// events; the default [`NoTracer`] likewise costs nothing. Attach one with
+/// [`with_tracer`](Self::with_tracer).
 #[derive(Debug, Clone)]
-pub struct Simulation<P: Protocol, Pr = NoProbe> {
+pub struct Simulation<P: Protocol, Pr = NoProbe, Tr = NoTracer> {
     pub(crate) rt: DenseRuntime<P>,
     pub(crate) config: CountConfig,
     /// Agents per output id, kept in sync with `config`.
@@ -139,6 +143,7 @@ pub struct Simulation<P: Protocol, Pr = NoProbe> {
     pub(crate) steps: u64,
     pub(crate) effective_steps: u64,
     pub(crate) probe: Pr,
+    pub(crate) tracer: Tr,
     scratch: EngineScratch,
     pub(crate) batch: BatchScratch,
 }
@@ -224,6 +229,7 @@ impl<P: Protocol> Simulation<P> {
             steps: 0,
             effective_steps: 0,
             probe: NoProbe,
+            tracer: NoTracer,
             scratch: EngineScratch::default(),
             batch: BatchScratch::default(),
         };
@@ -232,13 +238,14 @@ impl<P: Protocol> Simulation<P> {
     }
 }
 
-impl<P: Protocol, Pr: Probe> Simulation<P, Pr> {
+impl<P: Protocol, Pr: Probe, Tr: Tracer> Simulation<P, Pr, Tr> {
     /// Attaches a probe (see [`crate::observe`]), returning the probed
     /// simulation; the probe's `on_attach` hook receives the current
-    /// configuration. Any previously attached probe is dropped.
+    /// configuration. Any previously attached probe is dropped; the tracer
+    /// is carried over unchanged.
     ///
     /// Pass `&mut probe` to keep ownership of the probe at the call site.
-    pub fn with_probe<Pr2: Probe>(self, mut probe: Pr2) -> Simulation<P, Pr2> {
+    pub fn with_probe<Pr2: Probe>(self, mut probe: Pr2) -> Simulation<P, Pr2, Tr> {
         if Pr2::ACTIVE {
             probe.on_attach(&Snapshot {
                 step: self.steps,
@@ -253,6 +260,26 @@ impl<P: Protocol, Pr: Probe> Simulation<P, Pr> {
             steps: self.steps,
             effective_steps: self.effective_steps,
             probe,
+            tracer: self.tracer,
+            scratch: self.scratch,
+            batch: self.batch,
+        }
+    }
+
+    /// Attaches a tracer (see [`crate::trace`]), returning the traced
+    /// simulation; the probe is carried over unchanged. Any previously
+    /// attached tracer is dropped.
+    ///
+    /// Pass `&mut tracer` to keep ownership of the tracer at the call site.
+    pub fn with_tracer<Tr2: Tracer>(self, tracer: Tr2) -> Simulation<P, Pr, Tr2> {
+        Simulation {
+            rt: self.rt,
+            config: self.config,
+            output_counts: self.output_counts,
+            steps: self.steps,
+            effective_steps: self.effective_steps,
+            probe: self.probe,
+            tracer,
             scratch: self.scratch,
             batch: self.batch,
         }
@@ -272,6 +299,21 @@ impl<P: Protocol, Pr: Probe> Simulation<P, Pr> {
     /// Consumes the simulation and returns the probe.
     pub fn into_probe(self) -> Pr {
         self.probe
+    }
+
+    /// The attached tracer.
+    pub fn tracer(&self) -> &Tr {
+        &self.tracer
+    }
+
+    /// Mutable access to the attached tracer.
+    pub fn tracer_mut(&mut self) -> &mut Tr {
+        &mut self.tracer
+    }
+
+    /// Consumes the simulation and returns the tracer.
+    pub fn into_tracer(self) -> Tr {
+        self.tracer
     }
 
     /// Interns `out` and returns its dense output id — e.g. to configure an
@@ -340,8 +382,12 @@ impl<P: Protocol, Pr: Probe> Simulation<P, Pr> {
         }
     }
 
-    /// Notifies the probe that a fault plan just damaged the configuration.
+    /// Notifies the probe (and the tracer, as an instant event) that a fault
+    /// plan just damaged the configuration.
     pub(crate) fn probe_fault_burst(&mut self, injected: u64) {
+        if Tr::ACTIVE {
+            self.tracer.instant(SpanKind::FaultBurst, injected);
+        }
         if Pr::ACTIVE {
             self.probe.on_fault_burst(
                 injected,
@@ -574,8 +620,14 @@ impl<P: Protocol, Pr: Probe> Simulation<P, Pr> {
 
     /// Runs `steps` interactions.
     pub fn run(&mut self, steps: u64, rng: &mut impl Rng) {
+        if Tr::ACTIVE {
+            self.tracer.enter(SpanKind::SchedulerDraw);
+        }
         for _ in 0..steps {
             self.step(rng);
+        }
+        if Tr::ACTIVE {
+            self.tracer.exit(SpanKind::SchedulerDraw, steps);
         }
     }
 
@@ -629,6 +681,9 @@ impl<P: Protocol, Pr: Probe> Simulation<P, Pr> {
         // `wrong` is recomputed only when the output multiset changes.
         let mut wrong = n - self.count_of_output(oid);
         let mut last_wrong: Option<u64> = if wrong > 0 { Some(0) } else { None };
+        if Tr::ACTIVE {
+            self.tracer.enter(SpanKind::SchedulerDraw);
+        }
         for i in 1..=horizon {
             if self.step(rng) {
                 wrong = n - self.count_of_output(oid);
@@ -636,6 +691,9 @@ impl<P: Protocol, Pr: Probe> Simulation<P, Pr> {
             if wrong > 0 {
                 last_wrong = Some(i);
             }
+        }
+        if Tr::ACTIVE {
+            self.tracer.exit(SpanKind::SchedulerDraw, horizon);
         }
         StabilizationReport { horizon, stabilized_at: consensus_reached(wrong, last_wrong, 0) }
     }
@@ -674,6 +732,9 @@ impl<P: Protocol, Pr: Probe> Simulation<P, Pr> {
     /// Returns the number of pairs matched (⌊n/2⌋). [`steps`](Self::steps)
     /// advances by that amount.
     pub fn parallel_round(&mut self, rng: &mut impl Rng) -> u64 {
+        if Tr::ACTIVE {
+            self.tracer.enter(SpanKind::SchedulerDraw);
+        }
         if Pr::ACTIVE {
             self.scratch.round_outputs.clear();
             self.scratch.round_outputs.extend_from_slice(&self.output_counts);
@@ -709,6 +770,9 @@ impl<P: Protocol, Pr: Probe> Simulation<P, Pr> {
         self.rebuild_output_counts();
         if Pr::ACTIVE && !hist_eq(&self.scratch.round_outputs, &self.output_counts) {
             self.probe.on_output_change(self.steps);
+        }
+        if Tr::ACTIVE {
+            self.tracer.exit(SpanKind::SchedulerDraw, pairs);
         }
         pairs
     }
@@ -756,6 +820,9 @@ impl<P: Protocol, Pr: Probe> Simulation<P, Pr> {
         reactive: &[(StateId, StateId)],
         rng: &mut impl Rng,
     ) -> Option<u64> {
+        if Tr::ACTIVE {
+            self.tracer.enter(SpanKind::SchedulerDraw);
+        }
         let n = self.config.population();
         let total = (n * (n - 1)) as f64;
         // Per-pair weights under the current configuration, computed once
@@ -774,6 +841,9 @@ impl<P: Protocol, Pr: Probe> Simulation<P, Pr> {
             weight += w;
         }
         if weight == 0 {
+            if Tr::ACTIVE {
+                self.tracer.exit(SpanKind::SchedulerDraw, 0);
+            }
             return None;
         }
         // Geometric skip: interactions up to and including the effective one.
@@ -803,6 +873,9 @@ impl<P: Protocol, Pr: Probe> Simulation<P, Pr> {
         debug_assert!((p2, q2) != (p, q), "reactive pair must change state");
         self.note_interaction((p, q), (p2, q2), skip - 1);
         self.apply_effective((p, q), (p2, q2));
+        if Tr::ACTIVE {
+            self.tracer.exit(SpanKind::SchedulerDraw, skip);
+        }
         Some(skip)
     }
 
@@ -901,10 +974,12 @@ fn hist_eq(a: &[u64], b: &[u64]) -> bool {
 /// agents only.
 ///
 /// Like [`Simulation`], the engine carries a [`Probe`] type parameter
-/// (default [`NoProbe`]); attach one with
-/// [`with_probe`](AgentSimulation::with_probe).
+/// (default [`NoProbe`]) and a [`Tracer`] type parameter (default
+/// [`NoTracer`]); attach them with
+/// [`with_probe`](AgentSimulation::with_probe) /
+/// [`with_tracer`](AgentSimulation::with_tracer).
 #[derive(Debug)]
-pub struct AgentSimulation<P: Protocol, S, Pr = NoProbe> {
+pub struct AgentSimulation<P: Protocol, S, Pr = NoProbe, Tr = NoTracer> {
     rt: DenseRuntime<P>,
     agents: AgentConfig,
     sampler: S,
@@ -916,6 +991,7 @@ pub struct AgentSimulation<P: Protocol, S, Pr = NoProbe> {
     /// agent's first coined interaction and after adversarial init.
     coins: Vec<Option<bool>>,
     probe: Pr,
+    tracer: Tr,
 }
 
 /// Resampling budget when rejecting pairs that touch crashed agents. On any
@@ -956,15 +1032,16 @@ impl<P: Protocol, S: PairSampler> AgentSimulation<P, S> {
             live: n,
             coins: vec![None; n],
             probe: NoProbe,
+            tracer: NoTracer,
         }
     }
 }
 
-impl<P: Protocol, S: PairSampler, Pr: Probe> AgentSimulation<P, S, Pr> {
+impl<P: Protocol, S: PairSampler, Pr: Probe, Tr: Tracer> AgentSimulation<P, S, Pr, Tr> {
     /// Attaches a probe (see [`crate::observe`]); its `on_attach` hook
     /// receives the current *live* state and output histograms. Any
-    /// previously attached probe is dropped.
-    pub fn with_probe<Pr2: Probe>(self, mut probe: Pr2) -> AgentSimulation<P, S, Pr2> {
+    /// previously attached probe is dropped; the tracer is carried over.
+    pub fn with_probe<Pr2: Probe>(self, mut probe: Pr2) -> AgentSimulation<P, S, Pr2, Tr> {
         if Pr2::ACTIVE {
             let (occ, outs) = self.live_histograms();
             probe.on_attach(&Snapshot { step: self.steps, occupancy: &occ, outputs: &outs });
@@ -979,6 +1056,24 @@ impl<P: Protocol, S: PairSampler, Pr: Probe> AgentSimulation<P, S, Pr> {
             live: self.live,
             coins: self.coins,
             probe,
+            tracer: self.tracer,
+        }
+    }
+
+    /// Attaches a tracer (see [`crate::trace`]); the probe is carried over.
+    /// Any previously attached tracer is dropped.
+    pub fn with_tracer<Tr2: Tracer>(self, tracer: Tr2) -> AgentSimulation<P, S, Pr, Tr2> {
+        AgentSimulation {
+            rt: self.rt,
+            agents: self.agents,
+            sampler: self.sampler,
+            steps: self.steps,
+            effective_steps: self.effective_steps,
+            crashed: self.crashed,
+            live: self.live,
+            coins: self.coins,
+            probe: self.probe,
+            tracer,
         }
     }
 
@@ -997,6 +1092,21 @@ impl<P: Protocol, S: PairSampler, Pr: Probe> AgentSimulation<P, S, Pr> {
         self.probe
     }
 
+    /// The attached tracer.
+    pub fn tracer(&self) -> &Tr {
+        &self.tracer
+    }
+
+    /// Mutable access to the attached tracer.
+    pub fn tracer_mut(&mut self) -> &mut Tr {
+        &mut self.tracer
+    }
+
+    /// Consumes the simulation and returns the tracer.
+    pub fn into_tracer(self) -> Tr {
+        self.tracer
+    }
+
     /// Histograms of *live* agents per state id and per output id.
     fn live_histograms(&self) -> (Vec<u64>, Vec<u64>) {
         let mut occ = vec![0u64; self.rt.state_count()];
@@ -1011,8 +1121,12 @@ impl<P: Protocol, S: PairSampler, Pr: Probe> AgentSimulation<P, S, Pr> {
         (occ, outs)
     }
 
-    /// Notifies the probe that a fault plan just damaged the configuration.
+    /// Notifies the probe (and the tracer, as an instant event) that a fault
+    /// plan just damaged the configuration.
     pub(crate) fn probe_fault_burst(&mut self, injected: u64) {
+        if Tr::ACTIVE {
+            self.tracer.instant(SpanKind::FaultBurst, injected);
+        }
         if Pr::ACTIVE {
             let (occ, outs) = self.live_histograms();
             self.probe.on_fault_burst(
@@ -1255,8 +1369,14 @@ impl<P: Protocol, S: PairSampler, Pr: Probe> AgentSimulation<P, S, Pr> {
 
     /// Runs `steps` interactions.
     pub fn run(&mut self, steps: u64, rng: &mut impl RngCore) {
+        if Tr::ACTIVE {
+            self.tracer.enter(SpanKind::SchedulerDraw);
+        }
         for _ in 0..steps {
             self.step(rng);
+        }
+        if Tr::ACTIVE {
+            self.tracer.exit(SpanKind::SchedulerDraw, steps);
         }
     }
 
@@ -1315,6 +1435,9 @@ impl<P: Protocol, S: PairSampler, Pr: Probe> AgentSimulation<P, S, Pr> {
         let mut wrong = self.wrong_output_count(expected);
         let mut last_wrong: Option<u64> = if wrong == 0 { None } else { Some(0) };
         let start = self.steps;
+        if Tr::ACTIVE {
+            self.tracer.enter(SpanKind::SchedulerDraw);
+        }
         for _ in 0..horizon {
             if let Some((_, (p, q), (p2, q2))) = self.step_transitions(rng) {
                 for (old, new) in [(p, p2), (q, q2)] {
@@ -1333,6 +1456,9 @@ impl<P: Protocol, S: PairSampler, Pr: Probe> AgentSimulation<P, S, Pr> {
             if wrong > 0 {
                 last_wrong = Some(self.steps - start);
             }
+        }
+        if Tr::ACTIVE {
+            self.tracer.exit(SpanKind::SchedulerDraw, horizon);
         }
         StabilizationReport { horizon, stabilized_at: consensus_reached(wrong, last_wrong, 0) }
     }

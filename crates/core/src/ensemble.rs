@@ -72,6 +72,7 @@ use crate::faults::{FaultPlan, FaultRunReport};
 use crate::observe::MergeProbe;
 use crate::protocol::Protocol;
 use crate::scheduler::PairSampler;
+use crate::trace::{SpanKind, SpanStats, Tracer};
 
 // ---------------------------------------------------------------------------
 // Seed splitting
@@ -283,6 +284,93 @@ impl Ensemble {
             .into_iter()
             .map(|s| s.expect("work-stealing counter covers every trial"))
             .collect()
+    }
+
+    /// [`map`](Self::map) with a per-trial [`Tracer`]: `make_tracer(trial)`
+    /// builds each trial's tracer, which is tagged with the worker-thread
+    /// index that claimed the trial ([`Tracer::tag_worker`]), wrapped in a
+    /// [`Trial`](SpanKind::Trial) span around `f`, and returned — like the
+    /// results — **in trial order**, so folding them sequentially (e.g.
+    /// [`SpanStats::fold`]) yields the same report at any thread count for
+    /// the same per-trial data.
+    ///
+    /// Tracers never touch the trial RNGs, so the results are identical to
+    /// [`map`](Self::map) with the same `f`.
+    pub fn map_traced<R, T, M, F>(&self, make_tracer: M, f: F) -> (Vec<R>, Vec<T>)
+    where
+        R: Send,
+        T: Tracer + Send,
+        M: Fn(u64) -> T + Sync,
+        F: Fn(u64, &mut StdRng, &mut T) -> R + Sync,
+    {
+        let run_trial = |i: u64, worker: u32, rng: &mut StdRng| {
+            let mut tracer = make_tracer(i);
+            tracer.tag_worker(worker);
+            tracer.enter(SpanKind::Trial);
+            let r = f(i, rng, &mut tracer);
+            tracer.exit(SpanKind::Trial, 1);
+            (r, tracer)
+        };
+        let trials = self.trials;
+        let workers = self.threads.min(usize::try_from(trials).unwrap_or(usize::MAX));
+        if workers <= 1 {
+            return (0..trials)
+                .map(|i| {
+                    let mut rng = self.trial_rng(i);
+                    run_trial(i, 0, &mut rng)
+                })
+                .unzip();
+        }
+        let next = AtomicU64::new(0);
+        let run_trial = &run_trial;
+        let next = &next;
+        let per_worker: Vec<Vec<(u64, (R, T))>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    scope.spawn(move || {
+                        let mut out = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= trials {
+                                break;
+                            }
+                            let mut rng = self.trial_rng(i);
+                            out.push((i, run_trial(i, w as u32, &mut rng)));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("ensemble worker panicked"))
+                .collect()
+        });
+        let mut slots: Vec<Option<(R, T)>> = (0..trials).map(|_| None).collect();
+        for chunk in per_worker {
+            for (i, r) in chunk {
+                slots[usize::try_from(i).expect("trial index fits usize")] = Some(r);
+            }
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("work-stealing counter covers every trial"))
+            .unzip()
+    }
+
+    /// [`map_traced`](Self::map_traced) specialized to [`SpanStats`]: runs
+    /// one accumulator per trial and folds them in trial order
+    /// ([`SpanStats::fold`], which self-times the fold as a
+    /// [`Fold`](SpanKind::Fold) span). The folded statistics are a pure
+    /// function of the per-trial data and the trial order — independent of
+    /// the worker-thread count.
+    pub fn map_span_stats<R, F>(&self, f: F) -> (Vec<R>, SpanStats)
+    where
+        R: Send,
+        F: Fn(u64, &mut StdRng, &mut SpanStats) -> R + Sync,
+    {
+        let (results, tracers) = self.map_traced(|_| SpanStats::new(), f);
+        (results, SpanStats::fold(tracers))
     }
 
     /// Runs one scalar-outcome workload per trial (`None` = the trial did

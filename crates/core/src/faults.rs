@@ -82,6 +82,7 @@ use crate::ensemble::{json_f64, LogHistogram, Welford};
 use crate::observe::Probe;
 use crate::protocol::Protocol;
 use crate::scheduler::PairSampler;
+use crate::trace::Tracer;
 
 /// Engine-agnostic handle a [`FaultPlan`] uses to damage the population.
 ///
@@ -710,11 +711,11 @@ impl Mttr {
 }
 
 /// Adapter giving fault plans access to the multiset engine.
-struct CountCtx<'a, P: Protocol, Pr: Probe> {
-    sim: &'a mut Simulation<P, Pr>,
+struct CountCtx<'a, P: Protocol, Pr: Probe, Tr: Tracer> {
+    sim: &'a mut Simulation<P, Pr, Tr>,
 }
 
-impl<P: Protocol, Pr: Probe> FaultCtx<P::State> for CountCtx<'_, P, Pr> {
+impl<P: Protocol, Pr: Probe, Tr: Tracer> FaultCtx<P::State> for CountCtx<'_, P, Pr, Tr> {
     fn live_population(&self) -> u64 {
         self.sim.population()
     }
@@ -745,11 +746,13 @@ impl<P: Protocol, Pr: Probe> FaultCtx<P::State> for CountCtx<'_, P, Pr> {
 }
 
 /// Adapter giving fault plans access to the per-agent engine.
-struct AgentCtx<'a, P: Protocol, S, Pr: Probe> {
-    sim: &'a mut AgentSimulation<P, S, Pr>,
+struct AgentCtx<'a, P: Protocol, S, Pr: Probe, Tr: Tracer> {
+    sim: &'a mut AgentSimulation<P, S, Pr, Tr>,
 }
 
-impl<P: Protocol, S: PairSampler, Pr: Probe> FaultCtx<P::State> for AgentCtx<'_, P, S, Pr> {
+impl<P: Protocol, S: PairSampler, Pr: Probe, Tr: Tracer> FaultCtx<P::State>
+    for AgentCtx<'_, P, S, Pr, Tr>
+{
     fn live_population(&self) -> u64 {
         self.sim.live_population() as u64
     }
@@ -778,7 +781,7 @@ impl<P: Protocol, S: PairSampler, Pr: Probe> FaultCtx<P::State> for AgentCtx<'_,
     }
 }
 
-impl<P: Protocol, Pr: Probe> Simulation<P, Pr> {
+impl<P: Protocol, Pr: Probe, Tr: Tracer> Simulation<P, Pr, Tr> {
     /// Number of agents whose current output differs from `expected`.
     fn wrong_now(&mut self, expected: &P::Output) -> u64 {
         self.population() - self.count_with_output(expected)
@@ -850,7 +853,7 @@ impl<P: Protocol, Pr: Probe> Simulation<P, Pr> {
     }
 }
 
-impl<P: Protocol, S: PairSampler, Pr: Probe> AgentSimulation<P, S, Pr> {
+impl<P: Protocol, S: PairSampler, Pr: Probe, Tr: Tracer> AgentSimulation<P, S, Pr, Tr> {
     /// Rewrites every live agent to the adversary's chosen starting
     /// configuration and clears all synthesized coins; see
     /// [`Simulation::apply_adversarial_init`]. Returns the number of agents

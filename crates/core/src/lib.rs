@@ -78,6 +78,7 @@ pub mod protocol;
 pub mod registry;
 pub mod sampling;
 pub mod scheduler;
+pub mod trace;
 
 pub mod prelude {
     //! Convenient glob import for the most common types.
@@ -104,6 +105,9 @@ pub mod prelude {
     pub use crate::protocol::{CoinProtocol, FnProtocol, Protocol, SyntheticCoins};
     pub use crate::registry::{DenseRuntime, OutputId, StateId};
     pub use crate::scheduler::{EdgeListScheduler, PairSampler, UniformPairScheduler};
+    pub use crate::trace::{
+        ChromeTracer, NoTracer, RunManifest, SpanKind, SpanStats, Tracer,
+    };
 }
 
 pub use config::{AgentConfig, CanonicalConfig, CountConfig};
@@ -127,3 +131,4 @@ pub use observe::{
 };
 pub use protocol::{CoinProtocol, FnProtocol, Protocol, SyntheticCoins};
 pub use registry::{DenseRuntime, OutputId, StateId};
+pub use trace::{ChromeTracer, NoTracer, RunManifest, SpanKind, SpanStats, Tracer};

@@ -799,8 +799,15 @@ impl Probe for ConvergenceProbe {
 /// I/O errors are counted ([`io_errors`](Self::io_errors)) and otherwise
 /// ignored: a probe must never abort the simulation it watches. Wrap the
 /// writer in [`std::io::BufWriter`] — the sink writes many small lines.
+///
+/// On drop (or [`into_inner`](Self::into_inner)) the sink appends one final
+/// `summary` line carrying `lines_written`/`io_errors` and flushes the
+/// writer, so swallowed write failures are visible in the stream itself and
+/// a sink dropped mid-run loses no buffered lines.
 pub struct JsonlSink<W: Write> {
-    out: W,
+    /// `None` only after [`into_inner`](Self::into_inner) took the writer
+    /// (so the `Drop` impl knows the summary was already written).
+    out: Option<W>,
     stride: u64,
     events_seen: u64,
     lines: u64,
@@ -831,7 +838,7 @@ impl<W: Write> JsonlSink<W> {
     /// Panics if `stride` is 0.
     pub fn with_stride(out: W, stride: u64) -> Self {
         assert!(stride > 0, "stride must be positive");
-        Self { out, stride, events_seen: 0, lines: 0, io_errors: 0 }
+        Self { out: Some(out), stride, events_seen: 0, lines: 0, io_errors: 0 }
     }
 
     /// Lines successfully written so far.
@@ -844,10 +851,25 @@ impl<W: Write> JsonlSink<W> {
         self.io_errors
     }
 
-    /// Flushes and returns the underlying writer.
+    /// Writes the summary line, flushes, and returns the underlying writer.
     pub fn into_inner(mut self) -> W {
-        let _ = self.out.flush();
-        self.out
+        self.write_summary();
+        self.out.take().expect("writer present until into_inner")
+    }
+
+    /// Appends the final `summary` record (the counters *before* the
+    /// summary line itself) and flushes the writer.
+    fn write_summary(&mut self) {
+        let (lines, errs) = (self.lines, self.io_errors);
+        let out = self.out.as_mut().expect("writer present until into_inner");
+        let res = writeln!(
+            out,
+            "{{\"ev\":\"summary\",\"lines_written\":{lines},\"io_errors\":{errs}}}"
+        );
+        self.emit(res);
+        if let Some(out) = self.out.as_mut() {
+            let _ = out.flush();
+        }
     }
 
     fn emit(&mut self, res: io::Result<()>) {
@@ -869,13 +891,23 @@ impl<W: Write> JsonlSink<W> {
     }
 }
 
+impl<W: Write> Drop for JsonlSink<W> {
+    fn drop(&mut self) {
+        // `into_inner` already wrote the summary and took the writer.
+        if self.out.is_some() {
+            self.write_summary();
+        }
+    }
+}
+
 impl<W: Write> Probe for JsonlSink<W> {
     fn on_attach(&mut self, snap: &Snapshot<'_>) {
         let res = (|| {
-            write!(self.out, "{{\"ev\":\"attach\",\"step\":{}", snap.step)?;
-            Self::write_hist(&mut self.out, "occupancy", snap.occupancy)?;
-            Self::write_hist(&mut self.out, "outputs", snap.outputs)?;
-            writeln!(self.out, "}}")
+            let out = self.out.as_mut().expect("writer present until into_inner");
+            write!(out, "{{\"ev\":\"attach\",\"step\":{}", snap.step)?;
+            Self::write_hist(out, "occupancy", snap.occupancy)?;
+            Self::write_hist(out, "outputs", snap.outputs)?;
+            writeln!(out, "}}")
         })();
         self.emit(res);
     }
@@ -885,8 +917,9 @@ impl<W: Write> Probe for JsonlSink<W> {
         if !self.events_seen.is_multiple_of(self.stride) {
             return;
         }
+        let out = self.out.as_mut().expect("writer present until into_inner");
         let res = writeln!(
-            self.out,
+            out,
             "{{\"ev\":\"step\",\"step\":{},\"skipped\":{},\"before\":[{},{}],\"after\":[{},{}],\"effective\":{}}}",
             ev.step,
             ev.noops_skipped,
@@ -900,20 +933,22 @@ impl<W: Write> Probe for JsonlSink<W> {
     }
 
     fn on_output_change(&mut self, step: u64) {
-        let res = writeln!(self.out, "{{\"ev\":\"out\",\"step\":{step}}}");
+        let out = self.out.as_mut().expect("writer present until into_inner");
+        let res = writeln!(out, "{{\"ev\":\"out\",\"step\":{step}}}");
         self.emit(res);
     }
 
     fn on_fault_burst(&mut self, injected: u64, snap: &Snapshot<'_>) {
         let res = (|| {
+            let out = self.out.as_mut().expect("writer present until into_inner");
             write!(
-                self.out,
+                out,
                 "{{\"ev\":\"fault\",\"step\":{},\"injected\":{injected}",
                 snap.step
             )?;
-            Self::write_hist(&mut self.out, "occupancy", snap.occupancy)?;
-            Self::write_hist(&mut self.out, "outputs", snap.outputs)?;
-            writeln!(self.out, "}}")
+            Self::write_hist(out, "occupancy", snap.occupancy)?;
+            Self::write_hist(out, "outputs", snap.outputs)?;
+            writeln!(out, "}}")
         })();
         self.emit(res);
     }
@@ -1136,7 +1171,7 @@ mod tests {
         assert_eq!(sink.io_errors(), 0);
         let text = String::from_utf8(sink.into_inner()).unwrap();
         let lines: Vec<&str> = text.lines().collect();
-        assert_eq!(lines.len(), 4);
+        assert_eq!(lines.len(), 5, "4 event lines plus the final summary");
         assert_eq!(
             lines[0],
             "{\"ev\":\"attach\",\"step\":0,\"occupancy\":[2,1],\"outputs\":[3]}"
@@ -1147,6 +1182,41 @@ mod tests {
         );
         assert_eq!(lines[2], "{\"ev\":\"out\",\"step\":1}");
         assert!(lines[3].starts_with("{\"ev\":\"fault\",\"step\":5,\"injected\":2"));
+        // The summary reports the counters as of the moment it was written.
+        assert_eq!(lines[4], "{\"ev\":\"summary\",\"lines_written\":4,\"io_errors\":0}");
+    }
+
+    #[test]
+    fn jsonl_sink_summarizes_and_flushes_on_drop() {
+        use std::io::BufWriter;
+        use std::sync::{Arc, Mutex};
+
+        /// Shared-buffer writer so the test can inspect what a dropped
+        /// sink's BufWriter actually flushed to the underlying sink.
+        #[derive(Clone)]
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let shared = Shared(Arc::new(Mutex::new(Vec::new())));
+        {
+            let mut sink = JsonlSink::new(BufWriter::new(shared.clone()));
+            sink.on_output_change(7);
+            // Dropped mid-run without into_inner: the line is still in the
+            // BufWriter here.
+        }
+        let text = String::from_utf8(shared.0.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "event line plus summary, both flushed by drop");
+        assert_eq!(lines[0], "{\"ev\":\"out\",\"step\":7}");
+        assert_eq!(lines[1], "{\"ev\":\"summary\",\"lines_written\":1,\"io_errors\":0}");
     }
 
     #[test]

@@ -1,0 +1,155 @@
+//! `ppbench-compare` — the bench regression gate.
+//!
+//! Diffs freshly produced `BENCH_*.json` reports against checked-in
+//! baselines with noise-aware relative thresholds, printing a per-row
+//! delta table and exiting nonzero on any regression (see
+//! `pp_bench::compare` for the comparison rules).
+//!
+//! ```text
+//! ppbench-compare [--baseline-dir D] [--current-dir D] [--tolerance F]
+//! ppbench-compare --self-test [--baseline-dir D] [--tolerance F]
+//! ```
+//!
+//! `--baseline-dir` defaults to the repo checkout (`.`), `--tolerance` to
+//! 0.25 (25 % relative floor, widened per row by `3·σ` when the baseline
+//! carries a `<metric>_std` cell). `--self-test` loads the baselines,
+//! injects a synthetic 50 % slowdown in memory, and succeeds only if the
+//! gate trips — CI runs it so a silently toothless gate fails the build.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use population_protocols::bench::compare::{
+    compare_files, inflate_metrics, parse_bench_file, DEFAULT_TOLERANCE,
+};
+use population_protocols::bench::{compare_dirs, render_report, CompareOutcome};
+
+const USAGE: &str = "usage:
+  ppbench-compare [--baseline-dir D] [--current-dir D] [--tolerance F]
+  ppbench-compare --self-test [--baseline-dir D] [--tolerance F]
+
+Compares every BENCH_*.json in the baseline dir against the same-named
+file in the current dir; exits 1 on any regression or structural problem.
+--self-test injects a synthetic 1.5x slowdown and succeeds iff the gate
+fails on it.";
+
+struct Opts {
+    baseline_dir: PathBuf,
+    current_dir: Option<PathBuf>,
+    tolerance: f64,
+    self_test: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<Opts, String> {
+    let mut opts = Opts {
+        baseline_dir: PathBuf::from("."),
+        current_dir: None,
+        tolerance: DEFAULT_TOLERANCE,
+        self_test: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--baseline-dir" => {
+                opts.baseline_dir = PathBuf::from(it.next().ok_or("--baseline-dir needs a value")?);
+            }
+            "--current-dir" => {
+                opts.current_dir = Some(PathBuf::from(it.next().ok_or("--current-dir needs a value")?));
+            }
+            "--tolerance" => {
+                let v = it.next().ok_or("--tolerance needs a value")?;
+                opts.tolerance = v.parse::<f64>().map_err(|_| format!("bad tolerance {v:?}"))?;
+                if !opts.tolerance.is_finite() || opts.tolerance < 0.0 {
+                    return Err(format!("tolerance must be a non-negative finite number, got {v}"));
+                }
+            }
+            "--self-test" => opts.self_test = true,
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(opts)
+}
+
+/// Loads the baselines, fakes a uniform 1.5× slowdown, and verifies the
+/// gate trips on every file.
+fn self_test(opts: &Opts) -> Result<(), String> {
+    let mut names: Vec<PathBuf> = std::fs::read_dir(&opts.baseline_dir)
+        .map_err(|e| format!("cannot read {}: {e}", opts.baseline_dir.display()))?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .map(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+                .unwrap_or(false)
+        })
+        .collect();
+    names.sort();
+    if names.is_empty() {
+        return Err(format!("no BENCH_*.json baselines in {}", opts.baseline_dir.display()));
+    }
+    let mut out = CompareOutcome::default();
+    let mut files = 0usize;
+    for path in &names {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let baseline = parse_bench_file(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        let mut slowed = baseline.clone();
+        inflate_metrics(&mut slowed, 1.5);
+        compare_files(&baseline, &slowed, opts.tolerance, &mut out);
+        files += 1;
+    }
+    print!("{}", render_report(&out));
+    if out.problems.is_empty() && out.regressions() > 0 {
+        println!(
+            "self-test OK: injected 1.5x slowdown tripped {} regressions across {files} baseline files",
+            out.regressions()
+        );
+        Ok(())
+    } else {
+        Err(format!(
+            "self-test FAILED: injected slowdown produced {} regressions, {} problems — the gate is toothless",
+            out.regressions(),
+            out.problems.len()
+        ))
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            if !e.is_empty() {
+                eprintln!("error: {e}");
+                eprintln!();
+            }
+            eprintln!("{USAGE}");
+            return if e.is_empty() { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+        }
+    };
+
+    if opts.self_test {
+        return match self_test(&opts) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let Some(current_dir) = &opts.current_dir else {
+        eprintln!("error: --current-dir is required (or pass --self-test)");
+        eprintln!();
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let out = compare_dirs(&opts.baseline_dir, current_dir, opts.tolerance);
+    print!("{}", render_report(&out));
+    if out.passed() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

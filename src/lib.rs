@@ -19,7 +19,9 @@
 //!   convergence analysis;
 //! * [`machines`] — counter-machine and Turing-machine substrates;
 //! * [`random`] — the conjugating-automaton constructions of §6 (urn
-//!   process, zero test, leader election, counter and TM simulation).
+//!   process, zero test, leader election, counter and TM simulation);
+//! * [`mod@bench`] — experiment-report plumbing and the `ppbench-compare`
+//!   regression gate over `BENCH_*.json` baselines.
 //!
 //! # Quickstart
 //!
@@ -42,6 +44,7 @@
 #![warn(missing_docs)]
 
 pub use pp_analysis as analysis;
+pub use pp_bench as bench;
 pub use pp_core as core;
 pub use pp_graphs as graphs;
 pub use pp_machines as machines;
