@@ -31,7 +31,7 @@ pub const METRICS: &[&str] = &["ns_per_step", "us_per_run", "wall_s"];
 
 /// Cells ignored entirely: derived ratios of timing metrics, which are as
 /// noisy as their inputs and would otherwise pollute row keys.
-pub const EXCLUDED: &[&str] = &["speedup", "share", "overhead"];
+pub const EXCLUDED: &[&str] = &["speedup", "speedup_vs_boxed", "share", "overhead"];
 
 /// Default relative tolerance floor: a metric must worsen by more than
 /// 25 % (or 3σ, whichever is larger) to fail the gate. Generous on

@@ -1,0 +1,150 @@
+//! A plain fixed-length bitset, the packed backing store of the agent
+//! engine's per-agent flags.
+//!
+//! At 10⁸ agents a `Vec<bool>` crash mask costs 100 MB and a
+//! `Vec<Option<bool>>` coin column 100 MB more — and, worse, every byte the
+//! hot loop touches evicts a cache line of states. Packed to one bit per
+//! agent the crash mask is 12.5 MB and the coin pair 25 MB, and testing a
+//! bit is a shift-and-mask on a word that is usually already in cache.
+//! [`AgentStore`](crate::config::AgentStore) keeps one `BitSet` for the
+//! crash mask and a *pair* of them (known/value) for the synthesized coins
+//! that used to live in a `Vec<Option<bool>>`.
+
+/// A fixed-length set of bits, stored 64 per word.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BitSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitSet {
+    /// Creates a bitset of `len` bits, all clear.
+    pub fn new(len: usize) -> Self {
+        Self { words: vec![0; len.div_ceil(64)], len }
+    }
+
+    /// Number of bits.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the set has zero bits.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Value of bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit {i} out of range for bitset of {} bits", self.len);
+        self.words[i / 64] >> (i % 64) & 1 != 0
+    }
+
+    /// Sets bit `i` to `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(i < self.len, "bit {i} out of range for bitset of {} bits", self.len);
+        let w = &mut self.words[i / 64];
+        let mask = 1u64 << (i % 64);
+        if value {
+            *w |= mask;
+        } else {
+            *w &= !mask;
+        }
+    }
+
+    /// Clears every bit.
+    pub fn clear_all(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether any bit is set — `O(words)`, short-circuiting.
+    pub fn any(&self) -> bool {
+        self.words.iter().any(|&w| w != 0)
+    }
+
+    /// Iterates over the indices of set bits, in increasing order.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    return None;
+                }
+                let b = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                Some(wi * 64 + b)
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_roundtrip_across_word_boundaries() {
+        let mut b = BitSet::new(130);
+        for &i in &[0, 1, 63, 64, 65, 127, 128, 129] {
+            assert!(!b.get(i));
+            b.set(i, true);
+            assert!(b.get(i));
+        }
+        assert_eq!(b.count_ones(), 8);
+        b.set(64, false);
+        assert!(!b.get(64));
+        assert_eq!(b.count_ones(), 7);
+    }
+
+    #[test]
+    fn iter_ones_in_order() {
+        let mut b = BitSet::new(200);
+        let expect = vec![3usize, 64, 65, 100, 199];
+        for &i in &expect {
+            b.set(i, true);
+        }
+        assert_eq!(b.iter_ones().collect::<Vec<_>>(), expect);
+    }
+
+    #[test]
+    fn clear_all_and_any() {
+        let mut b = BitSet::new(70);
+        assert!(!b.any());
+        b.set(69, true);
+        assert!(b.any());
+        b.clear_all();
+        assert!(!b.any());
+        assert_eq!(b.count_ones(), 0);
+        assert_eq!(b.len(), 70);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        BitSet::new(10).get(10);
+    }
+
+    #[test]
+    fn zero_length_is_empty() {
+        let b = BitSet::new(0);
+        assert!(b.is_empty());
+        assert!(!b.any());
+        assert_eq!(b.iter_ones().count(), 0);
+    }
+}

@@ -7,6 +7,7 @@
 //! interaction graphs, agent identity matters to the schedule and
 //! [`AgentConfig`] stores one state per agent.
 
+use crate::bitset::BitSet;
 use crate::registry::StateId;
 
 /// A complete-graph configuration represented as the multiset of agent
@@ -256,9 +257,25 @@ impl AgentConfig {
         self.states[a as usize] = s;
     }
 
+    /// Mutable view of the state column, for the batched engine's hot loop
+    /// — indexing a local slice keeps its pointer and length in registers,
+    /// where going through `self` reloads them after every store.
+    #[inline]
+    pub(crate) fn states_mut(&mut self) -> &mut [StateId] {
+        &mut self.states
+    }
+
     /// Iterates over agent states in agent order.
     pub fn iter(&self) -> impl Iterator<Item = StateId> + '_ {
         self.states.iter().copied()
+    }
+
+    /// The raw per-agent state slice (indexed by agent). The batched agent
+    /// kernel ([`crate::agent_batch`]) hands this to worker threads for
+    /// shared read-only transition lookups.
+    #[inline]
+    pub fn as_slice(&self) -> &[StateId] {
+        &self.states
     }
 
     /// Collapses to the multiset view (forgetting agent identity).
@@ -274,6 +291,132 @@ impl AgentConfig {
 impl FromIterator<StateId> for AgentConfig {
     fn from_iter<T: IntoIterator<Item = StateId>>(iter: T) -> Self {
         Self::new(iter.into_iter().collect())
+    }
+}
+
+/// Struct-of-arrays store for the per-agent engine: one dense state column
+/// ([`AgentConfig`]) plus packed per-agent flags.
+///
+/// The agent engine used to carry `crashed: Vec<bool>` and
+/// `coins: Vec<Option<bool>>` alongside the states. At 10⁸ agents those
+/// columns cost 200 MB and, because the hot loop touches two random agents
+/// per interaction, every byte of them competes with the states for cache.
+/// Here the crash mask is one bit per agent and a coin is two bits
+/// (`coin_known` says whether the agent has a coin at all — the old `None` —
+/// and `coin_value` holds it), so the whole flag block at 10⁸ agents is
+/// ~37 MB and a flag test is a shift-and-mask.
+///
+/// The live count is maintained incrementally by [`crash`](Self::crash), so
+/// liveness queries are `O(1)`.
+#[derive(Debug, Clone)]
+pub struct AgentStore {
+    states: AgentConfig,
+    crashed: BitSet,
+    coin_known: BitSet,
+    coin_value: BitSet,
+    live: usize,
+}
+
+impl AgentStore {
+    /// Wraps a state column: all agents live, no coins flipped yet.
+    pub fn new(states: AgentConfig) -> Self {
+        let n = states.population();
+        Self {
+            states,
+            crashed: BitSet::new(n),
+            coin_known: BitSet::new(n),
+            coin_value: BitSet::new(n),
+            live: n,
+        }
+    }
+
+    /// Population size (including crashed agents, which keep their slot).
+    #[inline]
+    pub fn population(&self) -> usize {
+        self.states.population()
+    }
+
+    /// Number of agents that have not crashed.
+    #[inline]
+    pub fn live(&self) -> usize {
+        self.live
+    }
+
+    /// The state column.
+    #[inline]
+    pub fn states(&self) -> &AgentConfig {
+        &self.states
+    }
+
+    /// State of agent `a`.
+    #[inline]
+    pub fn state(&self, a: u32) -> StateId {
+        self.states.state(a)
+    }
+
+    /// Overwrites the state of agent `a`.
+    #[inline]
+    pub fn set_state(&mut self, a: u32, s: StateId) {
+        self.states.set(a, s);
+    }
+
+    /// Applies one interaction along edge `(u, v)`.
+    #[inline]
+    pub fn apply(&mut self, edge: (u32, u32), after: (StateId, StateId)) {
+        self.states.apply(edge, after);
+    }
+
+    /// Mutable view of the state column (see [`AgentConfig::states_mut`]).
+    #[inline]
+    pub(crate) fn states_mut(&mut self) -> &mut [StateId] {
+        self.states.states_mut()
+    }
+
+    /// Iterates over agent states in agent order (crashed ones included).
+    pub fn iter(&self) -> impl Iterator<Item = StateId> + '_ {
+        self.states.iter()
+    }
+
+    /// Whether agent `a` has crashed.
+    #[inline]
+    pub fn is_crashed(&self, a: u32) -> bool {
+        self.crashed.get(a as usize)
+    }
+
+    /// Permanently marks agent `a` as crashed. Returns `false` (and does
+    /// nothing) if the agent is already crashed or if crashing it would
+    /// leave fewer than 2 live agents.
+    pub fn crash(&mut self, a: u32) -> bool {
+        if self.crashed.get(a as usize) || self.live <= 2 {
+            return false;
+        }
+        self.crashed.set(a as usize, true);
+        self.live -= 1;
+        true
+    }
+
+    /// The synthesized coin of agent `a` (`None` until first set and after
+    /// [`clear_coins`](Self::clear_coins)).
+    #[inline]
+    pub fn coin(&self, a: u32) -> Option<bool> {
+        if self.coin_known.get(a as usize) {
+            Some(self.coin_value.get(a as usize))
+        } else {
+            None
+        }
+    }
+
+    /// Sets the synthesized coin of agent `a`.
+    #[inline]
+    pub fn set_coin(&mut self, a: u32, value: bool) {
+        self.coin_known.set(a as usize, true);
+        self.coin_value.set(a as usize, value);
+    }
+
+    /// Resets every agent's synthesized coin to `None`.
+    pub fn clear_coins(&mut self) {
+        self.coin_known.clear_all();
+        self.coin_value.clear_all();
     }
 }
 
@@ -413,6 +556,38 @@ mod tests {
             }
             proptest::prop_assert_eq!((seen0, seen3), (a, b));
         }
+    }
+
+    #[test]
+    fn agent_store_tracks_crashes_and_coins() {
+        let states: AgentConfig = [s(0), s(1), s(0), s(2)].into_iter().collect();
+        let mut store = AgentStore::new(states);
+        assert_eq!(store.population(), 4);
+        assert_eq!(store.live(), 4);
+        assert!(!store.is_crashed(2));
+
+        assert!(store.crash(2));
+        assert!(!store.crash(2), "double crash refused");
+        assert_eq!(store.live(), 3);
+        assert!(store.is_crashed(2));
+        assert!(store.crash(0));
+        assert!(!store.crash(1), "would leave fewer than 2 live agents");
+        assert_eq!(store.live(), 2);
+
+        assert_eq!(store.coin(1), None);
+        store.set_coin(1, true);
+        store.set_coin(3, false);
+        assert_eq!(store.coin(1), Some(true));
+        assert_eq!(store.coin(3), Some(false));
+        store.clear_coins();
+        assert_eq!(store.coin(1), None);
+        assert_eq!(store.coin(3), None);
+
+        store.apply((1, 3), (s(5), s(6)));
+        assert_eq!(store.state(1), s(5));
+        assert_eq!(store.state(3), s(6));
+        store.set_state(1, s(7));
+        assert_eq!(store.states().as_slice()[1], s(7));
     }
 
     #[test]

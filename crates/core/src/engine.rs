@@ -38,8 +38,10 @@
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
 
+use crate::agent_batch::AgentBatchScratch;
 use crate::batch::BatchScratch;
-use crate::config::{AgentConfig, CountConfig};
+use crate::config::{AgentConfig, AgentStore, CountConfig};
+use crate::error::PopulationError;
 use crate::observe::{InteractionEvent, NoProbe, Probe, Snapshot};
 use crate::protocol::{CoinProtocol, Protocol};
 use crate::registry::{DenseRuntime, OutputId, StateId};
@@ -980,26 +982,31 @@ fn hist_eq(a: &[u64], b: &[u64]) -> bool {
 /// [`with_tracer`](AgentSimulation::with_tracer).
 #[derive(Debug)]
 pub struct AgentSimulation<P: Protocol, S, Pr = NoProbe, Tr = NoTracer> {
-    rt: DenseRuntime<P>,
-    agents: AgentConfig,
-    sampler: S,
-    steps: u64,
-    effective_steps: u64,
-    crashed: Vec<bool>,
-    live: usize,
-    /// Per-agent synthesized coin (see [`CoinProtocol`]); `None` until the
-    /// agent's first coined interaction and after adversarial init.
-    coins: Vec<Option<bool>>,
-    probe: Pr,
-    tracer: Tr,
+    pub(crate) rt: DenseRuntime<P>,
+    /// Struct-of-arrays agent store: states plus packed crash/coin bitsets
+    /// (see [`AgentStore`]).
+    pub(crate) agents: AgentStore,
+    pub(crate) sampler: S,
+    pub(crate) steps: u64,
+    pub(crate) effective_steps: u64,
+    /// Whether the schedule is known to be starved (no live pair exists).
+    /// Maintained by [`crash_agent`](Self::crash_agent) through the
+    /// sampler's structural liveness accounting
+    /// ([`PairSampler::live_pairs`] / [`PairSampler::mask_live`]), so a
+    /// starved step fails in `O(1)` without touching the RNG.
+    pub(crate) starved: bool,
+    pub(crate) probe: Pr,
+    pub(crate) tracer: Tr,
+    pub(crate) batch: AgentBatchScratch,
 }
 
-/// Resampling budget when rejecting pairs that touch crashed agents. On any
-/// graph with at least one live edge the probability of exhausting this is
-/// astronomically small; exhaustion therefore signals a *starved* schedule
-/// (no live pair may exist at all, e.g. both endpoints of every edge
-/// crashed).
-const MAX_PAIR_RESAMPLES: u32 = 100_000;
+/// Resampling budget when rejecting pairs that touch crashed agents, for
+/// samplers that cannot account live pairs structurally
+/// ([`PairSampler::live_pairs`] returns `None`). On any graph with at least
+/// one live edge the probability of exhausting this is astronomically small;
+/// exhaustion is therefore reported as
+/// [`PopulationError::StarvedSchedule`].
+pub(crate) const MAX_PAIR_RESAMPLES: u32 = 100_000;
 
 /// One executed interaction: the sampled edge `(u, v)` plus the agents'
 /// `(before, after)` state pairs.
@@ -1021,18 +1028,16 @@ impl<P: Protocol, S: PairSampler> AgentSimulation<P, S> {
         );
         let mut rt = DenseRuntime::new(protocol);
         let agents: AgentConfig = inputs.iter().map(|x| rt.intern_input(x)).collect();
-        let n = agents.population();
         Self {
             rt,
-            agents,
+            agents: AgentStore::new(agents),
             sampler,
             steps: 0,
             effective_steps: 0,
-            crashed: vec![false; n],
-            live: n,
-            coins: vec![None; n],
+            starved: false,
             probe: NoProbe,
             tracer: NoTracer,
+            batch: AgentBatchScratch::default(),
         }
     }
 }
@@ -1052,11 +1057,10 @@ impl<P: Protocol, S: PairSampler, Pr: Probe, Tr: Tracer> AgentSimulation<P, S, P
             sampler: self.sampler,
             steps: self.steps,
             effective_steps: self.effective_steps,
-            crashed: self.crashed,
-            live: self.live,
-            coins: self.coins,
+            starved: self.starved,
             probe,
             tracer: self.tracer,
+            batch: self.batch,
         }
     }
 
@@ -1069,11 +1073,10 @@ impl<P: Protocol, S: PairSampler, Pr: Probe, Tr: Tracer> AgentSimulation<P, S, P
             sampler: self.sampler,
             steps: self.steps,
             effective_steps: self.effective_steps,
-            crashed: self.crashed,
-            live: self.live,
-            coins: self.coins,
+            starved: self.starved,
             probe: self.probe,
             tracer,
+            batch: self.batch,
         }
     }
 
@@ -1112,7 +1115,7 @@ impl<P: Protocol, S: PairSampler, Pr: Probe, Tr: Tracer> AgentSimulation<P, S, P
         let mut occ = vec![0u64; self.rt.state_count()];
         let mut outs = vec![0u64; self.rt.output_count()];
         for (i, s) in self.agents.iter().enumerate() {
-            if self.crashed[i] {
+            if self.agents.is_crashed(i as u32) {
                 continue;
             }
             occ[s.index()] += 1;
@@ -1139,7 +1142,11 @@ impl<P: Protocol, S: PairSampler, Pr: Probe, Tr: Tracer> AgentSimulation<P, S, P
     /// The single accounting path for the agent engine, mirroring the count
     /// engine's: bumps `steps`/`effective_steps` and feeds the probe.
     #[inline]
-    fn note_interaction(&mut self, before: (StateId, StateId), after: (StateId, StateId)) {
+    pub(crate) fn note_interaction(
+        &mut self,
+        before: (StateId, StateId),
+        after: (StateId, StateId),
+    ) {
         self.steps += 1;
         let effective = after != before;
         self.effective_steps += u64::from(effective);
@@ -1168,30 +1175,51 @@ impl<P: Protocol, S: PairSampler, Pr: Probe, Tr: Tracer> AgentSimulation<P, S, P
 
     /// Number of agents that have not crashed.
     pub fn live_population(&self) -> usize {
-        self.live
+        self.agents.live()
     }
 
     /// Whether agent `a` has crashed.
     pub fn is_crashed(&self, a: u32) -> bool {
-        self.crashed[a as usize]
+        self.agents.is_crashed(a)
     }
 
     /// Permanently stops agent `a` from interacting (crash fault, §8).
     /// Returns `false` (and does nothing) if the agent is already crashed or
     /// if crashing it would leave fewer than 2 live agents.
+    ///
+    /// After a successful crash the sampler is re-masked / the starvation
+    /// flag refreshed, so subsequent steps either draw live pairs directly
+    /// or fail fast with [`PopulationError::StarvedSchedule`].
     pub fn crash_agent(&mut self, a: u32) -> bool {
-        if self.crashed[a as usize] || self.live <= 2 {
+        if !self.agents.crash(a) {
             return false;
         }
-        self.crashed[a as usize] = true;
-        self.live -= 1;
+        self.refresh_liveness();
         true
+    }
+
+    /// Re-derives the starvation flag (and any sampler-side live mask) from
+    /// the current crash set. `O(n + m)` per call; called once per crash,
+    /// not per draw.
+    fn refresh_liveness(&mut self) {
+        let agents = &self.agents;
+        let is_live = |a: u32| !agents.is_crashed(a);
+        self.starved = if agents.live() < 2 {
+            true
+        } else {
+            match self.sampler.mask_live(&is_live) {
+                Some(k) => k == 0,
+                // Sampler cannot precondition draws: fall back to the
+                // structural count, else to capped rejection at draw time.
+                None => self.sampler.live_pairs(&is_live) == Some(0),
+            }
+        };
     }
 
     /// Crashes one uniformly random live agent; `None` if the live
     /// population is already at 2.
     pub fn crash_random_live(&mut self, rng: &mut impl RngCore) -> Option<u32> {
-        if self.live <= 2 {
+        if self.agents.live() <= 2 {
             return None;
         }
         let a = self.random_live_agent(rng);
@@ -1205,12 +1233,12 @@ impl<P: Protocol, S: PairSampler, Pr: Probe, Tr: Tracer> AgentSimulation<P, S, P
     /// Panics if every agent has crashed (impossible through the public
     /// API, which keeps at least 2 live).
     pub fn random_live_agent(&mut self, rng: &mut impl RngCore) -> u32 {
-        assert!(self.live > 0, "no live agents");
-        let mut k = rng.gen_range(0..self.live);
-        for (i, &c) in self.crashed.iter().enumerate() {
-            if !c {
+        assert!(self.agents.live() > 0, "no live agents");
+        let mut k = rng.gen_range(0..self.agents.live());
+        for i in 0..self.agents.population() as u32 {
+            if !self.agents.is_crashed(i) {
                 if k == 0 {
-                    return i as u32;
+                    return i;
                 }
                 k -= 1;
             }
@@ -1226,10 +1254,10 @@ impl<P: Protocol, S: PairSampler, Pr: Probe, Tr: Tracer> AgentSimulation<P, S, P
     /// Panics if the agent has crashed — a dead sensor's memory is not part
     /// of the computation.
     pub fn set_agent_state(&mut self, a: u32, s: &P::State) -> P::State {
-        assert!(!self.crashed[a as usize], "cannot rewrite a crashed agent");
+        assert!(!self.agents.is_crashed(a), "cannot rewrite a crashed agent");
         let old = self.agents.state(a);
         let new = self.rt.intern(s.clone());
-        self.agents.set(a, new);
+        self.agents.set_state(a, new);
         self.rt.state(old).clone()
     }
 
@@ -1262,8 +1290,13 @@ impl<P: Protocol, S: PairSampler, Pr: Probe, Tr: Tracer> AgentSimulation<P, S, P
         self.rt.output_value(self.rt.output_of(self.agents.state(a)))
     }
 
-    /// The per-agent configuration.
+    /// The per-agent configuration (the state column of the store).
     pub fn agents(&self) -> &AgentConfig {
+        self.agents.states()
+    }
+
+    /// The struct-of-arrays agent store (states + crash/coin bitsets).
+    pub fn store(&self) -> &AgentStore {
         &self.agents
     }
 
@@ -1274,13 +1307,16 @@ impl<P: Protocol, S: PairSampler, Pr: Probe, Tr: Tracer> AgentSimulation<P, S, P
 
     /// Draws sampler edges until one joins two live agents, or gives up
     /// after `cap` rejections (`None` = starved: no live pair was found).
+    ///
+    /// When the sampler is masked (see [`PairSampler::mask_live`]) the first
+    /// draw is already live, so the loop exits on its first iteration.
     fn sample_live_pair(&mut self, rng: &mut impl RngCore, cap: u32) -> Option<(u32, u32)> {
-        if self.live < 2 {
+        if self.starved || self.agents.live() < 2 {
             return None;
         }
         for _ in 0..cap {
             let (u, v) = self.sampler.sample(rng);
-            if !self.crashed[u as usize] && !self.crashed[v as usize] {
+            if !self.agents.is_crashed(u) && !self.agents.is_crashed(v) {
                 return Some((u, v));
             }
         }
@@ -1292,25 +1328,42 @@ impl<P: Protocol, S: PairSampler, Pr: Probe, Tr: Tracer> AgentSimulation<P, S, P
     ///
     /// # Panics
     ///
-    /// Panics if no live pair could be sampled (starved schedule); use
-    /// [`step_transitions`](Self::step_transitions) to handle starvation.
+    /// Panics if the schedule is starved; use
+    /// [`try_step_transitions`](Self::try_step_transitions) to handle
+    /// starvation as a structured error instead.
     pub fn step(&mut self, rng: &mut impl RngCore) -> (u32, u32) {
-        let (edge, _, _) = self
-            .step_transitions(rng)
-            .expect("no live interacting pair could be sampled");
+        let (edge, _, _) =
+            self.try_step_transitions(rng).unwrap_or_else(|e| panic!("{e}"));
         edge
     }
 
     /// Executes one interaction between live agents, returning the edge and
-    /// the `(before, after)` state pairs; `None` if the schedule is starved
-    /// (no pair of live agents was sampled within the resampling budget).
-    pub fn step_transitions(&mut self, rng: &mut impl RngCore) -> Option<StepTransition> {
-        let (u, v) = self.sample_live_pair(rng, MAX_PAIR_RESAMPLES)?;
+    /// the `(before, after)` state pairs, or
+    /// [`PopulationError::StarvedSchedule`] if no pair of live agents can
+    /// interact.
+    ///
+    /// Starvation is detected structurally where the sampler supports it
+    /// (the flag is refreshed on every crash), in which case this fails in
+    /// `O(1)` **without consuming any randomness**; otherwise a capped
+    /// rejection loop runs first.
+    pub fn try_step_transitions(
+        &mut self,
+        rng: &mut impl RngCore,
+    ) -> Result<StepTransition, PopulationError> {
+        let (u, v) = self
+            .sample_live_pair(rng, MAX_PAIR_RESAMPLES)
+            .ok_or(PopulationError::StarvedSchedule { live: self.agents.live() as u64 })?;
         let (p, q) = (self.agents.state(u), self.agents.state(v));
         let r = self.rt.transition(p, q);
         self.agents.apply((u, v), r);
         self.note_interaction((p, q), r);
-        Some(((u, v), (p, q), r))
+        Ok(((u, v), (p, q), r))
+    }
+
+    /// [`try_step_transitions`](Self::try_step_transitions) with starvation
+    /// flattened to `None`.
+    pub fn step_transitions(&mut self, rng: &mut impl RngCore) -> Option<StepTransition> {
+        self.try_step_transitions(rng).ok()
     }
 
     /// The current synthesized coin of agent `a` (see [`CoinProtocol`]):
@@ -1318,7 +1371,7 @@ impl<P: Protocol, S: PairSampler, Pr: Probe, Tr: Tracer> AgentSimulation<P, S, P
     /// interaction, and again after
     /// [`clear_coins`](Self::clear_coins) / adversarial initialization.
     pub fn coin_of(&self, a: u32) -> Option<bool> {
-        self.coins[a as usize]
+        self.agents.coin(a)
     }
 
     /// Resets every agent's synthesized coin to `None`. The adversary of
@@ -1326,7 +1379,7 @@ impl<P: Protocol, S: PairSampler, Pr: Probe, Tr: Tracer> AgentSimulation<P, S, P
     /// calls this so a protocol cannot smuggle clean state through the coin
     /// side channel.
     pub fn clear_coins(&mut self) {
-        self.coins.fill(None);
+        self.agents.clear_coins();
     }
 
     /// Like [`step_transitions`](Self::step_transitions) but for a
@@ -1340,11 +1393,13 @@ impl<P: Protocol, S: PairSampler, Pr: Probe, Tr: Tracer> AgentSimulation<P, S, P
     {
         let (u, v) = self.sample_live_pair(rng, MAX_PAIR_RESAMPLES)?;
         let (p, q) = (self.agents.state(u), self.agents.state(v));
-        let coins = (self.coins[u as usize], self.coins[v as usize]);
+        let coins = (self.agents.coin(u), self.agents.coin(v));
         let r = self.rt.transition_coined(p, q, coins);
         self.agents.apply((u, v), r);
-        self.coins[u as usize] = Some(rng.gen_bool(0.5));
-        self.coins[v as usize] = Some(rng.gen_bool(0.5));
+        let cu = rng.gen_bool(0.5);
+        self.agents.set_coin(u, cu);
+        let cv = rng.gen_bool(0.5);
+        self.agents.set_coin(v, cv);
         self.note_interaction((p, q), r);
         Some(((u, v), (p, q), r))
     }
@@ -1357,11 +1412,11 @@ impl<P: Protocol, S: PairSampler, Pr: Probe, Tr: Tracer> AgentSimulation<P, S, P
     pub fn overwrite_live_states(&mut self, mut f: impl FnMut(u64) -> P::State) {
         let mut i = 0u64;
         for a in 0..self.agents.population() as u32 {
-            if self.crashed[a as usize] {
+            if self.agents.is_crashed(a) {
                 continue;
             }
             let id = self.rt.intern(f(i));
-            self.agents.set(a, id);
+            self.agents.set_state(a, id);
             i += 1;
         }
         self.clear_coins();
@@ -1384,7 +1439,7 @@ impl<P: Protocol, S: PairSampler, Pr: Probe, Tr: Tracer> AgentSimulation<P, S, P
     pub fn consensus_output(&self) -> Option<&P::Output> {
         let mut first: Option<OutputId> = None;
         for (i, s) in self.agents.iter().enumerate() {
-            if self.crashed[i] {
+            if self.agents.is_crashed(i as u32) {
                 continue;
             }
             let o = self.rt.output_of(s);
@@ -1401,7 +1456,7 @@ impl<P: Protocol, S: PairSampler, Pr: Probe, Tr: Tracer> AgentSimulation<P, S, P
     pub fn output_histogram(&self) -> Vec<(P::Output, u64)> {
         let mut hist: Vec<(P::Output, u64)> = Vec::new();
         for (i, s) in self.agents.iter().enumerate() {
-            if self.crashed[i] {
+            if self.agents.is_crashed(i as u32) {
                 continue;
             }
             let o = self.rt.output_value(self.rt.output_of(s)).clone();
@@ -1419,7 +1474,8 @@ impl<P: Protocol, S: PairSampler, Pr: Probe, Tr: Tracer> AgentSimulation<P, S, P
             .iter()
             .enumerate()
             .filter(|&(i, s)| {
-                !self.crashed[i] && self.rt.output_value(self.rt.output_of(s)) != expected
+                !self.agents.is_crashed(i as u32)
+                    && self.rt.output_value(self.rt.output_of(s)) != expected
             })
             .count() as u64
     }

@@ -40,6 +40,13 @@ pub enum PopulationError {
         /// The bound that was exceeded.
         bound: usize,
     },
+    /// The schedule is starved: no edge of the interaction graph joins two
+    /// live agents (e.g. both endpoints of every edge crashed), so no
+    /// interaction can ever occur again.
+    StarvedSchedule {
+        /// Number of live agents at the time of starvation.
+        live: u64,
+    },
 }
 
 impl fmt::Display for PopulationError {
@@ -61,6 +68,12 @@ impl fmt::Display for PopulationError {
             Self::StateSpaceExceeded { bound } => {
                 write!(f, "protocol produced more than {bound} distinct states")
             }
+            Self::StarvedSchedule { live } => {
+                write!(
+                    f,
+                    "schedule is starved: no edge joins two live agents ({live} live)"
+                )
+            }
         }
     }
 }
@@ -80,6 +93,7 @@ mod tests {
             PopulationError::SelfLoop { agent: 2 },
             PopulationError::UnrepresentableInput { reason: "sum mismatch".into() },
             PopulationError::StateSpaceExceeded { bound: 10 },
+            PopulationError::StarvedSchedule { live: 2 },
         ];
         for c in cases {
             let s = c.to_string();

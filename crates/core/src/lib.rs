@@ -65,7 +65,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod agent_batch;
 pub mod batch;
+pub mod bitset;
 pub mod config;
 pub mod convention;
 pub mod engine;
@@ -82,7 +84,8 @@ pub mod trace;
 
 pub mod prelude {
     //! Convenient glob import for the most common types.
-    pub use crate::config::{AgentConfig, CanonicalConfig, CountConfig};
+    pub use crate::bitset::BitSet;
+    pub use crate::config::{AgentConfig, AgentStore, CanonicalConfig, CountConfig};
     pub use crate::convention::{all_agents_output, symbol_count_output, zero_nonzero_output};
     pub use crate::engine::{
         consensus_reached, seeded_rng, AgentSimulation, Simulation, StabilizationReport,
@@ -104,13 +107,16 @@ pub mod prelude {
     };
     pub use crate::protocol::{CoinProtocol, FnProtocol, Protocol, SyntheticCoins};
     pub use crate::registry::{DenseRuntime, OutputId, StateId};
-    pub use crate::scheduler::{EdgeListScheduler, PairSampler, UniformPairScheduler};
+    pub use crate::scheduler::{
+        BatchPairSampler, CsrScheduler, EdgeListScheduler, PairSampler, UniformPairScheduler,
+    };
     pub use crate::trace::{
         ChromeTracer, NoTracer, RunManifest, SpanKind, SpanStats, Tracer,
     };
 }
 
-pub use config::{AgentConfig, CanonicalConfig, CountConfig};
+pub use bitset::BitSet;
+pub use config::{AgentConfig, AgentStore, CanonicalConfig, CountConfig};
 pub use engine::{
     consensus_reached, seeded_rng, AgentSimulation, Simulation, StabilizationReport,
     StepTransition,
@@ -131,4 +137,7 @@ pub use observe::{
 };
 pub use protocol::{CoinProtocol, FnProtocol, Protocol, SyntheticCoins};
 pub use registry::{DenseRuntime, OutputId, StateId};
+pub use scheduler::{
+    BatchPairSampler, CsrScheduler, EdgeListScheduler, PairSampler, UniformPairScheduler,
+};
 pub use trace::{ChromeTracer, NoTracer, RunManifest, SpanKind, SpanStats, Tracer};

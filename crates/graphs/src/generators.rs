@@ -115,6 +115,95 @@ pub fn erdos_renyi_connected(n: usize, p: f64, rng: &mut impl Rng) -> Interactio
     InteractionGraph::new(n, edges)
 }
 
+/// The `w × h` 2D grid: edges in both directions between horizontally and
+/// vertically adjacent cells (no wrap-around). Agent `(x, y)` has id
+/// `y·w + x`. The mobility pattern of sensors spread over a bounded field.
+///
+/// # Panics
+///
+/// Panics if `w · h < 2`.
+pub fn grid2d(w: usize, h: usize) -> InteractionGraph {
+    let n = w * h;
+    let mut edges = Vec::with_capacity(4 * n);
+    for y in 0..h {
+        for x in 0..w {
+            let a = (y * w + x) as u32;
+            if x + 1 < w {
+                let b = a + 1;
+                edges.push((a, b));
+                edges.push((b, a));
+            }
+            if y + 1 < h {
+                let b = a + w as u32;
+                edges.push((a, b));
+                edges.push((b, a));
+            }
+        }
+    }
+    InteractionGraph::new(n, edges)
+}
+
+/// The `w × h` 2D torus: the grid of [`grid2d`] with wrap-around edges, so
+/// every agent has exactly four neighbors (fewer after deduplication when a
+/// dimension is ≤ 2). The workhorse topology of the scale benches: sparse,
+/// regular, and weakly connected at any size.
+///
+/// # Panics
+///
+/// Panics if `w · h < 2`.
+pub fn torus2d(w: usize, h: usize) -> InteractionGraph {
+    let n = w * h;
+    let mut edges = Vec::with_capacity(4 * n);
+    for y in 0..h {
+        for x in 0..w {
+            let a = (y * w + x) as u32;
+            let right = (y * w + (x + 1) % w) as u32;
+            let down = (((y + 1) % h) * w + x) as u32;
+            for b in [right, down] {
+                if a != b {
+                    edges.push((a, b));
+                    edges.push((b, a));
+                }
+            }
+        }
+    }
+    InteractionGraph::new(n, edges)
+}
+
+/// [`torus2d`] built directly in CSR form, skipping the `(u, v)` tuple list
+/// and its sort entirely: each row's four neighbors are computed and sorted
+/// in place, so a 10⁸-agent torus materializes in one linear pass. Falls
+/// back to converting [`torus2d`] when a dimension is ≤ 2 (wrap-around
+/// edges coincide there and need deduplication).
+///
+/// # Panics
+///
+/// Panics if `w · h < 2` or the edge count overflows `u32`.
+pub fn torus2d_csr(w: usize, h: usize) -> crate::csr::CsrGraph {
+    if w <= 2 || h <= 2 {
+        return crate::csr::CsrGraph::from_graph(&torus2d(w, h));
+    }
+    let n = w * h;
+    u32::try_from(4 * n).expect("edge count exceeds u32::MAX");
+    let mut offsets = Vec::with_capacity(n + 1);
+    offsets.extend((0..=n).map(|i| 4 * i as u32));
+    let mut edges = vec![0u32; 4 * n];
+    for y in 0..h {
+        for x in 0..w {
+            let a = y * w + x;
+            let mut nbrs = [
+                (y * w + (x + w - 1) % w) as u32,
+                (y * w + (x + 1) % w) as u32,
+                (((y + h - 1) % h) * w + x) as u32,
+                (((y + 1) % h) * w + x) as u32,
+            ];
+            nbrs.sort_unstable();
+            edges[4 * a..4 * a + 4].copy_from_slice(&nbrs);
+        }
+    }
+    crate::csr::CsrGraph::from_raw_parts(n, offsets, edges)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -166,6 +255,31 @@ mod tests {
     }
 
     #[test]
+    fn grid_and_torus_shapes() {
+        // Interior grid cells have 4 neighbors, corners 2.
+        let g = grid2d(4, 3);
+        assert_eq!(g.population(), 12);
+        assert_eq!(g.edge_count(), 2 * (3 * 3 + 4 * 2)); // 2·(h·(w−1) + w·(h−1))
+        assert!(g.is_weakly_connected());
+        // Every torus cell has exactly 4 neighbors when both dims > 2.
+        let t = torus2d(4, 3);
+        assert_eq!(t.population(), 12);
+        assert_eq!(t.edge_count(), 4 * 12);
+        assert!(t.is_weakly_connected());
+        // Degenerate dims collapse coincident wrap edges.
+        assert_eq!(torus2d(2, 1).edge_count(), 2);
+    }
+
+    #[test]
+    fn torus2d_csr_matches_tuple_builder() {
+        for (w, h) in [(4, 3), (5, 5), (2, 6), (3, 2), (7, 3)] {
+            let csr = torus2d_csr(w, h);
+            let reference = crate::csr::CsrGraph::from_graph(&torus2d(w, h));
+            assert_eq!(csr, reference, "{w}x{h}");
+        }
+    }
+
+    #[test]
     fn erdos_renyi_always_weakly_connected() {
         let mut rng = StdRng::seed_from_u64(99);
         for &p in &[0.0, 0.05, 0.5] {
@@ -192,6 +306,18 @@ mod tests {
                 proptest::prop_assert!(g.spanning_tree().is_some());
                 proptest::prop_assert_eq!(g.population(), n);
             }
+        }
+
+        #[test]
+        fn prop_grids_and_tori_always_weakly_connected(w in 1usize..12, h in 1usize..12) {
+            proptest::prop_assume!(w * h >= 2);
+            for g in [grid2d(w, h), torus2d(w, h)] {
+                proptest::prop_assert!(g.is_weakly_connected(), "{w}x{h}");
+                proptest::prop_assert_eq!(g.population(), w * h);
+            }
+            let csr = torus2d_csr(w, h);
+            let reference = crate::csr::CsrGraph::from_graph(&torus2d(w, h));
+            proptest::prop_assert_eq!(csr, reference);
         }
 
         #[test]

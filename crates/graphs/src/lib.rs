@@ -24,11 +24,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod csr;
 pub mod generators;
 pub mod graph;
 
+pub use csr::CsrGraph;
 pub use generators::{
-    complete, directed_cycle, directed_line, erdos_renyi_connected, star, undirected_cycle,
-    undirected_line,
+    complete, directed_cycle, directed_line, erdos_renyi_connected, grid2d, star, torus2d,
+    torus2d_csr, undirected_cycle, undirected_line,
 };
 pub use graph::InteractionGraph;
