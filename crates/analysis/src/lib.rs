@@ -19,7 +19,11 @@
 //!   transition probabilities under uniform random pairing, expected time
 //!   to reach the output-committed set, and absorption probabilities —
 //!   the polynomial-time algorithm inside Theorem 11;
-//! * [`linalg`] — the dense linear solver behind [`markov`].
+//! * [`linalg`] — the dense linear solver behind [`markov`];
+//! * [`meanfield`] — the other end of the scale axis: the fluid-limit ODE
+//!   of a protocol's transition table, integrated with an adaptive RK45 so
+//!   `n = 10¹²` costs the same as `n = 10⁶` — with divergence detection
+//!   for protocols whose finite-`n` law parts from the limit.
 //!
 //! # Example
 //!
@@ -42,10 +46,14 @@
 
 pub mod linalg;
 pub mod markov;
+pub mod meanfield;
 pub mod reach;
 pub mod scc;
 pub mod verify;
 
 pub use markov::MarkovAnalysis;
+pub use meanfield::{
+    Divergence, DriftCache, DriftField, MeanField, MeanFieldOptions, MeanFieldRun,
+};
 pub use reach::ConfigGraph;
 pub use verify::{verify_all_inputs, verify_predicate, StableComputation, Verdict};

@@ -1,0 +1,102 @@
+//! The mean-field ODE against the batched count engine at overlapping
+//! scale: at `n = 10⁴` the fluid limit must track one finite-`n`
+//! trajectory within a total-variation budget for every protocol whose
+//! dynamics stay macroscopic — and must *refuse* to answer for the one
+//! that doesn't (leader election's `1/n`-rate bottleneck).
+//!
+//! CI runs this file as a named step (`meanfield: ODE vs batched engine`);
+//! the e24 bench repeats the comparison at `n = 10⁶` with the tighter
+//! 0.05 budget from the acceptance bar.
+
+use pp_analysis::meanfield::{Divergence, MeanField, MeanFieldOptions};
+use pp_core::observe::TrajectoryProbe;
+use pp_core::{seeded_rng, FnProtocol, Protocol, Simulation};
+use pp_protocols::{ApproximateMajority, LeaderElection, PhaseClock};
+
+fn epidemic() -> impl Protocol<State = bool, Input = bool, Output = bool> {
+    FnProtocol::new(
+        |&b: &bool| b,
+        |&q: &bool| q,
+        |&p: &bool, &q: &bool| (p || q, p || q),
+    )
+}
+
+/// Runs the batched engine for `horizon` parallel time under a trajectory
+/// probe and returns the ODE-vs-engine total-variation distance.
+fn tv_ode_vs_engine<P: Protocol>(
+    protocol: P,
+    inputs: impl IntoIterator<Item = (P::Input, u64)>,
+    horizon: f64,
+    seed: u64,
+) -> (f64, Vec<Divergence>) {
+    let mut sim = Simulation::from_counts(protocol, inputs);
+    let n = sim.population();
+    let mf = MeanField::from_simulation(&mut sim);
+    let opts = MeanFieldOptions { horizon, ..Default::default() };
+    let run = mf.run(&opts);
+    let mut probed = sim.with_probe(TrajectoryProbe::new());
+    let mut rng = seeded_rng(seed);
+    probed.run_batched((horizon * n as f64) as u64, &mut rng);
+    (run.tv_against(probed.probe().samples()), run.divergences().to_vec())
+}
+
+#[test]
+fn epidemic_tracks_the_ode_at_n_1e4() {
+    // 1% infected: macroscopic, so the logistic fluid limit is trustworthy.
+    let n = 10_000u64;
+    let (tv, flags) = tv_ode_vs_engine(epidemic(), [(true, n / 100), (false, n - n / 100)], 15.0, 11);
+    assert!(flags.is_empty(), "macroscopic epidemic wrongly flagged: {flags:?}");
+    assert!(tv < 0.10, "epidemic ODE vs engine TV {tv} at n = 10⁴");
+}
+
+#[test]
+fn approximate_majority_tracks_the_ode_at_n_1e4() {
+    let n = 10_000u64;
+    let (tv, flags) =
+        tv_ode_vs_engine(ApproximateMajority, [(true, 6 * n / 10), (false, 4 * n / 10)], 30.0, 12);
+    assert!(flags.is_empty(), "60/40 approximate majority wrongly flagged: {flags:?}");
+    assert!(tv < 0.10, "approximate-majority ODE vs engine TV {tv} at n = 10⁴");
+}
+
+#[test]
+fn phase_clock_tracks_the_ode_at_n_1e4() {
+    // From all-hands-at-hour-0 the clock is a traveling pulse that never
+    // quiesces; compare over a fixed horizon instead of to stabilization.
+    // The pulse position is diffusive in the engine, so the budget is
+    // looser than for the absorbing protocols.
+    let n = 10_000u64;
+    let (tv, flags) = tv_ode_vs_engine(PhaseClock::new(16), [((), n)], 8.0, 13);
+    assert!(flags.is_empty(), "phase clock wrongly flagged: {flags:?}");
+    assert!(tv < 0.20, "phase-clock ODE vs engine TV {tv} at n = 10⁴");
+}
+
+#[test]
+fn leader_election_is_flagged_and_refuses_a_prediction() {
+    // The fluid limit predicts an n-independent 1/(1+τ) leader decay; the
+    // finite-n law needs Θ(n) parallel time for the last duel. The
+    // detector must flag the vanishing×vanishing bottleneck and the run
+    // must refuse to emit a stabilization-time prediction.
+    let mut sim = Simulation::from_counts(LeaderElection, [((), 10_000u64)]);
+    let run = MeanField::from_simulation(&mut sim).run(&MeanFieldOptions::default());
+    let flags = run.divergences();
+    assert!(
+        flags.iter().any(|d| matches!(d, Divergence::VanishingRateBottleneck { .. })),
+        "leader election must carry the bottleneck flag, got {flags:?}"
+    );
+    assert_eq!(run.predicted_stabilization_time(1e-3), None);
+}
+
+#[test]
+fn microscopic_seed_is_flagged_at_n_1e4() {
+    // One infected agent in 10⁴: the front launch time is a random Θ(1)
+    // offset (Gumbel-like), which the deterministic limit cannot carry.
+    let mut sim = Simulation::from_counts(epidemic(), [(true, 1u64), (false, 9_999)]);
+    let run = MeanField::from_simulation(&mut sim).run(&MeanFieldOptions::default());
+    assert!(
+        run.divergences()
+            .iter()
+            .any(|d| matches!(d, Divergence::MicroscopicInitialFraction { .. })),
+        "single-seed epidemic must be flagged, got {:?}",
+        run.divergences()
+    );
+}

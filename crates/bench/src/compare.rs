@@ -30,8 +30,13 @@ use pp_core::Welford;
 pub const METRICS: &[&str] = &["ns_per_step", "us_per_run", "wall_s"];
 
 /// Cells ignored entirely: derived ratios of timing metrics, which are as
-/// noisy as their inputs and would otherwise pollute row keys.
-pub const EXCLUDED: &[&str] = &["speedup", "speedup_vs_boxed", "share", "overhead"];
+/// noisy as their inputs and would otherwise pollute row keys, plus
+/// accuracy readouts (e24's ODE-vs-engine total variation and predicted
+/// stabilization time) that the producing bench already hard-asserts —
+/// their low decimals shift whenever an engine change perturbs the seeded
+/// RNG stream, which is not a perf regression.
+pub const EXCLUDED: &[&str] =
+    &["speedup", "speedup_vs_boxed", "share", "overhead", "tv", "predicted_tau"];
 
 /// Default relative tolerance floor: a metric must worsen by more than
 /// 25 % (or 3σ, whichever is larger) to fail the gate. Generous on

@@ -347,7 +347,11 @@ fn default_cap(n: u64) -> u64 {
 /// terminates after a few draws and the many tiny categories are never
 /// visited — and when they are, their draws sit in the near-certain-zero
 /// regime the univariate sampler short-circuits.
-fn mvhg_ordered_into(
+///
+/// Exposed (`pub`) so distributional tests can pin the sweep's marginals
+/// directly; `perm` must list every category index exactly once, and
+/// `draws` must not exceed the total population in `counts`.
+pub fn mvhg_ordered_into(
     rng: &mut impl Rng,
     counts: &[u64],
     draws: u64,

@@ -1300,6 +1300,20 @@ impl<P: Protocol, S: PairSampler, Pr: Probe, Tr: Tracer> AgentSimulation<P, S, P
         &self.agents
     }
 
+    /// Snapshots the live agents into a spatial occupancy field (one pass
+    /// over the SoA state column; crashed agents are skipped). See
+    /// [`OccupancyFieldProbe`](crate::observe::OccupancyFieldProbe) for why
+    /// spatial aggregation is pull-based rather than a `Probe` hook.
+    pub fn record_field(&self, field: &mut crate::observe::OccupancyFieldProbe) {
+        field.record(
+            self.steps,
+            self.agents.iter().enumerate().filter_map(|(i, s)| {
+                let a = i as u32;
+                (!self.agents.is_crashed(a)).then_some((a, s))
+            }),
+        );
+    }
+
     /// The dense runtime.
     pub fn runtime(&self) -> &DenseRuntime<P> {
         &self.rt

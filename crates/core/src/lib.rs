@@ -103,7 +103,8 @@ pub mod prelude {
     };
     pub use crate::observe::{
         BatchEvent, BatchPair, ConvergenceProbe, InteractionEvent, JsonlSink, MergeProbe,
-        MetricsProbe, NoProbe, Probe, Snapshot, TimingProbe, TrajectoryProbe,
+        MetricsProbe, NoProbe, OccupancyFieldProbe, Probe, Snapshot, TimingProbe,
+        TrajectoryProbe,
     };
     pub use crate::protocol::{CoinProtocol, FnProtocol, Protocol, SyntheticCoins};
     pub use crate::registry::{DenseRuntime, OutputId, StateId};
@@ -133,7 +134,8 @@ pub use faults::{
 };
 pub use observe::{
     BatchEvent, BatchPair, ConvergenceProbe, InteractionEvent, JsonlSink, MergeProbe,
-    MetricsProbe, NoProbe, Probe, Snapshot, TimingProbe, TrajectoryProbe,
+    MetricsProbe, NoProbe, OccupancyFieldProbe, Probe, Snapshot, TimingProbe,
+    TrajectoryProbe,
 };
 pub use protocol::{CoinProtocol, FnProtocol, Protocol, SyntheticCoins};
 pub use registry::{DenseRuntime, OutputId, StateId};

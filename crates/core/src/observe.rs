@@ -31,7 +31,10 @@
 //!   form of the retrospective logic in
 //!   [`measure_stabilization`](crate::Simulation::measure_stabilization);
 //! * [`JsonlSink`] — streams events to JSON Lines for offline analysis;
-//! * [`TimingProbe`] — self-timed wall-clock profiling (ns/interaction).
+//! * [`TimingProbe`] — self-timed wall-clock profiling (ns/interaction);
+//! * [`OccupancyFieldProbe`] — spatial occupancy/entropy field over agent
+//!   trajectories (pull-based: the interaction stream is anonymous, so the
+//!   agent engine snapshots its state column into the field instead).
 //!
 //! Probes compose: `(a, b)` is a probe that feeds both, and `&mut p`
 //! attaches a borrowed probe so the caller keeps ownership.
@@ -1033,6 +1036,191 @@ impl Probe for TimingProbe {
     }
 }
 
+// ---------------------------------------------------------------------------
+// OccupancyFieldProbe
+// ---------------------------------------------------------------------------
+
+/// Spatial occupancy and entropy field over agent trajectories: coarse-grid
+/// binning of the agent engine's state column.
+///
+/// The interaction stream is anonymous by design — an [`InteractionEvent`]
+/// carries states, not agent ids, so spatial structure cannot be folded
+/// from the `Probe` hooks alone. This aggregator is therefore *pull-based*:
+/// construct it with an agent → cell assignment (e.g. [`grid2d`](Self::grid2d)
+/// over a torus id layout), then snapshot the population whenever the
+/// experiment wants a field sample.
+/// [`AgentSimulation::record_field`](crate::AgentSimulation::record_field)
+/// does one pass over the SoA state column, skipping crashed agents.
+///
+/// Per snapshot the probe keeps the per-cell state histogram plus a
+/// Shannon-entropy summary `(step, mean cell entropy in bits)` appended to
+/// [`entropy_series`](Self::entropy_series), so a run's spatial
+/// mixing curve (e.g. an epidemic front sweeping a lattice: entropy rises
+/// where the front sits, falls back to zero behind it) costs
+/// `O(cells · |Q|)` memory regardless of population size.
+#[derive(Debug, Clone)]
+pub struct OccupancyFieldProbe {
+    cell_of: Vec<u32>,
+    cells: usize,
+    state_dim: usize,
+    /// Flattened `[cell][state]` histogram of the latest snapshot.
+    counts: Vec<u64>,
+    entropy_series: Vec<(u64, f64)>,
+    records: u64,
+}
+
+impl OccupancyFieldProbe {
+    /// A field over `cells` bins with the given per-agent cell assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cells == 0` or any assignment is out of range.
+    pub fn new(cells: usize, cell_of: Vec<u32>) -> Self {
+        assert!(cells > 0, "field needs at least one cell");
+        assert!(
+            cell_of.iter().all(|&c| (c as usize) < cells),
+            "cell assignment out of range"
+        );
+        Self {
+            cell_of,
+            cells,
+            state_dim: 0,
+            counts: Vec::new(),
+            entropy_series: Vec::new(),
+            records: 0,
+        }
+    }
+
+    /// Bins the row-major `w × h` lattice id layout (`id = y·w + x`, the
+    /// convention of `pp-graphs`' grid and torus generators) into coarse
+    /// cells of `cw × ch` sites; edge cells are smaller when the coarse
+    /// size does not divide the lattice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn grid2d(w: usize, h: usize, cw: usize, ch: usize) -> Self {
+        assert!(w > 0 && h > 0 && cw > 0 && ch > 0, "dimensions must be positive");
+        let cx = w.div_ceil(cw);
+        let cy = h.div_ceil(ch);
+        let cell_of = (0..w * h)
+            .map(|id| ((id / w / ch) * cx + (id % w) / cw) as u32)
+            .collect();
+        Self::new(cx * cy, cell_of)
+    }
+
+    /// Bins the row-major `w × h × d` lattice id layout
+    /// (`id = (z·h + y)·w + x`, the convention of `torus3d_csr` in
+    /// `pp-graphs`) into coarse cells of `cw × ch × cd` sites.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn grid3d(w: usize, h: usize, d: usize, cw: usize, ch: usize, cd: usize) -> Self {
+        assert!(
+            w > 0 && h > 0 && d > 0 && cw > 0 && ch > 0 && cd > 0,
+            "dimensions must be positive"
+        );
+        let cx = w.div_ceil(cw);
+        let cy = h.div_ceil(ch);
+        let cell_of = (0..w * h * d)
+            .map(|id| {
+                let (x, y, z) = (id % w, id / w % h, id / (w * h));
+                ((z / cd * cy + y / ch) * cx + x / cw) as u32
+            })
+            .collect();
+        Self::new(cx * cy * (d.div_ceil(cd)), cell_of)
+    }
+
+    /// Records one spatial snapshot: `agents` yields `(agent id, state)`
+    /// pairs (any order, each id at most once); agents not yielded — e.g.
+    /// crashed ones — are simply absent from this snapshot's histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an agent id has no cell assignment.
+    pub fn record(&mut self, step: u64, agents: impl IntoIterator<Item = (u32, StateId)>) {
+        self.counts.fill(0);
+        for (a, s) in agents {
+            let cell = self.cell_of[a as usize] as usize;
+            if s.index() >= self.state_dim {
+                self.grow_state_dim(s.index() + 1);
+            }
+            self.counts[cell * self.state_dim + s.index()] += 1;
+        }
+        self.records += 1;
+        let mean = self.mean_entropy();
+        self.entropy_series.push((step, mean));
+    }
+
+    fn grow_state_dim(&mut self, dim: usize) {
+        let mut wide = vec![0u64; self.cells * dim];
+        for cell in 0..self.cells {
+            for s in 0..self.state_dim {
+                wide[cell * dim + s] = self.counts[cell * self.state_dim + s];
+            }
+        }
+        self.counts = wide;
+        self.state_dim = dim;
+    }
+
+    /// Number of cells in the field.
+    pub fn cells(&self) -> usize {
+        self.cells
+    }
+
+    /// Snapshots recorded so far.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// The latest snapshot's state histogram for one cell (empty before the
+    /// first record).
+    pub fn cell_counts(&self, cell: usize) -> &[u64] {
+        &self.counts[cell * self.state_dim..(cell + 1) * self.state_dim]
+    }
+
+    /// Agents binned into `cell` at the latest snapshot.
+    pub fn cell_population(&self, cell: usize) -> u64 {
+        self.cell_counts(cell).iter().sum()
+    }
+
+    /// Shannon entropy (bits) of the state distribution inside one cell at
+    /// the latest snapshot; `0` for an empty or single-state cell.
+    pub fn cell_entropy(&self, cell: usize) -> f64 {
+        let total = self.cell_population(cell);
+        if total == 0 {
+            return 0.0;
+        }
+        -self
+            .cell_counts(cell)
+            .iter()
+            .filter(|&&c| c > 0)
+            .map(|&c| {
+                let p = c as f64 / total as f64;
+                p * p.log2()
+            })
+            .sum::<f64>()
+    }
+
+    /// Population-weighted mean cell entropy (bits) at the latest snapshot.
+    pub fn mean_entropy(&self) -> f64 {
+        let total: u64 = self.counts.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        (0..self.cells)
+            .map(|c| self.cell_entropy(c) * self.cell_population(c) as f64)
+            .sum::<f64>()
+            / total as f64
+    }
+
+    /// The `(step, mean cell entropy)` series, one point per record.
+    pub fn entropy_series(&self) -> &[(u64, f64)] {
+        &self.entropy_series
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1053,6 +1241,45 @@ mod tests {
             outputs_after: (OutputId(oa.0), OutputId(oa.1)),
             effective: before != after,
         }
+    }
+
+    #[test]
+    fn occupancy_field_bins_and_entropy() {
+        // 4×2 lattice, 2×2 coarse cells → 2 cells: ids {0,1,4,5} and {2,3,6,7}.
+        let mut field = OccupancyFieldProbe::grid2d(4, 2, 2, 2);
+        assert_eq!(field.cells(), 2);
+        // Left cell all state 0, right cell an even 0/1 split.
+        field.record(
+            7,
+            (0..8u32).map(|a| {
+                let s = u32::from(a % 4 >= 2 && a % 2 == 1);
+                (a, StateId(s))
+            }),
+        );
+        assert_eq!(field.records(), 1);
+        assert_eq!(field.cell_counts(0), &[4, 0]);
+        assert_eq!(field.cell_counts(1), &[2, 2]);
+        assert_eq!(field.cell_entropy(0), 0.0);
+        assert!((field.cell_entropy(1) - 1.0).abs() < 1e-12, "even split = 1 bit");
+        assert!((field.mean_entropy() - 0.5).abs() < 1e-12);
+        assert_eq!(field.entropy_series(), &[(7, 0.5)]);
+    }
+
+    #[test]
+    fn occupancy_field_3d_binning_and_missing_agents() {
+        // 2×2×2 lattice, coarse 2×2×1 cells → one cell per z-layer.
+        let mut field = OccupancyFieldProbe::grid3d(2, 2, 2, 2, 2, 1);
+        assert_eq!(field.cells(), 2);
+        // Only the upper layer (ids 4..8) reports; lower layer is absent
+        // (crashed agents behave exactly like this).
+        field.record(0, (4..8u32).map(|a| (a, StateId(0))));
+        assert_eq!(field.cell_population(0), 0);
+        assert_eq!(field.cell_population(1), 4);
+        assert_eq!(field.mean_entropy(), 0.0);
+        // A later snapshot with a wider state space regrows the histogram.
+        field.record(9, (0..8u32).map(|a| (a, StateId(a % 3))));
+        assert_eq!(field.cell_counts(0), &[2, 1, 1]);
+        assert_eq!(field.records(), 2);
     }
 
     #[test]

@@ -270,6 +270,29 @@ impl<P: Protocol> DenseRuntime<P> {
     pub fn state_ids(&self) -> impl Iterator<Item = StateId> {
         (0..self.states.len() as u32).map(StateId)
     }
+
+    /// The full transition table over the δ-closure of `seeds`: closes the
+    /// state space under `δ` ([`close_under_delta`](Self::close_under_delta)),
+    /// then returns every ordered pair `((p, q), δ(p, q))` over the closed
+    /// space, in row-major `(p, q)` order.
+    ///
+    /// This is the registry hook for whole-protocol analyses — the
+    /// mean-field drift derivation in `pp-analysis` compiles its vector
+    /// field from exactly this table.
+    pub fn transition_table(
+        &mut self,
+        seeds: &[StateId],
+    ) -> Vec<((StateId, StateId), (StateId, StateId))> {
+        let count = self.close_under_delta(seeds);
+        let mut table = Vec::with_capacity(count * count);
+        for p in 0..count as u32 {
+            for q in 0..count as u32 {
+                let (p, q) = (StateId(p), StateId(q));
+                table.push(((p, q), self.transition(p, q)));
+            }
+        }
+        table
+    }
 }
 
 #[cfg(test)]
@@ -327,6 +350,19 @@ mod tests {
             }
         }
         assert_eq!(rt.state_count(), 3);
+    }
+
+    #[test]
+    fn transition_table_covers_the_closure_in_row_major_order() {
+        let mut rt = DenseRuntime::new(mod3());
+        let seed = rt.intern_input(&1);
+        let table = rt.transition_table(&[seed]);
+        let k = rt.state_count();
+        assert_eq!(table.len(), k * k);
+        for (i, &((p, q), result)) in table.iter().enumerate() {
+            assert_eq!(p.index() * k + q.index(), i, "row-major order");
+            assert_eq!(rt.cached_transition(p, q), Some(result));
+        }
     }
 
     #[test]

@@ -584,6 +584,62 @@ mod tests {
     }
 
     #[test]
+    fn binomial_extreme_probabilities_stay_in_range() {
+        // The mean-field validation sweeps push inversion into regimes the
+        // batch engine rarely visits: p within ulps of {0, 1} at large n.
+        let mut rng = StdRng::seed_from_u64(20);
+        for _ in 0..500 {
+            // mean = 10⁻³: the union-bound short-circuit fires almost
+            // always; when it doesn't, the walk must stay on the support.
+            let x = binomial(&mut rng, 1_000_000_000, 1e-12);
+            assert!(x <= 3, "p=1e-12 drew {x}");
+            // Complement symmetry at p ≈ 1.
+            let y = binomial(&mut rng, 1_000_000_000, 1.0 - 1e-12);
+            assert!(y >= 1_000_000_000 - 3, "p≈1 drew {y}");
+        }
+        // Subnormal-probability draws must not loop or panic.
+        let z = binomial(&mut rng, u64::MAX / 2, f64::MIN_POSITIVE);
+        assert_eq!(z, 0);
+    }
+
+    #[test]
+    fn hypergeometric_near_degenerate_populations() {
+        let mut rng = StdRng::seed_from_u64(21);
+        // One success in a huge population: X ∈ {0, 1}, P(X=1) = draws/total.
+        let mut ones = 0u64;
+        for _ in 0..4_000 {
+            let x = hypergeometric(&mut rng, 1_000_000, 1, 500_000);
+            assert!(x <= 1);
+            ones += x;
+        }
+        let frac = ones as f64 / 4_000.0;
+        assert!((frac - 0.5).abs() < 0.05, "P(X=1) ≈ 0.5, got {frac}");
+        // All-but-one successes: complement of the above.
+        let x = hypergeometric(&mut rng, 1_000_000, 999_999, 500_000);
+        assert!(x >= 499_999);
+        // Single-item draws from a two-item population.
+        for _ in 0..50 {
+            assert!(hypergeometric(&mut rng, 2, 1, 1) <= 1);
+        }
+    }
+
+    #[test]
+    fn multivariate_hypergeometric_single_occupied_state() {
+        // A population concentrated on one state (n with one occupied
+        // state): every sweep must route all draws there deterministically.
+        let mut a = StdRng::seed_from_u64(22);
+        let mut b = StdRng::seed_from_u64(22);
+        let counts = [0u64, 1_000_000_000_000, 0, 0];
+        let mut out = Vec::new();
+        for draws in [0u64, 1, 31, 1_000_000] {
+            multivariate_hypergeometric_into(&mut a, &counts, draws, &mut out);
+            assert_eq!(out, &[0, draws, 0, 0]);
+        }
+        // Degenerate sweeps are certain: no randomness may be consumed.
+        assert_eq!(a.next_u64(), b.next_u64(), "degenerate sweep burned a word");
+    }
+
+    #[test]
     fn samplers_consume_at_most_one_uniform_per_draw() {
         // Replayability contract: a univariate draw costs one RNG word.
         let mut a = StdRng::seed_from_u64(12);

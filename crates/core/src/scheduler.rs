@@ -1527,6 +1527,51 @@ mod tests {
         assert_eq!(rng_a.next_u64(), rng_b.next_u64(), "streams must align");
     }
 
+    /// Sorted-neighbor CSR arrays of a `side³` 3D torus (6-regular).
+    fn torus3d_csr_arrays(side: usize) -> (usize, Vec<u32>, Vec<u32>) {
+        let n = side * side * side;
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets = Vec::with_capacity(6 * n);
+        offsets.push(0u32);
+        for z in 0..side {
+            for y in 0..side {
+                for x in 0..side {
+                    let at = |z: usize, y: usize, x: usize| {
+                        ((z * side + y) * side + x) as u32
+                    };
+                    let mut nb = [
+                        at(z, y, (x + side - 1) % side),
+                        at(z, y, (x + 1) % side),
+                        at(z, (y + side - 1) % side, x),
+                        at(z, (y + 1) % side, x),
+                        at((z + side - 1) % side, y, x),
+                        at((z + 1) % side, y, x),
+                    ];
+                    nb.sort_unstable();
+                    targets.extend_from_slice(&nb);
+                    offsets.push(targets.len() as u32);
+                }
+            }
+        }
+        (n, offsets, targets)
+    }
+
+    #[test]
+    fn stencil_handles_the_6_neighbor_lattice_unchanged() {
+        // A side³ 3D torus is 6-regular with at most 27 neighborhood shapes
+        // (each axis is interior, low-wrap, or high-wrap), so the existing
+        // stencil-dictionary build must compress it exactly as it does the
+        // 2D torus — no code path changes for the third dimension.
+        let (n, offsets, targets) = torus3d_csr_arrays(12);
+        let mut csr = CsrScheduler::from_csr(n, offsets, targets).unwrap();
+        let st = csr.stencil.as_ref().expect("regular 3D torus must build a stencil");
+        assert_eq!(st.class.len(), n);
+        assert_eq!(st.table.len() % 6, 0);
+        assert!(st.table.len() / 6 <= 27, "a 3D torus has at most 27 shapes");
+        assert!(csr.narrow.is_none(), "stencil supersedes the narrow column");
+        assert_batch_matches_sequential(&mut csr, 27, 40_000);
+    }
+
     #[test]
     fn stencil_targets_resolve_identically_to_wide_column() {
         // A 260×260 torus is 4-regular with nine neighborhood shapes

@@ -40,6 +40,52 @@ fn approx_majority() -> impl Protocol<State = u8, Input = u8, Output = u8> {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
+    /// `mvhg_ordered_into` marginals at tiny n: whatever the processing
+    /// permutation, category `i`'s marginal is `Hypergeometric(n, cᵢ, m)`,
+    /// so over many seeded sweeps the empirical mean must track `m·cᵢ/n`
+    /// (and the invariants `Σout = m`, `outᵢ ≤ cᵢ` must hold exactly).
+    #[test]
+    fn mvhg_ordered_marginals_at_tiny_n(
+        seed in 0u64..500,
+        c0 in 0u64..6,
+        c1 in 0u64..6,
+        c2 in 0u64..6,
+        rev in 0u64..2,
+    ) {
+        let counts = [c0, c1, c2];
+        let n: u64 = counts.iter().sum();
+        prop_assume!(n >= 1);
+        let draws = n.min(1 + seed % n.max(1));
+        let mut perm: Vec<u32> = (0..3).collect();
+        let rev = rev == 1;
+        if rev {
+            perm.reverse();
+        }
+        let trials = 400u64;
+        let mut rng = seeded_rng(seed);
+        let mut out = Vec::new();
+        let mut sums = [0u64; 3];
+        for _ in 0..trials {
+            pp_core::batch::mvhg_ordered_into(&mut rng, &counts, draws, &mut out, &perm);
+            prop_assert_eq!(out.iter().sum::<u64>(), draws);
+            for (i, (&x, &c)) in out.iter().zip(counts.iter()).enumerate() {
+                prop_assert!(x <= c, "category {i}: drew {x} of {c}");
+                sums[i] += x;
+            }
+        }
+        for (i, &s) in sums.iter().enumerate() {
+            let mean = s as f64 / trials as f64;
+            let expect = draws as f64 * counts[i] as f64 / n as f64;
+            // Hypergeometric variance ≤ m/4; 5σ over 400 trials ≈ 0.3·√m.
+            let tol = 5.0 * (draws as f64 / 4.0 / trials as f64).sqrt() + 1e-9;
+            prop_assert!(
+                (mean - expect).abs() < tol,
+                "category {} (perm rev={}): mean {} vs {}",
+                i, rev, mean, expect
+            );
+        }
+    }
+
     #[test]
     fn batched_runs_preserve_population_and_state_space(
         seed in 0u64..1_000,

@@ -204,6 +204,77 @@ pub fn torus2d_csr(w: usize, h: usize) -> crate::csr::CsrGraph {
     crate::csr::CsrGraph::from_raw_parts(n, offsets, edges)
 }
 
+/// The `w × h × d` 3D torus: every cell is adjacent (both directions) to its
+/// six axis neighbors with wrap-around. Cell `(x, y, z)` has id
+/// `(z·h + y)·w + x`. Degenerate dimensions (≤ 2) collapse coincident wrap
+/// edges, as in [`torus2d`].
+///
+/// # Panics
+///
+/// Panics if `w · h · d < 2`.
+pub fn torus3d(w: usize, h: usize, d: usize) -> InteractionGraph {
+    let n = w * h * d;
+    let mut edges = Vec::with_capacity(6 * n);
+    for z in 0..d {
+        for y in 0..h {
+            for x in 0..w {
+                let a = ((z * h + y) * w + x) as u32;
+                let right = ((z * h + y) * w + (x + 1) % w) as u32;
+                let down = ((z * h + (y + 1) % h) * w + x) as u32;
+                let deep = ((((z + 1) % d) * h + y) * w + x) as u32;
+                for b in [right, down, deep] {
+                    if a != b {
+                        edges.push((a, b));
+                        edges.push((b, a));
+                    }
+                }
+            }
+        }
+    }
+    InteractionGraph::new(n, edges)
+}
+
+/// [`torus3d`] built directly in CSR form, skipping the `(u, v)` tuple list
+/// and its sort entirely — the 6-neighbor analogue of [`torus2d_csr`]: each
+/// row's six neighbors are computed and sorted in place, one linear pass,
+/// and the resulting layout is exactly as stencil-dictionary-friendly as
+/// the 2D torus (a handful of neighborhood shapes, so `CsrScheduler`'s
+/// batched gather takes the same compressed path unchanged). Falls back to
+/// converting [`torus3d`] when a dimension is ≤ 2 (wrap-around edges
+/// coincide there and need deduplication).
+///
+/// # Panics
+///
+/// Panics if `w · h · d < 2` or the edge count overflows `u32`.
+pub fn torus3d_csr(w: usize, h: usize, d: usize) -> crate::csr::CsrGraph {
+    if w <= 2 || h <= 2 || d <= 2 {
+        return crate::csr::CsrGraph::from_graph(&torus3d(w, h, d));
+    }
+    let n = w * h * d;
+    u32::try_from(6 * n).expect("edge count exceeds u32::MAX");
+    let mut offsets = Vec::with_capacity(n + 1);
+    offsets.extend((0..=n).map(|i| 6 * i as u32));
+    let mut edges = vec![0u32; 6 * n];
+    for z in 0..d {
+        for y in 0..h {
+            for x in 0..w {
+                let a = (z * h + y) * w + x;
+                let mut nbrs = [
+                    ((z * h + y) * w + (x + w - 1) % w) as u32,
+                    ((z * h + y) * w + (x + 1) % w) as u32,
+                    ((z * h + (y + h - 1) % h) * w + x) as u32,
+                    ((z * h + (y + 1) % h) * w + x) as u32,
+                    ((((z + d - 1) % d) * h + y) * w + x) as u32,
+                    ((((z + 1) % d) * h + y) * w + x) as u32,
+                ];
+                nbrs.sort_unstable();
+                edges[6 * a..6 * a + 6].copy_from_slice(&nbrs);
+            }
+        }
+    }
+    crate::csr::CsrGraph::from_raw_parts(n, offsets, edges)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -280,6 +351,27 @@ mod tests {
     }
 
     #[test]
+    fn torus3d_shapes() {
+        // Every cell has exactly 6 neighbors when all dims > 2.
+        let t = torus3d(3, 4, 5);
+        assert_eq!(t.population(), 60);
+        assert_eq!(t.edge_count(), 6 * 60);
+        assert!(t.is_weakly_connected());
+        // Degenerate dims collapse coincident wrap edges: a 2×1×1 torus is
+        // a single undirected edge.
+        assert_eq!(torus3d(2, 1, 1).edge_count(), 2);
+    }
+
+    #[test]
+    fn torus3d_csr_matches_tuple_builder() {
+        for (w, h, d) in [(3, 3, 3), (4, 3, 5), (2, 6, 3), (3, 2, 2), (5, 4, 3), (1, 2, 1)] {
+            let csr = torus3d_csr(w, h, d);
+            let reference = crate::csr::CsrGraph::from_graph(&torus3d(w, h, d));
+            assert_eq!(csr, reference, "{w}x{h}x{d}");
+        }
+    }
+
+    #[test]
     fn erdos_renyi_always_weakly_connected() {
         let mut rng = StdRng::seed_from_u64(99);
         for &p in &[0.0, 0.05, 0.5] {
@@ -317,6 +409,21 @@ mod tests {
             }
             let csr = torus2d_csr(w, h);
             let reference = crate::csr::CsrGraph::from_graph(&torus2d(w, h));
+            proptest::prop_assert_eq!(csr, reference);
+        }
+
+        #[test]
+        fn prop_torus3d_csr_matches_tuple_builder(
+            w in 1usize..7,
+            h in 1usize..7,
+            d in 1usize..7,
+        ) {
+            proptest::prop_assume!(w * h * d >= 2);
+            let t = torus3d(w, h, d);
+            proptest::prop_assert!(t.is_weakly_connected(), "{w}x{h}x{d}");
+            proptest::prop_assert_eq!(t.population(), w * h * d);
+            let csr = torus3d_csr(w, h, d);
+            let reference = crate::csr::CsrGraph::from_graph(&t);
             proptest::prop_assert_eq!(csr, reference);
         }
 

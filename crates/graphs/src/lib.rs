@@ -31,6 +31,6 @@ pub mod graph;
 pub use csr::CsrGraph;
 pub use generators::{
     complete, directed_cycle, directed_line, erdos_renyi_connected, grid2d, star, torus2d,
-    torus2d_csr, undirected_cycle, undirected_line,
+    torus2d_csr, torus3d, torus3d_csr, undirected_cycle, undirected_line,
 };
 pub use graph::InteractionGraph;

@@ -6,7 +6,7 @@
 use pp_core::observe::MetricsProbe;
 use pp_core::trace::{SpanKind, SpanStats};
 use pp_core::{seeded_rng, AgentSimulation, FnProtocol, Protocol};
-use pp_graphs::{torus2d, torus2d_csr};
+use pp_graphs::{torus2d, torus2d_csr, torus3d_csr};
 use rand::RngCore;
 
 fn epidemic() -> impl Protocol<State = bool, Input = bool, Output = bool> {
@@ -41,6 +41,57 @@ fn epidemic_on_torus_converges_batched() {
     assert_eq!(sim.consensus_output(), Some(&true));
     // The epidemic infects exactly n − 1 agents, one per effective step.
     assert_eq!(sim.effective_steps(), n as u64 - 1);
+}
+
+#[test]
+fn epidemic_on_3d_torus_converges_batched() {
+    // The 6-neighbor lattice rides the same CsrScheduler stencil path as
+    // the 2D torus: nothing in the engine knows the dimension, and the
+    // sort-free torus3d_csr layout must behave identically at equal n.
+    let side = 8usize;
+    let n = side * side * side;
+    let g = torus3d_csr(side, side, side);
+    assert_eq!(g.population(), n);
+    assert_eq!(g.edge_count(), 6 * n);
+    let mut sim =
+        AgentSimulation::from_inputs(epidemic(), &patient_zero(n), g.scheduler());
+    let mut rng = seeded_rng(24);
+    let rep = sim
+        .measure_stabilization_batched(&true, 400 * n as u64, &mut rng)
+        .unwrap();
+    assert!(rep.converged(), "epidemic must cover the 3D torus");
+    assert_eq!(sim.consensus_output(), Some(&true));
+    assert_eq!(sim.effective_steps(), n as u64 - 1);
+}
+
+#[test]
+fn occupancy_field_tracks_the_3d_epidemic_front() {
+    // Spatial probe satellite meets the 3D generator satellite: the
+    // mean cell entropy starts at ~0 (one infected corner), rises while
+    // the front crosses cells, and returns to 0 at full infection.
+    let side = 6usize;
+    let n = side * side * side;
+    let g = torus3d_csr(side, side, side);
+    let mut field =
+        pp_core::OccupancyFieldProbe::grid3d(side, side, side, 3, 3, 3);
+    assert_eq!(field.cells(), 8);
+    let mut sim =
+        AgentSimulation::from_inputs(epidemic(), &patient_zero(n), g.scheduler());
+    let mut rng = seeded_rng(25);
+    sim.record_field(&mut field);
+    assert_eq!(field.cell_population(0), 27);
+    let mut peak = 0.0f64;
+    while sim.effective_steps() < n as u64 - 1 {
+        sim.run_batched(500, &mut rng).unwrap();
+        sim.record_field(&mut field);
+        peak = peak.max(field.mean_entropy());
+    }
+    assert!(peak > 0.1, "the sweeping front must raise cell entropy, got {peak}");
+    assert_eq!(field.mean_entropy(), 0.0, "full infection is a pure field");
+    let series = field.entropy_series();
+    assert_eq!(series.len() as u64, field.records());
+    // One infected corner: the initial field is nearly pure.
+    assert!(series.first().unwrap().1 < 0.05);
 }
 
 #[test]
