@@ -1,9 +1,13 @@
 //! E20 — multi-threaded ensemble scaling with bit-identical statistics.
 //!
-//! The `pp_core::ensemble` executor claims two things at once: (1) `T`
-//! independent trials scale across OS threads, and (2) the aggregated
-//! statistics are a pure function of the master seed — byte-identical at
-//! any thread count. This bench measures both on majority stabilization:
+//! The ensemble executor claims two things at once: (1) `T` independent
+//! trials scale across OS threads, and (2) the aggregated statistics are
+//! a pure function of the master seed — byte-identical at any thread
+//! count. This bench measures both on majority stabilization, routed
+//! through the unified [`pp_core::spec`] dispatcher (`RunSpec` →
+//! `run_counts`) that the server, the CLI, and the benches now share —
+//! the spec's `threads` field is execution policy, so sweeping it must
+//! not move a byte of the report:
 //!
 //! * **exact majority** (Lemma 5) at n = 256 — its Θ(n² log n) interaction
 //!   count makes n = 10⁴ infeasible (~10¹¹ interactions *per trial*), so
@@ -12,10 +16,11 @@
 //! * **approximate majority** (3-state) at n = 10⁴ — Θ(n log n), the
 //!   large-population case.
 //!
-//! Both run through `measure_stabilization_batched` (the Θ(√n)-per-sweep
-//! engine), once per thread count with the same master seed; every row
-//! records the wall clock, the speedup over the 1-thread run, and whether
-//! the `EnsembleReport` JSON matched the 1-thread run byte-for-byte.
+//! Both run on the Θ(√n)-per-sweep batched engine (`engine: "batched"`
+//! in spec terms), once per thread count with the same master seed; every
+//! row records the wall clock, the speedup over the 1-thread run, and
+//! whether the `EnsembleReport` JSON matched the 1-thread run
+//! byte-for-byte.
 //!
 //! Wall-clock speedup is hardware-bound: on a k-core machine the curve
 //! saturates at ≈ k (the `hw_threads` meta records what the host offered;
@@ -27,8 +32,8 @@
 use std::time::Instant;
 
 use pp_bench::{fmt, print_header, BenchReport};
-use pp_core::ensemble::{Ensemble, EnsembleReport};
-use pp_core::Simulation;
+use pp_core::ensemble::EnsembleReport;
+use pp_core::spec::{run_counts, EngineSel, ProtocolRef, RunOutcome, RunSpec};
 use pp_protocols::ext::ApproximateMajority;
 use pp_protocols::majority;
 
@@ -46,6 +51,37 @@ impl Params {
         } else {
             Self { trials: 256, exact_n: 256, approx_n: 10_000, threads: vec![1, 2, 4, 8] }
         }
+    }
+}
+
+/// The shared spec shape: a batched stabilization ensemble on a 60/40
+/// majority split. The spec population and the dispatched `pairs` travel
+/// in the same order — population order is semantic (it fixes interning,
+/// hence the RNG streams), so both workloads list the majority symbol
+/// first, exactly like the historical direct calls.
+fn ensemble_spec(
+    p: &Params,
+    population: Vec<(String, u64)>,
+    master_seed: u64,
+    horizon: u64,
+    threads: usize,
+) -> RunSpec {
+    let mut spec = RunSpec::new(
+        ProtocolRef::Name { name: "majority".into(), params: vec![] },
+        population,
+        master_seed,
+    );
+    spec.engine = EngineSel::Batched;
+    spec.trials = p.trials;
+    spec.threads = threads;
+    spec.horizon = Some(horizon);
+    spec
+}
+
+fn expect_ensemble(outcome: RunOutcome) -> EnsembleReport {
+    match outcome {
+        RunOutcome::Ensemble(rep) => rep,
+        other => panic!("expected an ensemble outcome, got {other:?}"),
     }
 }
 
@@ -70,49 +106,49 @@ fn main() {
     // Exact majority (Lemma 5): 60/40 split, horizon 40·n² ≫ Θ(n² log n)/2
     // for this margin.
     let exact_n = p.exact_n;
+    let exact_ones = exact_n * 3 / 5;
     let exact_horizon = 40 * exact_n * exact_n;
-    sweep_case(
-        &mut report,
-        &p,
-        &format!("exact majority n={exact_n}"),
-        "exact",
-        master_seed,
-        |threads| {
-            Ensemble::new(p.trials, master_seed).with_threads(threads).measure_stabilization_batched(
-                |_trial| {
-                    Simulation::from_counts(
-                        majority(),
-                        [(1usize, exact_n * 3 / 5), (0usize, exact_n - exact_n * 3 / 5)],
-                    )
-                },
+    sweep_case(&mut report, &p, &format!("exact majority n={exact_n}"), "exact", |threads| {
+        let spec = ensemble_spec(
+            &p,
+            vec![("1".into(), exact_ones), ("0".into(), exact_n - exact_ones)],
+            master_seed,
+            exact_horizon,
+            threads,
+        );
+        expect_ensemble(
+            run_counts(
+                &spec,
+                &majority(),
+                &[(1usize, exact_ones), (0usize, exact_n - exact_ones)],
                 &true,
-                exact_horizon,
             )
-        },
-    );
+            .expect("exact majority dispatch"),
+        )
+    });
 
     // Approximate majority: Θ(n log n); horizon 60·n·ln n.
     let approx_n = p.approx_n;
+    let approx_ones = approx_n * 3 / 5;
     let approx_horizon = (60.0 * approx_n as f64 * (approx_n as f64).ln()) as u64;
-    sweep_case(
-        &mut report,
-        &p,
-        &format!("approx majority n={approx_n}"),
-        "approx",
-        master_seed,
-        |threads| {
-            Ensemble::new(p.trials, master_seed).with_threads(threads).measure_stabilization_batched(
-                |_trial| {
-                    Simulation::from_counts(
-                        ApproximateMajority,
-                        [(true, approx_n * 3 / 5), (false, approx_n - approx_n * 3 / 5)],
-                    )
-                },
+    sweep_case(&mut report, &p, &format!("approx majority n={approx_n}"), "approx", |threads| {
+        let spec = ensemble_spec(
+            &p,
+            vec![("1".into(), approx_ones), ("0".into(), approx_n - approx_ones)],
+            master_seed,
+            approx_horizon,
+            threads,
+        );
+        expect_ensemble(
+            run_counts(
+                &spec,
+                &ApproximateMajority,
+                &[(true, approx_ones), (false, approx_n - approx_ones)],
                 &true,
-                approx_horizon,
             )
-        },
-    );
+            .expect("approx majority dispatch"),
+        )
+    });
 
     println!("\nreading: speedup tracks hardware threads (≈1 on a 1-core host);");
     println!("the identical column is the machine-checked determinism guarantee —");
@@ -127,7 +163,6 @@ fn sweep_case(
     p: &Params,
     label: &str,
     case: &str,
-    _master_seed: u64,
     run: impl Fn(usize) -> EnsembleReport,
 ) {
     let mut base_json: Option<String> = None;

@@ -424,6 +424,13 @@ impl Ensemble {
     /// [`Simulation::measure_stabilization_batched`](crate::batch) — the
     /// fast path for large populations; each trial runs the Θ(√n)-per-sweep
     /// batched engine on its own thread.
+    ///
+    /// **New call sites should route through the spec layer instead**:
+    /// build a [`RunSpec`](crate::spec::RunSpec) with
+    /// `engine: `[`EngineSel::Batched`](crate::spec::EngineSel) and
+    /// dispatch it via [`run_counts`](crate::spec::run_counts) — the
+    /// unified seam the server, the CLI, and the benches share. This
+    /// method stays as the executor those dispatchers call into.
     pub fn measure_stabilization_batched<P, F>(
         &self,
         make: F,
@@ -445,6 +452,13 @@ impl Ensemble {
 
     /// Ensemble of [`AgentSimulation::measure_stabilization`] for
     /// graph-restricted or scripted workloads.
+    ///
+    /// **New call sites should route through the spec layer instead**:
+    /// build a [`RunSpec`](crate::spec::RunSpec) with
+    /// `engine: `[`EngineSel::Agents`](crate::spec::EngineSel) and
+    /// dispatch it via [`run_agents`](crate::spec::run_agents), which
+    /// materializes the topology and sampler exactly once per trial.
+    /// This method stays as the executor those dispatchers call into.
     pub fn measure_stabilization_agents<P, S, F>(
         &self,
         make: F,

@@ -80,6 +80,7 @@ pub mod protocol;
 pub mod registry;
 pub mod sampling;
 pub mod scheduler;
+pub mod spec;
 pub mod trace;
 
 pub mod prelude {
@@ -111,6 +112,10 @@ pub mod prelude {
     pub use crate::scheduler::{
         BatchPairSampler, CsrScheduler, EdgeListScheduler, PairSampler, UniformPairScheduler,
     };
+    pub use crate::spec::{
+        EngineSel, JsonValue, ProtocolRef, RunOutcome, RunReport, RunSpec, SpecError,
+        StopCondition, TopologySpec,
+    };
     pub use crate::trace::{
         ChromeTracer, NoTracer, RunManifest, SpanKind, SpanStats, Tracer,
     };
@@ -141,5 +146,9 @@ pub use protocol::{CoinProtocol, FnProtocol, Protocol, SyntheticCoins};
 pub use registry::{DenseRuntime, OutputId, StateId};
 pub use scheduler::{
     BatchPairSampler, CsrScheduler, EdgeListScheduler, PairSampler, UniformPairScheduler,
+};
+pub use spec::{
+    EngineSel, FaultSpec, JsonValue, MeanFieldSpec, ProbeSpec, ProtocolRef, RunOutcome,
+    RunReport, RunSpec, SeedModeSpec, SingleRun, SpecError, StopCondition, TopologySpec,
 };
 pub use trace::{ChromeTracer, NoTracer, RunManifest, SpanKind, SpanStats, Tracer};

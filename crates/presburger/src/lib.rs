@@ -55,6 +55,7 @@ pub mod language;
 pub mod parser;
 pub mod qe;
 pub mod semilinear;
+pub mod spec;
 
 pub use compile::{compile, CompiledProtocol};
 pub use formula::{Atom, Formula, LinExpr};
@@ -62,3 +63,7 @@ pub use language::SymmetricLanguage;
 pub use parser::{parse, ParseError, ParsedFormula};
 pub use qe::eliminate_quantifiers;
 pub use semilinear::{parikh, LinearSet, SemilinearSet};
+pub use spec::{
+    backends, compile_spec, compile_spec_with_backend, spec_key, CompiledSpec,
+    SpecCompileError, BACKEND_COOPER_PRODUCT,
+};

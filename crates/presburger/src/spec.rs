@@ -1,0 +1,179 @@
+//! Spec-addressable compilation: formula source text → a keyed, cacheable
+//! compiled protocol.
+//!
+//! The direct pipeline (`parse` → `compile_parsed`) returns a bare
+//! [`CompiledProtocol`]; services that compile *on request* need three
+//! more things, which this module packages:
+//!
+//! 1. **a symbol table** — the free-variable names, in index order, so a
+//!    population spec written as `{"hot": 2, "normal": 38}` can be mapped
+//!    to symbol indices without the caller re-parsing the formula;
+//! 2. **a cache key** — a deterministic string identifying the compiled
+//!    artifact (backend + normalized source), so compiled products can be
+//!    reused across requests through a keyed cache;
+//! 3. **a backend name** — today only the paper-faithful Cooper-QE →
+//!    Lemma 5 product construction exists, but the succinct construction
+//!    of Czerner et al. ("Fast and Succinct Population Protocols for
+//!    Presburger Arithmetic") is a planned second backend behind this
+//!    same entry point; callers that route through [`compile_spec_with_backend`]
+//!    will pick it up by name with no API change.
+
+use std::fmt;
+
+use crate::compile::{compile, CompileError, CompiledProtocol};
+use crate::parser::{parse, ParseError};
+
+/// The paper-faithful backend: Cooper quantifier elimination, then the
+/// Lemma 5 threshold/remainder atoms composed by the Theorem 5 product.
+pub const BACKEND_COOPER_PRODUCT: &str = "cooper-product";
+
+/// The compilation backends this build knows, in preference order.
+pub fn backends() -> &'static [&'static str] {
+    &[BACKEND_COOPER_PRODUCT]
+}
+
+/// A compiled formula, addressed for caching.
+#[derive(Debug, Clone)]
+pub struct CompiledSpec {
+    /// The runnable protocol.
+    pub protocol: CompiledProtocol,
+    /// Free-variable names in symbol-index order (`symbols[i]` is input
+    /// symbol `i`).
+    pub symbols: Vec<String>,
+    /// Deterministic identity of this artifact: `backend + ":" +`
+    /// whitespace-normalized source. Equal keys ⇒ interchangeable
+    /// compiled products.
+    pub key: String,
+}
+
+/// Errors from the spec-level compile entry points.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecCompileError {
+    /// The source text failed to parse.
+    Parse(ParseError),
+    /// The parsed formula failed to compile.
+    Compile(CompileError),
+    /// The requested backend is not in [`backends`].
+    UnknownBackend(String),
+}
+
+impl fmt::Display for SpecCompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Parse(e) => write!(f, "{e}"),
+            Self::Compile(e) => write!(f, "{e}"),
+            Self::UnknownBackend(b) => write!(
+                f,
+                "unknown compile backend {b:?} (known: {})",
+                backends().join(", ")
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SpecCompileError {}
+
+impl From<ParseError> for SpecCompileError {
+    fn from(e: ParseError) -> Self {
+        Self::Parse(e)
+    }
+}
+
+impl From<CompileError> for SpecCompileError {
+    fn from(e: CompileError) -> Self {
+        Self::Compile(e)
+    }
+}
+
+/// The cache key [`compile_spec_with_backend`] would assign — computable
+/// without compiling, so caches can probe before paying for Cooper QE.
+///
+/// Source normalization is whitespace-collapsing only (runs of whitespace
+/// become one space, ends trimmed): cheap, deterministic, and enough to
+/// unify trivial reformattings. Semantically equal but textually distinct
+/// formulas intentionally get distinct keys — key equality must guarantee
+/// artifact interchangeability, and textual identity is the conservative
+/// proxy for that.
+pub fn spec_key(backend: &str, src: &str) -> String {
+    let mut normalized = String::with_capacity(src.len());
+    let mut in_ws = true; // leading whitespace is dropped
+    for c in src.chars() {
+        if c.is_whitespace() {
+            if !in_ws {
+                normalized.push(' ');
+                in_ws = true;
+            }
+        } else {
+            normalized.push(c);
+            in_ws = false;
+        }
+    }
+    let trimmed = normalized.trim_end();
+    format!("{backend}:{trimmed}")
+}
+
+/// Compiles `src` with the default backend ([`BACKEND_COOPER_PRODUCT`]).
+///
+/// # Errors
+///
+/// [`SpecCompileError::Parse`] or [`SpecCompileError::Compile`].
+pub fn compile_spec(src: &str) -> Result<CompiledSpec, SpecCompileError> {
+    compile_spec_with_backend(src, BACKEND_COOPER_PRODUCT)
+}
+
+/// Compiles `src` with a named backend.
+///
+/// # Errors
+///
+/// [`SpecCompileError::UnknownBackend`] for backends not in [`backends`],
+/// otherwise parse/compile failures.
+pub fn compile_spec_with_backend(
+    src: &str,
+    backend: &str,
+) -> Result<CompiledSpec, SpecCompileError> {
+    if backend != BACKEND_COOPER_PRODUCT {
+        return Err(SpecCompileError::UnknownBackend(backend.to_string()));
+    }
+    let parsed = parse(src)?;
+    let protocol = compile(&parsed.formula, parsed.vars.len().max(1))?;
+    let symbols = if parsed.vars.is_empty() {
+        // A closed formula still compiles to an arity-1 protocol (one
+        // dummy symbol), mirroring `compile_parsed`.
+        vec!["x0".to_string()]
+    } else {
+        parsed.vars.clone()
+    };
+    Ok(CompiledSpec { protocol, symbols, key: spec_key(backend, src) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compiles_and_keys() {
+        let spec = compile_spec("a > b").unwrap();
+        assert_eq!(spec.symbols, vec!["a".to_string(), "b".to_string()]);
+        assert_eq!(spec.key, "cooper-product:a > b");
+        assert!(spec.protocol.eval(&[3, 2]));
+        assert!(!spec.protocol.eval(&[2, 3]));
+    }
+
+    #[test]
+    fn key_normalizes_whitespace_only() {
+        assert_eq!(spec_key("b", "  a  >\t b \n"), spec_key("b", "a > b"));
+        assert_ne!(spec_key("b", "a>b"), spec_key("b", "a > b"));
+        assert_ne!(spec_key("b1", "a > b"), spec_key("b2", "a > b"));
+    }
+
+    #[test]
+    fn unknown_backend_and_parse_errors_are_structured() {
+        assert!(matches!(
+            compile_spec_with_backend("a > b", "succinct"),
+            Err(SpecCompileError::UnknownBackend(_))
+        ));
+        assert!(matches!(compile_spec("a >"), Err(SpecCompileError::Parse(_))));
+        let msg = compile_spec("a >").unwrap_err().to_string();
+        assert!(msg.contains("parse error"));
+    }
+}

@@ -1,0 +1,108 @@
+//! A matching zero-dependency HTTP/1.1 client, for tests, benches, and
+//! the golden-request scripts — one request per connection, mirroring the
+//! server's `Connection: close` discipline.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// One HTTP response, split for assertions.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code from the status line.
+    pub status: u16,
+    /// Headers in arrival order, names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// The raw body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// First header with this (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers.iter().find(|(k, _)| *k == name).map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 (lossy).
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// `GET path` against `addr`.
+///
+/// # Errors
+///
+/// I/O failures and malformed status lines surface as `io::Error`.
+pub fn get(addr: SocketAddr, path: &str) -> io::Result<Response> {
+    request(addr, "GET", path, None)
+}
+
+/// `POST path` with a JSON body against `addr`.
+///
+/// # Errors
+///
+/// I/O failures and malformed status lines surface as `io::Error`.
+pub fn post(addr: SocketAddr, path: &str, body: &str) -> io::Result<Response> {
+    request(addr, "POST", path, Some(body.as_bytes()))
+}
+
+fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&[u8]>,
+) -> io::Result<Response> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+    let mut head = format!("{method} {path} HTTP/1.1\r\nHost: pp-server\r\n");
+    if let Some(b) = body {
+        head.push_str(&format!("Content-Length: {}\r\n", b.len()));
+        head.push_str("Content-Type: application/json\r\n");
+    }
+    head.push_str("Connection: close\r\n\r\n");
+    stream.write_all(head.as_bytes())?;
+    if let Some(b) = body {
+        // A server may reject from the headers alone (e.g. 413 on
+        // Content-Length) and close before consuming the body; the
+        // response is still there to read, so tolerate the broken pipe.
+        match stream.write_all(b).and_then(|()| stream.flush()) {
+            Ok(()) => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::BrokenPipe | io::ErrorKind::ConnectionReset
+                ) => {}
+            Err(e) => return Err(e),
+        }
+    } else {
+        stream.flush()?;
+    }
+
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    parse_response(&raw)
+}
+
+fn parse_response(raw: &[u8]) -> io::Result<Response> {
+    let header_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "no header terminator"))?;
+    let head = String::from_utf8_lossy(&raw[..header_end]);
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().unwrap_or("");
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad status line"))?;
+    let headers = lines
+        .filter_map(|l| {
+            l.split_once(':')
+                .map(|(k, v)| (k.trim().to_ascii_lowercase(), v.trim().to_string()))
+        })
+        .collect();
+    Ok(Response { status, headers, body: raw[header_end + 4..].to_vec() })
+}

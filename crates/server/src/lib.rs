@@ -1,0 +1,35 @@
+//! Protocol-as-a-service: a deterministic population-protocol simulation
+//! server behind the unified spec-driven run API.
+//!
+//! Angluin et al. (PODC 2004) model computation by *passively mobile*
+//! finite-state sensors — the device fleet is the computer, and a query
+//! ("do at least 5 birds have elevated temperature?") is a Presburger
+//! predicate compiled to a protocol and run over a population. This crate
+//! packages that pipeline as a service:
+//!
+//! - [`registry`] — the named protocols a spec can reference directly;
+//! - [`api`] — [`execute`]: `RunSpec` in, `pp-run/v1` report
+//!   out, with a keyed [`CompiledCache`] reusing
+//!   compiled Presburger products, drift fields, and interaction graphs
+//!   across requests;
+//! - [`http`] — a zero-dependency HTTP/1.1 front end (hand-rolled parser,
+//!   fixed thread-pool accept loop) exposing `/v1/run`, `/v1/stream`,
+//!   `/v1/protocols`, `/v1/cache`, and `/healthz`;
+//! - [`client`] — a matching minimal client for tests and benches.
+//!
+//! Determinism is the contract: a seeded request returns byte-identical
+//! report bodies across server restarts, worker counts, and cache states.
+//! Anything timing-dependent travels in HTTP headers (`X-PP-Cache`,
+//! `X-PP-Elapsed-Us`), never in bodies.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod client;
+pub mod http;
+pub mod registry;
+
+pub use api::{execute, execute_stream, CacheStats, CacheStatus, CompiledCache, ExecOptions};
+pub use http::{serve, Server, ServerConfig};
+pub use registry::{resolve_named, NamedProtocol};

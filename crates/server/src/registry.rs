@@ -1,0 +1,173 @@
+//! The named-protocol registry: the protocols a [`RunSpec`] can reference
+//! by name instead of by Presburger formula.
+//!
+//! Every entry is a protocol from `pp-protocols` with `Output = bool`,
+//! together with its input-symbol table and its ground-truth predicate on
+//! symbol counts — everything the resolver needs to run a spec and report
+//! the expected verdict.
+//!
+//! [`RunSpec`]: pp_core::spec::RunSpec
+
+use pp_core::spec::{ProtocolRef, SpecError};
+use pp_protocols::ext::ApproximateMajority;
+use pp_protocols::{majority, parity, CountThreshold, RemainderProtocol, ThresholdProtocol};
+
+/// A protocol resolved from a registry name. Variants carry the concrete
+/// protocol value; the resolver matches on this to enter the generic
+/// engine dispatchers with a statically-typed protocol.
+#[derive(Debug, Clone)]
+pub enum NamedProtocol {
+    /// Exact majority (Lemma 5 threshold `x₀ − x₁ < 0`): more `1`s than
+    /// `0`s?
+    Majority(ThresholdProtocol),
+    /// Parity (Lemma 5 remainder `x₁ ≡ 1 (mod 2)`): odd number of `1`s?
+    Parity(RemainderProtocol),
+    /// The 3-state approximate-majority protocol (DISC 2007 ablation):
+    /// fast, but can err — its ground truth is still the exact majority.
+    ApproximateMajority(ApproximateMajority),
+    /// The flock-of-birds count-to-`k` protocol (§1): at least `k` agents
+    /// with input `1`?
+    CountTo(CountThreshold),
+}
+
+/// Registry names, in listing order.
+pub fn names() -> &'static [&'static str] {
+    &["majority", "parity", "approximate-majority", "count-to-k"]
+}
+
+/// Resolves a [`ProtocolRef::Name`] against the registry.
+///
+/// # Errors
+///
+/// [`SpecError::UnknownProtocol`] for names not in [`names`],
+/// [`SpecError::BadField`] for missing or invalid parameters.
+pub fn resolve_named(name: &str, params: &[(String, u64)]) -> Result<NamedProtocol, SpecError> {
+    let no_params = |p: &NamedProtocol| -> Result<NamedProtocol, SpecError> {
+        match params {
+            [] => Ok(p.clone()),
+            [(k, _), ..] => Err(SpecError::BadField {
+                field: k.clone(),
+                detail: format!("protocol {name:?} takes no parameters"),
+            }),
+        }
+    };
+    match name {
+        "majority" => no_params(&NamedProtocol::Majority(majority())),
+        "parity" => no_params(&NamedProtocol::Parity(parity())),
+        "approximate-majority" => {
+            no_params(&NamedProtocol::ApproximateMajority(ApproximateMajority))
+        }
+        "count-to-k" => {
+            let k = match params {
+                [(key, k)] if key == "k" => *k,
+                [] => {
+                    return Err(SpecError::BadField {
+                        field: "k".to_string(),
+                        detail: "count-to-k needs an integer parameter \"k\"".to_string(),
+                    })
+                }
+                [(key, _), ..] => {
+                    return Err(SpecError::BadField {
+                        field: key.clone(),
+                        detail: "count-to-k takes exactly one parameter, \"k\"".to_string(),
+                    })
+                }
+            };
+            let k = u32::try_from(k).ok().filter(|&k| k >= 1).ok_or_else(|| {
+                SpecError::BadField {
+                    field: "k".to_string(),
+                    detail: "k must be an integer in 1..=2^32-1".to_string(),
+                }
+            })?;
+            Ok(NamedProtocol::CountTo(CountThreshold::new(k)))
+        }
+        other => Err(SpecError::UnknownProtocol(other.to_string())),
+    }
+}
+
+impl NamedProtocol {
+    /// The identity / cache key reported for this protocol.
+    pub fn key(&self) -> String {
+        match self {
+            Self::Majority(_) => "majority".to_string(),
+            Self::Parity(_) => "parity".to_string(),
+            Self::ApproximateMajority(_) => "approximate-majority".to_string(),
+            Self::CountTo(p) => format!("count-to-k:k={}", p.threshold()),
+        }
+    }
+
+    /// Input symbols, in symbol-index order. Every registry protocol is
+    /// binary-input: symbol `"0"` / `"1"`.
+    pub fn symbols(&self) -> Vec<String> {
+        vec!["0".to_string(), "1".to_string()]
+    }
+
+    /// Ground truth of the predicate on symbol counts `[x₀, x₁]`.
+    pub fn ground_truth(&self, counts: &[u64]) -> bool {
+        match self {
+            Self::Majority(p) => p.eval(counts),
+            Self::Parity(p) => p.eval(counts),
+            // Approximate majority *aims at* the exact majority; ties
+            // count as "0 wins", matching the threshold convention.
+            Self::ApproximateMajority(_) => counts[1] > counts[0],
+            Self::CountTo(p) => p.eval(counts[1]),
+        }
+    }
+}
+
+/// Resolves any [`ProtocolRef::Name`]; formula refs are handled by the
+/// compile cache in [`crate::api`], not here.
+///
+/// # Errors
+///
+/// See [`resolve_named`]; passing a formula ref is an internal error.
+pub fn resolve(r: &ProtocolRef) -> Result<NamedProtocol, SpecError> {
+    match r {
+        ProtocolRef::Name { name, params } => resolve_named(name, params),
+        ProtocolRef::Formula(_) => Err(SpecError::Internal(
+            "formula refs resolve through the compile cache".to_string(),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolves_every_listed_name() {
+        for &name in names() {
+            let params: Vec<(String, u64)> = if name == "count-to-k" {
+                vec![("k".to_string(), 5)]
+            } else {
+                vec![]
+            };
+            let p = resolve_named(name, &params).unwrap();
+            assert_eq!(p.symbols().len(), 2);
+        }
+    }
+
+    #[test]
+    fn ground_truths() {
+        let m = resolve_named("majority", &[]).unwrap();
+        assert!(m.ground_truth(&[3, 4]));
+        assert!(!m.ground_truth(&[4, 4])); // tie -> "0 wins"
+        let p = resolve_named("parity", &[]).unwrap();
+        assert!(p.ground_truth(&[9, 3]));
+        assert!(!p.ground_truth(&[9, 4]));
+        let c = resolve_named("count-to-k", &[("k".to_string(), 5)]).unwrap();
+        assert!(c.ground_truth(&[95, 5]));
+        assert!(!c.ground_truth(&[96, 4]));
+    }
+
+    #[test]
+    fn rejects_bad_refs() {
+        assert!(matches!(
+            resolve_named("no-such", &[]),
+            Err(SpecError::UnknownProtocol(_))
+        ));
+        assert!(resolve_named("majority", &[("k".to_string(), 1)]).is_err());
+        assert!(resolve_named("count-to-k", &[]).is_err());
+        assert!(resolve_named("count-to-k", &[("k".to_string(), 0)]).is_err());
+    }
+}

@@ -1,0 +1,109 @@
+#!/usr/bin/env bash
+# Golden-request gate for the pp-server HTTP service.
+#
+# Boots a release pp-server on loopback, fires the scripted request set —
+# a named-protocol run, a formula compile-and-run, a fault ensemble, and
+# a mean-field query — and diffs each response body byte-for-byte against
+# the checked-in goldens in tests/goldens/server/. Because reports carry
+# no wall-clock fields and every request is seeded, the bodies are stable
+# across machines, thread counts, and restarts; any diff is a real
+# determinism or wire-format regression.
+#
+# Usage:
+#   scripts/server_goldens.sh                 # assert against goldens
+#   PP_UPDATE_GOLDENS=1 scripts/server_goldens.sh   # regenerate goldens
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+GOLDEN_DIR=tests/goldens/server
+ADDR=127.0.0.1:7878
+BASE="http://$ADDR"
+
+cargo build --release --bin pp-server
+
+./target/release/pp-server --addr "$ADDR" --threads 2 &
+SERVER_PID=$!
+trap 'kill "$SERVER_PID" 2>/dev/null || true' EXIT
+
+# Wait for the listener (the binary prints its banner after binding).
+for _ in $(seq 1 50); do
+    if curl -sf "$BASE/healthz" >/dev/null 2>&1; then
+        break
+    fi
+    sleep 0.1
+done
+curl -sf "$BASE/healthz" >/dev/null
+
+# The scripted request set. Each entry: golden file name + request body.
+# Population order is semantic (it fixes the interning order, hence the
+# RNG stream) — do not reorder keys inside "population".
+declare -A REQUESTS
+REQUESTS[protocol_run]='{
+    "protocol": {"name": "majority"},
+    "population": {"1": 6, "0": 4},
+    "seed": 7,
+    "engine": "batched",
+    "trials": 4,
+    "horizon": 30000
+}'
+REQUESTS[formula_run]='{
+    "protocol": {"formula": "a > b"},
+    "population": {"a": 6, "b": 4},
+    "seed": 42,
+    "engine": "batched",
+    "trials": 8,
+    "horizon": 30000
+}'
+REQUESTS[fault_ensemble]='{
+    "protocol": {"name": "majority"},
+    "population": {"1": 6, "0": 4},
+    "seed": 11,
+    "trials": 4,
+    "horizon": 60000,
+    "faults": {"crash": [[500, 1]]}
+}'
+REQUESTS[mean_field]='{
+    "protocol": {"name": "majority"},
+    "population": {"1": 600, "0": 400},
+    "engine": "mean-field",
+    "mean_field": {"horizon": 50.0}
+}'
+
+mkdir -p "$GOLDEN_DIR"
+status=0
+for name in protocol_run formula_run fault_ensemble mean_field; do
+    got=$(curl -sf -X POST "$BASE/v1/run" \
+        -H 'Content-Type: application/json' \
+        -d "${REQUESTS[$name]}")
+    golden="$GOLDEN_DIR/$name.json"
+    if [ "${PP_UPDATE_GOLDENS:-0}" = "1" ]; then
+        printf '%s' "$got" > "$golden"
+        echo "updated $golden"
+    elif [ ! -f "$golden" ]; then
+        echo "MISSING golden $golden (run with PP_UPDATE_GOLDENS=1)" >&2
+        status=1
+    elif printf '%s' "$got" | diff -u "$golden" - >/dev/null; then
+        echo "ok $name"
+    else
+        echo "DIFF in $name:" >&2
+        printf '%s' "$got" | diff -u "$golden" - >&2 || true
+        status=1
+    fi
+done
+
+# A second pass over the same set must hit the compile cache without
+# moving a byte — replay the formula request and re-diff.
+replay=$(curl -sf -X POST "$BASE/v1/run" \
+    -H 'Content-Type: application/json' \
+    -d "${REQUESTS[formula_run]}")
+if [ "${PP_UPDATE_GOLDENS:-0}" != "1" ]; then
+    if printf '%s' "$replay" | diff -u "$GOLDEN_DIR/formula_run.json" - >/dev/null; then
+        echo "ok formula_run (cache-hit replay)"
+    else
+        echo "DIFF in formula_run cache-hit replay" >&2
+        status=1
+    fi
+fi
+
+exit "$status"

@@ -1,0 +1,65 @@
+//! `pp-server` — protocol-as-a-service over HTTP.
+//!
+//! ```text
+//! pp-server [--addr 127.0.0.1:7878] [--threads 4] [--max-population 10000000]
+//! ```
+//!
+//! Serves the spec-driven run API: POST a `RunSpec` JSON to `/v1/run` for
+//! a deterministic `pp-run/v1` report, to `/v1/stream` for JSONL probe
+//! events, and GET `/v1/protocols`, `/v1/cache`, `/healthz`. Seeded
+//! requests are byte-reproducible across restarts and thread counts.
+
+use pp_server::{serve, ServerConfig};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut cfg = ServerConfig::default();
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--addr" => addr = expect_value(&mut args, "--addr"),
+            "--threads" => {
+                cfg.threads = parse_value(&mut args, "--threads");
+            }
+            "--max-population" => {
+                cfg.max_population = parse_value(&mut args, "--max-population");
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: pp-server [--addr HOST:PORT] [--threads N] [--max-population N]"
+                );
+                return;
+            }
+            other => {
+                eprintln!("unknown flag {other:?}; try --help");
+                std::process::exit(2);
+            }
+        }
+    }
+    let server = match serve(&addr, cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("failed to bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("pp-server listening on {}", server.addr());
+    loop {
+        std::thread::park();
+    }
+}
+
+fn expect_value(args: &mut impl Iterator<Item = String>, flag: &str) -> String {
+    args.next().unwrap_or_else(|| {
+        eprintln!("{flag} needs a value");
+        std::process::exit(2);
+    })
+}
+
+fn parse_value<T: std::str::FromStr>(args: &mut impl Iterator<Item = String>, flag: &str) -> T {
+    let raw = expect_value(args, flag);
+    raw.parse().unwrap_or_else(|_| {
+        eprintln!("{flag} got unparseable value {raw:?}");
+        std::process::exit(2);
+    })
+}

@@ -17,10 +17,10 @@ use std::process::ExitCode;
 use population_protocols::analysis::verify::verify_predicate;
 use population_protocols::analysis::MarkovAnalysis;
 use population_protocols::core::prelude::*;
-use population_protocols::graphs;
+use population_protocols::core::ProtocolRef;
 use population_protocols::presburger::compile::compile_parsed;
 use population_protocols::presburger::{eliminate_quantifiers, parse, ParsedFormula};
-use population_protocols::protocols::GraphSimulator;
+use population_protocols::server::{execute, CompiledCache, ExecOptions};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -106,8 +106,29 @@ fn parse_counts(parsed: &ParsedFormula, assignments: &[String]) -> Result<Vec<u6
 }
 
 fn default_horizon(n: u64) -> u64 {
-    let ln = (n.max(2) as f64).ln();
-    (200.0 * (n * n) as f64 * ln) as u64
+    RunSpec::default_horizon(n)
+}
+
+/// The spec-order population for a parsed formula: every variable, in
+/// variable-index order, **including zero counts** — the interning order
+/// is semantic (it fixes the RNG stream), and the historical CLI interned
+/// all variables.
+fn population_of(parsed: &ParsedFormula, counts: &[u64]) -> Vec<(String, u64)> {
+    let symbols: Vec<String> = if parsed.vars.is_empty() {
+        vec!["x0".to_string()]
+    } else {
+        parsed.vars.clone()
+    };
+    symbols.into_iter().zip(counts.iter().copied()).collect()
+}
+
+/// Runs a spec through the shared dispatcher (the same entry point
+/// `pp-server` serves), with a one-shot artifact cache.
+fn execute_spec(spec: &RunSpec) -> Result<RunReport, String> {
+    let cache = CompiledCache::new();
+    execute(spec, &cache, &ExecOptions::default())
+        .map(|(report, _)| report)
+        .map_err(|e| e.to_string())
 }
 
 fn cmd_qe(args: &[String]) -> Result<(), String> {
@@ -128,30 +149,32 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
         .split_first()
         .ok_or("simulate needs a formula and name=count assignments")?;
     let parsed = parse(src).map_err(|e| e.to_string())?;
-    let protocol = compile_parsed(&parsed).map_err(|e| e.to_string())?;
     let counts = parse_counts(&parsed, assignments)?;
     let n: u64 = counts.iter().sum();
     if n < 2 {
         return Err("population must have at least 2 agents".into());
     }
-    let expected = protocol.eval(&counts);
-    let seed = opts.flag_u64("seed", 0)?;
-    let horizon = opts.flag_u64("horizon", default_horizon(n))?;
-    println!("population n = {n}, counts {counts:?}, ground truth = {expected}");
-    let mut sim = Simulation::from_counts(
-        protocol,
-        counts.iter().enumerate().map(|(i, &c)| (i, c)),
+    let mut spec = RunSpec::new(
+        ProtocolRef::Formula(src.clone()),
+        population_of(&parsed, &counts),
+        opts.flag_u64("seed", 0)?,
     );
-    let mut rng = seeded_rng(seed);
-    let rep = sim.measure_stabilization(&expected, horizon, &mut rng);
-    match rep.stabilized_at {
+    spec.horizon = Some(opts.flag_u64("horizon", default_horizon(n))?);
+    let report = execute_spec(&spec)?;
+    let expected = report.ground_truth.unwrap_or(false);
+    println!("population n = {n}, counts {counts:?}, ground truth = {expected}");
+    let run = report.single().ok_or("dispatcher returned a non-single outcome")?;
+    match run.stabilized_at {
         Some(t) => println!(
             "stabilized to {expected} after {t} interactions \
              ({} effective) with a {}-interaction confirmed tail",
-            sim.effective_steps(),
-            rep.silent_tail()
+            run.effective_steps.unwrap_or(0),
+            run.silent_tail
         ),
-        None => println!("NOT stabilized within {horizon} interactions (raise --horizon)"),
+        None => println!(
+            "NOT stabilized within {} interactions (raise --horizon)",
+            run.horizon
+        ),
     }
     Ok(())
 }
@@ -240,7 +263,6 @@ fn cmd_graph(args: &[String]) -> Result<(), String> {
     let n = opts.flag_u64("n", 0)?;
     let kind = opts.flag_str("kind").ok_or("--kind is required")?;
     let parsed = parse(src).map_err(|e| e.to_string())?;
-    let protocol = compile_parsed(&parsed).map_err(|e| e.to_string())?;
     let counts = parse_counts(&parsed, assignments)?;
     let total: u64 = counts.iter().sum();
     let n = if n == 0 { total } else { n };
@@ -250,35 +272,35 @@ fn cmd_graph(args: &[String]) -> Result<(), String> {
     if n < 4 {
         return Err("the Theorem 7 construction assumes n ≥ 4".into());
     }
-    let graph = match kind {
-        "line" => graphs::undirected_line(n as usize),
-        "cycle" => graphs::undirected_cycle(n as usize),
-        "star" => graphs::star(n as usize),
-        "complete" => graphs::complete(n as usize),
+    let topology = match kind {
+        "line" => TopologySpec::Line,
+        "cycle" => TopologySpec::Cycle,
+        "star" => TopologySpec::Star,
+        "complete" => TopologySpec::Complete,
         other => return Err(format!("unknown graph kind {other:?}")),
     };
-    let expected = protocol.eval(&counts);
-    // String input convention: agents get symbols in count order.
-    let mut inputs = Vec::new();
-    for (i, &c) in counts.iter().enumerate() {
-        inputs.extend(std::iter::repeat_n(i, c as usize));
-    }
-    let seed = opts.flag_u64("seed", 0)?;
-    let horizon = opts.flag_u64("horizon", default_horizon(n).saturating_mul(20))?;
+    let mut spec = RunSpec::new(
+        ProtocolRef::Formula(src.clone()),
+        population_of(&parsed, &counts),
+        opts.flag_u64("seed", 0)?,
+    );
+    spec.engine = EngineSel::Agents;
+    spec.topology = Some(topology);
+    spec.horizon =
+        Some(opts.flag_u64("horizon", default_horizon(n).saturating_mul(20))?);
+    let report = execute_spec(&spec)?;
+    let expected = report.ground_truth.unwrap_or(false);
     println!(
         "running A' (Theorem 7) on {kind} graph, n = {n}, {} edges, ground truth = {expected}",
-        graph.edge_count()
+        report.edges.unwrap_or(0)
     );
-    let mut sim = AgentSimulation::from_inputs(
-        GraphSimulator::new(protocol),
-        &inputs,
-        graph.scheduler(),
-    );
-    let mut rng = seeded_rng(seed);
-    let rep = sim.measure_stabilization(&expected, horizon, &mut rng);
-    match rep.stabilized_at {
+    let run = report.single().ok_or("dispatcher returned a non-single outcome")?;
+    match run.stabilized_at {
         Some(t) => println!("stabilized to {expected} after {t} interactions"),
-        None => println!("NOT stabilized within {horizon} interactions (raise --horizon)"),
+        None => println!(
+            "NOT stabilized within {} interactions (raise --horizon)",
+            run.horizon
+        ),
     }
     Ok(())
 }

@@ -17,6 +17,9 @@
 //!   semilinear sets, and the formula-to-protocol compiler;
 //! * [`analysis`] — exact reachability/SCC verification and Markov-chain
 //!   convergence analysis;
+//! * [`server`] — protocol-as-a-service: the unified spec-driven run API
+//!   (`RunSpec` → `pp-run/v1` report), the keyed compile cache, and the
+//!   zero-dependency `pp-server` HTTP layer;
 //! * [`machines`] — counter-machine and Turing-machine substrates;
 //! * [`random`] — the conjugating-automaton constructions of §6 (urn
 //!   process, zero test, leader election, counter and TM simulation);
@@ -51,3 +54,4 @@ pub use pp_machines as machines;
 pub use pp_presburger as presburger;
 pub use pp_protocols as protocols;
 pub use pp_random as random;
+pub use pp_server as server;
